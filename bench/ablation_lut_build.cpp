@@ -1,0 +1,85 @@
+// Ablation — LUT construction: dynamic programming (Algorithm 1,
+// Tc,dp ~ 2^mu per table) vs the GEMM-style builder (Fig. 4a,
+// Tc,mm ~ 2^mu * mu per table). The paper's claim: DP is ~mu times
+// cheaper; within a full BiQGEMM invocation the gap shrinks because the
+// query phase dominates (Fig. 8).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/biqgemm.hpp"
+#include "core/lut_builder.hpp"
+#include "core/mu_select.hpp"
+#include "quant/greedy.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/rng.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+void builder_only() {
+  std::printf("-- builder microbenchmark: construct 4096 tables from a "
+              "4096*mu-element input --\n");
+  biq::TablePrinter table({"mu", "DP us", "MM us", "MM/DP", "model ratio"});
+  for (unsigned mu : {4u, 6u, 8u, 10u, 12u}) {
+    const std::size_t tables = 4096;
+    biq::Rng rng(mu);
+    std::vector<float> x(tables * mu);
+    biq::fill_normal(rng, x.data(), x.size());
+    biq::AlignedBuffer<float> lut((std::size_t{1} << mu));
+
+    const double t_dp = biq::bench::median_seconds([&] {
+      for (std::size_t t = 0; t < tables; ++t) {
+        biq::build_lut_dp(x.data() + t * mu, mu, mu, lut.data());
+      }
+    });
+    const double t_mm = biq::bench::median_seconds([&] {
+      for (std::size_t t = 0; t < tables; ++t) {
+        biq::build_lut_mm(x.data() + t * mu, mu, mu, lut.data());
+      }
+    });
+    const double model = static_cast<double>(biq::mm_build_macs(mu)) /
+                         static_cast<double>(biq::dp_build_adds(mu));
+    table.add_row({std::to_string(mu), biq::bench::us(t_dp, 1),
+                   biq::bench::us(t_mm, 1),
+                   biq::TablePrinter::fmt(t_mm / t_dp, 2),
+                   biq::TablePrinter::fmt(model, 2)});
+  }
+  std::printf("%s\n", table.to_markdown().c_str());
+}
+
+void end_to_end() {
+  std::printf("-- whole-kernel effect (m=512 so build is a visible share; "
+              "n=1024, mu=8) --\n");
+  biq::TablePrinter table({"batch", "DP builder us", "MM builder us",
+                           "kernel speedup from DP"});
+  biq::Rng rng(3);
+  biq::Matrix w = biq::Matrix::random_normal(512, 1024, rng);
+  const biq::BinaryCodes codes = biq::quantize_greedy(w, 1);
+  for (std::size_t b : {1u, 8u, 32u}) {
+    biq::Matrix x = biq::Matrix::random_normal(1024, b, rng);
+    biq::Matrix y(512, b);
+    biq::BiqGemmOptions dp_opt;
+    biq::BiqGemmOptions mm_opt;
+    mm_opt.use_dp_builder = false;
+    const biq::BiqGemm dp_engine(codes, dp_opt);
+    const biq::BiqGemm mm_engine(codes, mm_opt);
+    const double t_dp = biq::bench::median_seconds([&] { dp_engine.run(x, y); });
+    const double t_mm = biq::bench::median_seconds([&] { mm_engine.run(x, y); });
+    table.add_row({std::to_string(b), biq::bench::us(t_dp, 1),
+                   biq::bench::us(t_mm, 1),
+                   biq::TablePrinter::fmt(t_mm / t_dp, 2) + "x"});
+  }
+  std::printf("%s\n", table.to_markdown().c_str());
+}
+
+}  // namespace
+
+int main() {
+  biq::bench::print_header(
+      "ablation_lut_build — Algorithm 1 DP vs GEMM-style LUT construction",
+      "paper Sec. III-B / Eq. 6: Tc,dp is mu times smaller than Tc,mm");
+  builder_only();
+  end_to_end();
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Shared helpers for the figure/table reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/cpu_features.hpp"
+#include "util/stats.hpp"
+
+namespace biq::bench {
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("%s\n", describe_machine().c_str());
+  std::printf("==================================================================\n\n");
+}
+
+/// Median wall time of fn in seconds (at least `reps` runs and
+/// `min_seconds` of accumulated time).
+template <typename Fn>
+double median_seconds(Fn&& fn, std::size_t reps = 3, double min_seconds = 0.05) {
+  return summarize(measure_repetitions(std::forward<Fn>(fn), reps, min_seconds))
+      .median;
+}
+
+inline std::string us(double seconds, int precision = 1) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, seconds * 1e6);
+  return buf;
+}
+
+inline std::string ms(double seconds, int precision = 2) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, seconds * 1e3);
+  return buf;
+}
+
+}  // namespace biq::bench

@@ -1,0 +1,61 @@
+// Fig. 8 — runtime proportion of BiQGEMM's three operation classes
+// (build / query / replace) as output size m grows, for n in {1K, 2K}
+// and batch 32. Paper finding: query dominates and its share grows with
+// m, because each extra output row adds retrieval work but no build
+// work.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/biqgemm.hpp"
+#include "quant/greedy.hpp"
+#include "util/timer.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+void profile_for_input_size(std::size_t n) {
+  std::printf("-- n = %zu, batch = 32, 1-bit weights, mu = 8 --\n", n);
+  biq::TablePrinter table(
+      {"output size m", "query %", "build %", "replace %", "total us"});
+
+  for (std::size_t m : {512u, 1024u, 2048u, 4096u, 8192u}) {
+    biq::Rng rng(m + n);
+    biq::BinaryMatrix plane = biq::BinaryMatrix::random(m, n, rng);
+    biq::Matrix x = biq::Matrix::random_normal(n, 32, rng);
+    biq::Matrix y(m, 32);
+
+    biq::BiqGemmProfile profile;
+    biq::BiqGemmOptions opt;
+    opt.profile = &profile;
+    const biq::BiqGemm engine(plane, opt);
+
+    engine.run(x, y);  // warm-up (fills caches, first-touch)
+    profile.clear();
+    int reps = 0;
+    biq::Stopwatch watch;
+    while (watch.elapsed_seconds() < 0.3 || reps < 5) {
+      engine.run(x, y);
+      ++reps;
+    }
+
+    const double total = profile.total_seconds();
+    table.add_row({std::to_string(m),
+                   biq::TablePrinter::fmt(100.0 * profile.query_seconds / total, 1),
+                   biq::TablePrinter::fmt(100.0 * profile.build_seconds / total, 1),
+                   biq::TablePrinter::fmt(100.0 * profile.replace_seconds / total, 1),
+                   biq::TablePrinter::fmt(total / reps * 1e6, 1)});
+  }
+  std::printf("%s\n", table.to_markdown().c_str());
+}
+
+}  // namespace
+
+int main() {
+  biq::bench::print_header(
+      "fig08_runtime_profile — BiQGEMM phase breakdown",
+      "paper Fig. 8 (a) n=1K and (b) n=2K, b=32; expectation: query share "
+      "rises with m and dominates at every size");
+  profile_for_input_size(1024);
+  profile_for_input_size(2048);
+  return 0;
+}

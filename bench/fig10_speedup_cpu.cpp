@@ -1,0 +1,60 @@
+// Fig. 10 — BiQGEMM speedup over an optimized single-thread fp32 GEMM
+// (the paper uses Eigen/MKL; this repo's blocked AVX2 GEMM plays that
+// role) across output sizes m in {1K, 2K, 4K} (n = 1K fixed) and batch
+// sizes, for 1/2/3-bit quantized weights.
+// Paper findings to check: (i) 1-bit is fastest and beats GEMM broadly,
+// (ii) speedup grows with m, (iii) speedup shrinks as batch grows and
+// 3-bit eventually crosses below 1.0 (GEMM wins at large batch).
+// (Paper Fig. 10(b) repeats this on a Cortex-A76; no ARM machine here —
+// x86 only, same sweep.)
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/biqgemm.hpp"
+#include "gemm/gemm_blocked.hpp"
+#include "quant/greedy.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  biq::bench::print_header(
+      "fig10_speedup_cpu — speedup over optimized fp32 GEMM (1 thread)",
+      "paper Fig. 10(a): m-by-1K weights, batch 1..256, BiQGEMM 1/2/3-bit; "
+      "values are (blocked fp32 GEMM time) / (BiQGEMM time)");
+
+  const std::size_t n = 1024;
+  biq::TablePrinter table({"m", "batch", "gemm ms", "biq 1-bit", "biq 2-bit",
+                           "biq 3-bit"});
+
+  for (std::size_t m : {1024u, 2048u, 4096u}) {
+    biq::Rng rng(m);
+    biq::Matrix w = biq::Matrix::random_normal(m, n, rng, 0.0f, 0.05f);
+    const biq::BlockedGemm dense(w);
+
+    // Pre-quantize and pre-pack once per m (weights are fixed).
+    const biq::BinaryCodes c1 = biq::quantize_greedy(w, 1);
+    const biq::BinaryCodes c2 = biq::quantize_greedy(w, 2);
+    const biq::BinaryCodes c3 = biq::quantize_greedy(w, 3);
+    const biq::BiqGemm e1(c1, {}), e2(c2, {}), e3(c3, {});
+
+    for (std::size_t b : {1u, 8u, 16u, 32u, 128u, 256u}) {
+      biq::Matrix x = biq::Matrix::random_normal(n, b, rng);
+      biq::Matrix y(m, b);
+
+      const double t_gemm = biq::bench::median_seconds([&] { dense.run(x, y); });
+      const double t1 = biq::bench::median_seconds([&] { e1.run(x, y); });
+      const double t2 = biq::bench::median_seconds([&] { e2.run(x, y); });
+      const double t3 = biq::bench::median_seconds([&] { e3.run(x, y); });
+
+      table.add_row({std::to_string(m), std::to_string(b),
+                     biq::bench::ms(t_gemm),
+                     biq::TablePrinter::fmt(t_gemm / t1, 2) + "x",
+                     biq::TablePrinter::fmt(t_gemm / t2, 2) + "x",
+                     biq::TablePrinter::fmt(t_gemm / t3, 2) + "x"});
+    }
+  }
+  std::printf("%s\n", table.to_markdown().c_str());
+  std::printf("Read each row against the paper's bars: >1.0x means BiQGEMM\n"
+              "wins; the crossover to <1.0x should appear first for 3-bit at\n"
+              "the largest batches.\n");
+  return 0;
+}

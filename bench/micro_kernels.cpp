@@ -1,0 +1,158 @@
+// google-benchmark microbenchmarks for the library's primitive kernels:
+// LUT builders, key packing, query loop, and the baseline GEMMs. These
+// complement the figure/table binaries with statistically managed
+// per-primitive numbers (and FLOP/byte counters).
+#include <benchmark/benchmark.h>
+
+#include "core/biqgemm.hpp"
+#include "core/lut_builder.hpp"
+#include "gemm/gemm_blocked.hpp"
+#include "gemm/gemm_ref.hpp"
+#include "gemm/gemm_unpack.hpp"
+#include "gemm/xnor_gemm.hpp"
+#include "quant/greedy.hpp"
+#include "util/aligned_buffer.hpp"
+
+namespace {
+
+void BM_LutBuildDp(benchmark::State& state) {
+  const auto mu = static_cast<unsigned>(state.range(0));
+  biq::Rng rng(mu);
+  std::vector<float> x(mu);
+  biq::fill_normal(rng, x.data(), mu);
+  biq::AlignedBuffer<float> lut(std::size_t{1} << mu);
+  for (auto _ : state) {
+    biq::build_lut_dp(x.data(), mu, mu, lut.data());
+    benchmark::DoNotOptimize(lut.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(biq::dp_build_adds(mu)));
+}
+BENCHMARK(BM_LutBuildDp)->Arg(4)->Arg(8)->Arg(12)->Unit(benchmark::kNanosecond);
+
+void BM_LutBuildMm(benchmark::State& state) {
+  const auto mu = static_cast<unsigned>(state.range(0));
+  biq::Rng rng(mu);
+  std::vector<float> x(mu);
+  biq::fill_normal(rng, x.data(), mu);
+  biq::AlignedBuffer<float> lut(std::size_t{1} << mu);
+  for (auto _ : state) {
+    biq::build_lut_mm(x.data(), mu, mu, lut.data());
+    benchmark::DoNotOptimize(lut.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(biq::mm_build_macs(mu)));
+}
+BENCHMARK(BM_LutBuildMm)->Arg(4)->Arg(8)->Arg(12)->Unit(benchmark::kNanosecond);
+
+void BM_LutBuildDpInterleaved(benchmark::State& state) {
+  constexpr unsigned mu = 8;
+  biq::Rng rng(1);
+  biq::AlignedBuffer<float> xt(mu * 8);
+  biq::fill_normal(rng, xt.data(), xt.size());
+  biq::AlignedBuffer<float> lut((std::size_t{1} << mu) * 8);
+  for (auto _ : state) {
+    biq::build_lut_dp_interleaved(xt.data(), mu, 8, lut.data());
+    benchmark::DoNotOptimize(lut.data());
+  }
+}
+BENCHMARK(BM_LutBuildDpInterleaved)->Unit(benchmark::kNanosecond);
+
+void BM_KeyPack(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  biq::Rng rng(n);
+  biq::BinaryMatrix b = biq::BinaryMatrix::random(n, n, rng);
+  for (auto _ : state) {
+    biq::KeyMatrix keys(b, 8);
+    benchmark::DoNotOptimize(keys.rows());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n * n / 8));
+}
+BENCHMARK(BM_KeyPack)->Arg(512)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_BiqGemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto b = static_cast<std::size_t>(state.range(1));
+  biq::Rng rng(n + b);
+  biq::Matrix w = biq::Matrix::random_normal(n, n, rng);
+  const biq::BiqGemm engine(biq::quantize_greedy(w, 1), {});
+  biq::Matrix x = biq::Matrix::random_normal(n, b, rng);
+  biq::Matrix y(n, b);
+  for (auto _ : state) {
+    engine.run(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n * n * b / 8));
+}
+BENCHMARK(BM_BiqGemm)
+    ->Args({1024, 1})
+    ->Args({1024, 32})
+    ->Args({2048, 32})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_BlockedGemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto b = static_cast<std::size_t>(state.range(1));
+  biq::Rng rng(n + b);
+  biq::Matrix w = biq::Matrix::random_normal(n, n, rng);
+  const biq::BlockedGemm engine(w);
+  biq::Matrix x = biq::Matrix::random_normal(n, b, rng);
+  biq::Matrix y(n, b);
+  for (auto _ : state) {
+    engine.run(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * n * n * b));
+}
+BENCHMARK(BM_BlockedGemm)
+    ->Args({1024, 1})
+    ->Args({1024, 32})
+    ->Args({2048, 32})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_XnorGemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto b = static_cast<std::size_t>(state.range(1));
+  biq::Rng rng(n + b);
+  biq::Matrix w = biq::Matrix::random_normal(n, n, rng);
+  const biq::XnorGemm engine(biq::quantize_greedy(w, 1));
+  biq::Matrix x = biq::Matrix::random_normal(n, b, rng);
+  biq::Matrix y(n, b);
+  for (auto _ : state) {
+    engine.run(x, y, 1);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_XnorGemm)->Args({1024, 32})->Unit(benchmark::kMicrosecond);
+
+void BM_UnpackGemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  biq::Rng rng(n);
+  biq::BinaryMatrix plane = biq::BinaryMatrix::random(n, n, rng);
+  const biq::PackedBits32 packed = biq::pack_rows_u32(plane);
+  biq::Matrix x = biq::Matrix::random_normal(n, 32, rng);
+  biq::Matrix y(n, 32);
+  for (auto _ : state) {
+    biq::gemm_unpack(packed, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_UnpackGemm)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_QuantizeGreedy(benchmark::State& state) {
+  const auto bits = static_cast<unsigned>(state.range(0));
+  biq::Rng rng(bits);
+  biq::Matrix w = biq::Matrix::random_normal(512, 512, rng);
+  for (auto _ : state) {
+    biq::BinaryCodes codes = biq::quantize_greedy(w, bits);
+    benchmark::DoNotOptimize(codes.planes.data());
+  }
+}
+BENCHMARK(BM_QuantizeGreedy)->Arg(1)->Arg(3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

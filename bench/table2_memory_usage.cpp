@@ -1,0 +1,65 @@
+// Table II — memory usage of a 512x512 layer at batch 18 under different
+// weight/activation bit-widths. Two parts:
+//   (1) the analytic accounting exactly as the paper computes it, and
+//   (2) the bytes actually allocated by this library's packed structures
+//       (keys + scales), confirming the model matches the implementation.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/biqgemm.hpp"
+#include "quant/greedy.hpp"
+#include "util/footprint.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  biq::bench::print_header(
+      "table2_memory_usage — memory by quantization bit-width",
+      "paper Table II: 512x512 weights, batch 18; MB values (ours are "
+      "binary MiB; the paper uses decimal MB, a 1.049x constant)");
+
+  const biq::FootprintConfig shapes = {512, 512, 18, 32, 32, 32};
+
+  struct Row {
+    unsigned wbits, abits;
+    const char* paper_total;
+  };
+  // W/A/O bit configurations exactly as the paper lists them.
+  const Row rows[] = {{32, 32, "1.122"}, {8, 8, "0.308"},  {6, 6, "0.240"},
+                      {4, 4, "0.173"},   {4, 32, "0.205"}, {3, 32, "0.172"},
+                      {2, 32, "0.139"}};
+
+  biq::TablePrinter table({"W bits", "A bits", "W MB", "I MB", "O MB",
+                           "total MB", "paper total MB"});
+  for (const Row& r : rows) {
+    biq::FootprintConfig cfg = shapes;
+    cfg.weight_bits = r.wbits;
+    cfg.activation_bits = r.abits;
+    const biq::Footprint fp = biq::model_footprint(cfg);
+    table.add_row({std::to_string(r.wbits), std::to_string(r.abits),
+                   biq::format_mb(fp.weight_bytes), biq::format_mb(fp.input_bytes),
+                   biq::format_mb(fp.output_bytes),
+                   biq::format_mb(fp.total_bytes()), r.paper_total});
+  }
+  std::printf("%s\n", table.to_markdown().c_str());
+
+  std::printf("-- measured allocation of this library's packed weights "
+              "(keys + per-row scales) --\n");
+  biq::TablePrinter measured({"W bits", "model bytes", "allocated bytes",
+                              "match"});
+  biq::Rng rng(1);
+  const biq::Matrix w = biq::Matrix::random_normal(512, 512, rng);
+  for (unsigned bits : {1u, 2u, 3u, 4u}) {
+    const biq::BiqGemm engine(biq::quantize_greedy(w, bits), {});
+    const biq::Footprint fp = biq::model_footprint(
+        {512, 512, 18, bits, 32, 32}, /*include_scales=*/true);
+    measured.add_row({std::to_string(bits), std::to_string(fp.weight_bytes),
+                      std::to_string(engine.packed_weight_bytes()),
+                      fp.weight_bytes == engine.packed_weight_bytes() ? "yes"
+                                                                      : "NO"});
+  }
+  std::printf("%s\n", measured.to_markdown().c_str());
+  std::printf("Paper observation reproduced: weight quantization dominates the\n"
+              "footprint reduction; activation quantization saves little at\n"
+              "this batch size (compare the 4/4 and 4/32 rows).\n");
+  return 0;
+}

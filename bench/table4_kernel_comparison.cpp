@@ -1,0 +1,71 @@
+// Table IV — kernel-vs-kernel runtimes on square 1-bit-quantized weight
+// matrices, n in {512, 1K, 2K, 4K}, batch in {1, 32, 128, 256}.
+//
+// SUBSTITUTION (documented in DESIGN.md): the paper's Table IV runs on a
+// V100 against kGpu / cuBLAS / xnor. No GPU here, so each baseline is
+// replaced by its CPU role-equivalent:
+//   kGpu  (unoptimized reference kernel) -> naive triple-loop GEMM
+//   cublas (vendor-optimized library)    -> blocked AVX2+FMA GEMM
+//   xnor  (both sides binarized)         -> XNOR-popcount GEMM
+// Shape expectations carried over: BiQGEMM dominates at batch 1 and large
+// matrices; the optimized dense library catches up as batch grows; xnor
+// is the only rival at large batch (at the cost of quantized
+// activations).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/biqgemm.hpp"
+#include "gemm/gemm_blocked.hpp"
+#include "gemm/gemm_ref.hpp"
+#include "gemm/xnor_gemm.hpp"
+#include "quant/greedy.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  biq::bench::print_header(
+      "table4_kernel_comparison — BiQGEMM vs baseline kernels (1-bit)",
+      "paper Table IV on CPU stand-ins: naive GEMM=kGpu, blocked "
+      "GEMM=cublas, xnor=xnor; runtimes in microseconds");
+
+  biq::TablePrinter table({"n (square)", "batch", "BiQGEMM us", "naive us",
+                           "blocked us", "xnor us", "vs naive", "vs blocked"});
+
+  for (std::size_t n : {512u, 1024u, 2048u, 4096u}) {
+    biq::Rng rng(n);
+    biq::Matrix w = biq::Matrix::random_normal(n, n, rng, 0.0f, 0.05f);
+    const biq::BinaryCodes codes = biq::quantize_greedy(w, 1);
+    const biq::BiqGemm biq_engine(codes, {});
+    const biq::BlockedGemm blocked(w);
+    const biq::XnorGemm xnor(codes);
+    // The naive kernel multiplies the same 1-bit weights stored as fp32
+    // (the paper's containers-without-packing arrangement).
+    const biq::Matrix w_pm1 = codes.planes[0].to_float_rowmajor_as_colmajor();
+
+    for (std::size_t b : {1u, 32u, 128u, 256u}) {
+      biq::Matrix x = biq::Matrix::random_normal(n, b, rng);
+      biq::Matrix y(n, b);
+
+      const double t_biq = biq::bench::median_seconds([&] { biq_engine.run(x, y); });
+      // Naive GEMM is slow at the largest shapes; one timed rep is
+      // plenty there (it is the reference point, not the subject).
+      const bool big = n * n * b > (1u << 28);
+      const double t_naive = biq::bench::median_seconds(
+          [&] { biq::gemm_naive(w_pm1, x, y); }, big ? 1 : 3, big ? 0.0 : 0.05);
+      const double t_blocked =
+          biq::bench::median_seconds([&] { blocked.run(x, y); });
+      const double t_xnor =
+          biq::bench::median_seconds([&] { xnor.run(x, y, 1); });
+
+      table.add_row({std::to_string(n), std::to_string(b),
+                     biq::bench::us(t_biq, 0), biq::bench::us(t_naive, 0),
+                     biq::bench::us(t_blocked, 0), biq::bench::us(t_xnor, 0),
+                     biq::TablePrinter::fmt(t_naive / t_biq, 1) + "x",
+                     biq::TablePrinter::fmt(t_blocked / t_biq, 2) + "x"});
+    }
+  }
+  std::printf("%s\n", table.to_markdown().c_str());
+  std::printf("Paper Table IV shape check: 'vs naive' grows with n and\n"
+              "shrinks with batch (paper: 1.08x..30.42x); BiQGEMM leads\n"
+              "'vs blocked' at batch 1 for every n.\n");
+  return 0;
+}

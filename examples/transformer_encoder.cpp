@@ -1,0 +1,85 @@
+// Transformer-encoder inference with binary-coding-quantized weights —
+// the NMT/BERT workload that motivates the paper (Sec. II-C/D). Builds
+// the same encoder twice (identical fp32 parameters): once fp32, once
+// quantized, then reports per-bit-width output deviation, weight memory
+// and latency for a batch of sub-words.
+//
+//   $ ./transformer_encoder [tokens] [layers] [hidden]
+#include <cstdio>
+#include <cstdlib>
+
+#include "nn/transformer.hpp"
+#include "util/cpu_features.hpp"
+#include "util/stats.hpp"
+#include "util/table_printer.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t tokens = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 18;
+  const unsigned layers = argc > 2 ? static_cast<unsigned>(std::strtoul(argv[2], nullptr, 10)) : 2;
+  const std::size_t hidden = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 256;
+
+  biq::nn::TransformerConfig cfg;
+  cfg.hidden = hidden;
+  cfg.ffn = 4 * hidden;
+  cfg.heads = 8;
+  cfg.layers = layers;
+
+  std::printf("%s\n\n", biq::describe_machine().c_str());
+  std::printf("encoder: %u layers, hidden %zu, ffn %zu, %zu tokens "
+              "(paper base model: hidden 512, 6 layers, ~18 sub-words)\n\n",
+              cfg.layers, cfg.hidden, cfg.ffn, tokens);
+
+  constexpr std::uint64_t kSeed = 2020;
+  const biq::nn::TransformerEncoder fp = biq::nn::make_encoder(cfg, kSeed, {});
+
+  biq::Rng rng(7);
+  const biq::Matrix input = biq::Matrix::random_normal(hidden, tokens, rng);
+
+  biq::Matrix x_fp = input;
+  fp.forward(x_fp);
+  const auto t_fp = biq::summarize(biq::measure_repetitions(
+      [&] {
+        biq::Matrix x = input;
+        fp.forward(x);
+      },
+      3, 0.3));
+
+  biq::TablePrinter table({"weights", "output err vs fp32", "weight MB",
+                           "latency ms", "vs fp32"});
+  table.add_row({"fp32", "0.0000",
+                 biq::TablePrinter::fmt(
+                     static_cast<double>(fp.weight_bytes()) / 1048576.0, 2),
+                 biq::TablePrinter::fmt(t_fp.median * 1e3, 2), "1.00x"});
+
+  for (unsigned bits : {1u, 2u, 3u}) {
+    biq::nn::QuantSpec spec;
+    spec.weight_bits = bits;
+    spec.method = biq::nn::QuantMethod::kAlternating;
+    const biq::nn::TransformerEncoder quant =
+        biq::nn::make_encoder(cfg, kSeed, spec);
+
+    biq::Matrix x_q = input;
+    quant.forward(x_q);
+    const auto t_q = biq::summarize(biq::measure_repetitions(
+        [&] {
+          biq::Matrix x = input;
+          quant.forward(x);
+        },
+        3, 0.3));
+
+    char label[32];
+    std::snprintf(label, sizeof(label), "binary %u-bit", bits);
+    table.add_row(
+        {label, biq::TablePrinter::fmt(biq::rel_fro_error(x_q, x_fp), 4),
+         biq::TablePrinter::fmt(
+             static_cast<double>(quant.weight_bytes()) / 1048576.0, 2),
+         biq::TablePrinter::fmt(t_q.median * 1e3, 2),
+         biq::TablePrinter::fmt(t_fp.median / t_q.median, 2) + "x"});
+  }
+
+  std::printf("%s\n", table.to_markdown().c_str());
+  std::printf("Expected shape (paper Table I): 3-bit tracks fp32 closely;\n"
+              "1-bit degrades sharply. Latency gain mirrors Fig. 10 at this\n"
+              "batch size.\n");
+  return 0;
+}

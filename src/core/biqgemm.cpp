@@ -1,0 +1,405 @@
+#include "core/biqgemm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+#include "core/biqgemv.hpp"
+#include "core/lut_builder.hpp"
+#include "simd/simd.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/timer.hpp"
+
+namespace biq {
+namespace {
+
+using simd::F32x8;
+
+template <typename KeyT>
+const KeyT* key_row(const KeyMatrix& k, std::size_t i) noexcept;
+
+template <>
+const std::uint8_t* key_row<std::uint8_t>(const KeyMatrix& k, std::size_t i) noexcept {
+  return k.row8(i);
+}
+template <>
+const std::uint16_t* key_row<std::uint16_t>(const KeyMatrix& k, std::size_t i) noexcept {
+  return k.row16(i);
+}
+
+/// Per-worker scratch for one batch tile.
+struct Scratch {
+  Scratch(const TilePlan& plan, std::size_t m, unsigned mu)
+      : xt(plan.tables_per_tile * mu * plan.lanes),
+        lut(plan.tables_per_tile * (std::size_t{1} << mu) * plan.lanes),
+        ytile(m * plan.lanes) {}
+
+  AlignedBuffer<float> xt;
+  AlignedBuffer<float> lut;
+  AlignedBuffer<float> ytile;
+};
+
+/// Stages x sub-vectors for tables [t0, t0+tcount) x columns
+/// [c0, c0+lanes) into the interleaved layout xt[(g*mu+j)*lanes + lane],
+/// zero-padding rows past n (the tail-group guarantee).
+void stage_x_tile(const Matrix& x, std::size_t c0, std::size_t lanes,
+                  std::size_t t0, std::size_t tcount, unsigned mu, float* xt) {
+  const std::size_t n = x.rows();
+  for (std::size_t g = 0; g < tcount; ++g) {
+    for (unsigned j = 0; j < mu; ++j) {
+      const std::size_t row = (t0 + g) * mu + j;
+      float* dst = xt + (g * mu + j) * lanes;
+      if (row < n) {
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+          dst[lane] = x(row, c0 + lane);
+        }
+      } else {
+        for (std::size_t lane = 0; lane < lanes; ++lane) dst[lane] = 0.0f;
+      }
+    }
+  }
+}
+
+void build_tile(const float* xt, float* lut, std::size_t tcount, unsigned mu,
+                std::size_t lanes, bool use_dp) {
+  const std::size_t table_stride = (std::size_t{1} << mu) * lanes;
+  for (std::size_t g = 0; g < tcount; ++g) {
+    if (use_dp) {
+      build_lut_dp_interleaved(xt + g * mu * lanes, mu, lanes,
+                               lut + g * table_stride);
+    } else {
+      build_lut_mm_interleaved(xt + g * mu * lanes, mu, lanes,
+                               lut + g * table_stride);
+    }
+  }
+}
+
+/// Vector query: lanes == 8, LUT entries 32-byte aligned.
+template <typename KeyT>
+void query_tile_vec(const std::vector<KeyMatrix>& keys,
+                    const std::vector<std::vector<float>>& alphas,
+                    std::size_t t0, std::size_t tcount, unsigned mu,
+                    const float* lut, float* ytile, std::size_t i0,
+                    std::size_t i1) {
+  const bool scaled = !alphas.empty();
+  for (std::size_t i = i0; i < i1; ++i) {
+    float* yrow = ytile + i * 8;
+    F32x8 yv = F32x8::load(yrow);
+    for (std::size_t q = 0; q < keys.size(); ++q) {
+      const KeyT* krow = key_row<KeyT>(keys[q], i) + t0;
+      F32x8 acc0 = F32x8::zero();
+      F32x8 acc1 = F32x8::zero();
+      std::size_t g = 0;
+      for (; g + 2 <= tcount; g += 2) {
+        acc0 = acc0 + F32x8::load(lut + (((g) << mu) + krow[g]) * 8);
+        acc1 = acc1 + F32x8::load(lut + (((g + 1) << mu) + krow[g + 1]) * 8);
+      }
+      if (g < tcount) {
+        acc0 = acc0 + F32x8::load(lut + ((g << mu) + krow[g]) * 8);
+      }
+      acc0 = acc0 + acc1;
+      if (scaled) {
+        yv.fma(F32x8::set1(alphas[q][i]), acc0);
+      } else {
+        yv = yv + acc0;
+      }
+    }
+    yv.store(yrow);
+  }
+}
+
+/// 16-lane (AVX-512) query; layout identical to the 8-lane path with a
+/// doubled entry stride.
+template <typename KeyT>
+void query_tile_vec16(const std::vector<KeyMatrix>& keys,
+                      const std::vector<std::vector<float>>& alphas,
+                      std::size_t t0, std::size_t tcount, unsigned mu,
+                      const float* lut, float* ytile, std::size_t i0,
+                      std::size_t i1) {
+  using simd::F32x16;
+  const bool scaled = !alphas.empty();
+  for (std::size_t i = i0; i < i1; ++i) {
+    float* yrow = ytile + i * 16;
+    F32x16 yv = F32x16::load(yrow);
+    for (std::size_t q = 0; q < keys.size(); ++q) {
+      const KeyT* krow = key_row<KeyT>(keys[q], i) + t0;
+      F32x16 acc0 = F32x16::zero();
+      F32x16 acc1 = F32x16::zero();
+      std::size_t g = 0;
+      for (; g + 2 <= tcount; g += 2) {
+        acc0 = acc0 + F32x16::load(lut + (((g) << mu) + krow[g]) * 16);
+        acc1 = acc1 + F32x16::load(lut + (((g + 1) << mu) + krow[g + 1]) * 16);
+      }
+      if (g < tcount) {
+        acc0 = acc0 + F32x16::load(lut + ((g << mu) + krow[g]) * 16);
+      }
+      acc0 = acc0 + acc1;
+      if (scaled) {
+        yv.fma(F32x16::set1(alphas[q][i]), acc0);
+      } else {
+        yv = yv + acc0;
+      }
+    }
+    yv.store(yrow);
+  }
+}
+
+/// Generic-lane query for partial batch tiles (lanes in [1, 15]).
+template <typename KeyT>
+void query_tile_any(const std::vector<KeyMatrix>& keys,
+                    const std::vector<std::vector<float>>& alphas,
+                    std::size_t t0, std::size_t tcount, unsigned mu,
+                    const float* lut, float* ytile, std::size_t lanes,
+                    std::size_t i0, std::size_t i1) {
+  const bool scaled = !alphas.empty();
+  float acc[16];
+  for (std::size_t i = i0; i < i1; ++i) {
+    float* yrow = ytile + i * lanes;
+    for (std::size_t q = 0; q < keys.size(); ++q) {
+      const KeyT* krow = key_row<KeyT>(keys[q], i) + t0;
+      for (std::size_t lane = 0; lane < lanes; ++lane) acc[lane] = 0.0f;
+      for (std::size_t g = 0; g < tcount; ++g) {
+        const float* entry = lut + ((g << mu) + krow[g]) * lanes;
+        for (std::size_t lane = 0; lane < lanes; ++lane) acc[lane] += entry[lane];
+      }
+      const float a = scaled ? alphas[q][i] : 1.0f;
+      for (std::size_t lane = 0; lane < lanes; ++lane) yrow[lane] += a * acc[lane];
+    }
+  }
+}
+
+struct KernelArgs {
+  const std::vector<KeyMatrix>* keys;
+  const std::vector<std::vector<float>>* alphas;
+  const Matrix* x;
+  Matrix* y;
+  std::size_t m, n, ntables;
+  unsigned mu;
+  bool use_dp;
+  TilePlan plan;
+  BiqGemmProfile* profile;  // non-null only in single-thread runs
+};
+
+template <typename KeyT>
+void run_one_batch_tile(const KernelArgs& a, std::size_t c0, std::size_t lanes,
+                        Scratch& scratch, ThreadPool* pool) {
+  const std::size_t entries = std::size_t{1} << a.mu;
+  float* ytile = scratch.ytile.data();
+
+  {
+    Stopwatch w;
+    std::fill(ytile, ytile + a.m * lanes, 0.0f);
+    if (a.profile) a.profile->replace_seconds += w.elapsed_seconds();
+  }
+
+  for (std::size_t t0 = 0; t0 < a.ntables; t0 += a.plan.tables_per_tile) {
+    const std::size_t tcount = std::min(a.plan.tables_per_tile, a.ntables - t0);
+
+    {
+      Stopwatch w;
+      stage_x_tile(*a.x, c0, lanes, t0, tcount, a.mu, scratch.xt.data());
+      if (a.profile) a.profile->replace_seconds += w.elapsed_seconds();
+    }
+    {
+      Stopwatch w;
+      build_tile(scratch.xt.data(), scratch.lut.data(), tcount, a.mu, lanes,
+                 a.use_dp);
+      if (a.profile) a.profile->build_seconds += w.elapsed_seconds();
+    }
+    {
+      Stopwatch w;
+      auto query_rows = [&](std::size_t i0, std::size_t i1) {
+        if (lanes == 16) {
+          query_tile_vec16<KeyT>(*a.keys, *a.alphas, t0, tcount, a.mu,
+                                 scratch.lut.data(), ytile, i0, i1);
+        } else if (lanes == 8) {
+          query_tile_vec<KeyT>(*a.keys, *a.alphas, t0, tcount, a.mu,
+                               scratch.lut.data(), ytile, i0, i1);
+        } else {
+          query_tile_any<KeyT>(*a.keys, *a.alphas, t0, tcount, a.mu,
+                               scratch.lut.data(), ytile, lanes, i0, i1);
+        }
+      };
+      if (pool != nullptr && pool->worker_count() > 1) {
+        parallel_for(*pool, 0, static_cast<std::int64_t>(a.m),
+                     static_cast<std::int64_t>(a.plan.row_block),
+                     [&](std::int64_t lo, std::int64_t hi) {
+                       query_rows(static_cast<std::size_t>(lo),
+                                  static_cast<std::size_t>(hi));
+                     });
+      } else {
+        query_rows(0, a.m);
+      }
+      if (a.profile) a.profile->query_seconds += w.elapsed_seconds();
+    }
+    (void)entries;
+  }
+
+  {
+    Stopwatch w;
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      float* ycol = a.y->col(c0 + lane);
+      for (std::size_t i = 0; i < a.m; ++i) ycol[i] = ytile[i * lanes + lane];
+    }
+    if (a.profile) a.profile->replace_seconds += w.elapsed_seconds();
+  }
+}
+
+struct BatchTile {
+  std::size_t c0;
+  std::size_t lanes;
+};
+
+/// Greedy batch tiling: widest vector tiles first, then an 8-lane tile,
+/// then a scalar-lane remainder.
+std::vector<BatchTile> plan_batch_tiles(std::size_t b, std::size_t max_lanes) {
+  std::vector<BatchTile> tiles;
+  std::size_t c0 = 0;
+  while (c0 < b) {
+    std::size_t lanes;
+    if (max_lanes >= 16 && b - c0 >= 16) {
+      lanes = 16;
+    } else if (b - c0 >= 8) {
+      lanes = 8;
+    } else {
+      lanes = b - c0;
+    }
+    tiles.push_back({c0, lanes});
+    c0 += lanes;
+  }
+  return tiles;
+}
+
+template <typename KeyT>
+void run_kernel(const KernelArgs& args, ThreadPool* pool) {
+  const std::size_t b = args.x->cols();
+  const std::vector<BatchTile> tiles = plan_batch_tiles(b, args.plan.lanes);
+
+  const bool tile_parallel = pool != nullptr && pool->worker_count() > 1 &&
+                             tiles.size() >= pool->worker_count();
+
+  if (tile_parallel) {
+    // Batch tiles write disjoint output columns: embarrassingly parallel,
+    // one scratch per worker, dynamic tile queue.
+    std::atomic<std::size_t> next{0};
+    pool->run([&](unsigned /*worker*/) {
+      Scratch scratch(args.plan, args.m, args.mu);
+      for (;;) {
+        const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
+        if (t >= tiles.size()) break;
+        run_one_batch_tile<KeyT>(args, tiles[t].c0, tiles[t].lanes, scratch,
+                                 nullptr);
+      }
+    });
+    return;
+  }
+
+  // Few batch tiles: process them in order, parallelizing the query
+  // phase over output rows inside each tile (pool may still be null).
+  Scratch scratch(args.plan, args.m, args.mu);
+  for (const BatchTile& tile : tiles) {
+    run_one_batch_tile<KeyT>(args, tile.c0, tile.lanes, scratch, pool);
+  }
+}
+
+}  // namespace
+
+BiqGemm::BiqGemm(const BinaryCodes& codes, const BiqGemmOptions& opt)
+    : m_(codes.rows), n_(codes.cols), bits_(codes.bits), opt_(opt),
+      alphas_(codes.alphas) {
+  if (bits_ == 0 || codes.planes.size() != bits_) {
+    throw std::invalid_argument("BiqGemm: malformed BinaryCodes");
+  }
+  if (opt_.mu == 0 || opt_.mu > kMaxLutUnit) {
+    throw std::invalid_argument("BiqGemm: mu must be in [1, 16]");
+  }
+  keys_.reserve(bits_);
+  for (unsigned q = 0; q < bits_; ++q) {
+    keys_.emplace_back(codes.planes[q], opt_.mu);
+  }
+}
+
+BiqGemm::BiqGemm(const BinaryMatrix& plane, const BiqGemmOptions& opt)
+    : m_(plane.rows()), n_(plane.cols()), bits_(1), opt_(opt) {
+  if (opt_.mu == 0 || opt_.mu > kMaxLutUnit) {
+    throw std::invalid_argument("BiqGemm: mu must be in [1, 16]");
+  }
+  keys_.emplace_back(plane, opt_.mu);
+}
+
+std::size_t BiqGemm::packed_weight_bytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const KeyMatrix& k : keys_) bytes += k.storage_bytes();
+  for (const auto& a : alphas_) bytes += a.size() * sizeof(float);
+  return bytes;
+}
+
+void BiqGemm::run(const Matrix& x, Matrix& y) const {
+  if (x.rows() != n_ || y.rows() != m_ || y.cols() != x.cols()) {
+    throw std::invalid_argument("BiqGemm::run: shape mismatch");
+  }
+  if (x.cols() == 0 || m_ == 0) return;
+
+  if (x.cols() == 1) {
+    biqgemv_packed(keys_, alphas_, x.col(0), y.col(0), m_, n_, opt_);
+    return;
+  }
+
+  KernelArgs args;
+  args.keys = &keys_;
+  args.alphas = &alphas_;
+  args.x = &x;
+  args.y = &y;
+  args.m = m_;
+  args.n = n_;
+  args.ntables = table_count(n_, opt_.mu);
+  args.mu = opt_.mu;
+  args.use_dp = opt_.use_dp_builder;
+  args.plan = plan_tiles(m_, x.cols(), opt_);
+  const bool serial = opt_.pool == nullptr || opt_.pool->worker_count() == 1;
+  args.profile = serial ? opt_.profile : nullptr;
+
+  if (opt_.mu > 8) {
+    run_kernel<std::uint16_t>(args, opt_.pool);
+  } else {
+    run_kernel<std::uint8_t>(args, opt_.pool);
+  }
+}
+
+void biqgemm(const BinaryCodes& codes, const Matrix& x, Matrix& y,
+             const BiqGemmOptions& opt) {
+  BiqGemm(codes, opt).run(x, y);
+}
+
+void biqgemm_basic(const BinaryCodes& codes, const Matrix& x, Matrix& y,
+                   unsigned mu) {
+  if (x.rows() != codes.cols || y.rows() != codes.rows ||
+      y.cols() != x.cols()) {
+    throw std::invalid_argument("biqgemm_basic: shape mismatch");
+  }
+  const std::size_t m = codes.rows, n = codes.cols, b = x.cols();
+  const std::size_t ntables = table_count(n, mu);
+  std::vector<KeyMatrix> keys;
+  keys.reserve(codes.bits);
+  for (unsigned q = 0; q < codes.bits; ++q) keys.emplace_back(codes.planes[q], mu);
+
+  std::vector<float> lut(std::size_t{1} << mu);
+  y.set_zero();
+  for (std::size_t c = 0; c < b; ++c) {
+    const float* xc = x.col(c);
+    float* yc = y.col(c);
+    for (std::size_t t = 0; t < ntables; ++t) {
+      const std::size_t base = t * mu;
+      const std::size_t len = std::min<std::size_t>(mu, n - base);
+      build_lut_dp(xc + base, len, mu, lut.data());
+      for (unsigned q = 0; q < codes.bits; ++q) {
+        const std::vector<float>& alpha = codes.alphas[q];
+        for (std::size_t i = 0; i < m; ++i) {
+          yc[i] += alpha[i] * lut[keys[q].key(i, t)];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace biq

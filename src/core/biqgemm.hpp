@@ -1,0 +1,69 @@
+// BiQGEMM — the paper's contribution. Computes
+//     Y = sum_q alpha_q o (B_q . X)          (Eq. 2)
+// from mu-bit-packed keys and on-the-fly lookup tables instead of
+// arithmetic on unpacked weights:
+//   per batch tile (8 columns) and LUT tile (G tables):
+//     replace: stage the x sub-vectors into an interleaved tile
+//     build:   Algorithm-1 DP tables, entries interleaved by batch lane
+//              (Fig. 6) so queries are full vector loads
+//     query:   per output row, per plane: acc += LUT_g[key[i][g]] over
+//              the tile's tables; y_i += alpha_q[i] * acc (Algorithm 2)
+// Work: O(2^mu * n/mu * b) build + O(m * n/mu * b * bits) query — the
+// mu-fold reduction of Eq. 10 when 2^mu << m.
+#pragma once
+
+#include <vector>
+
+#include "core/context.hpp"
+#include "core/key_matrix.hpp"
+#include "matrix/matrix.hpp"
+#include "quant/binary_codes.hpp"
+
+namespace biq {
+
+class BiqGemm {
+ public:
+  /// Packs all planes of a quantized weight matrix. The BinaryCodes can
+  /// be discarded afterwards; inference needs only this object.
+  explicit BiqGemm(const BinaryCodes& codes, const BiqGemmOptions& opt = {});
+
+  /// Single unscaled plane (pure {-1,+1} weights, alpha == 1): the form
+  /// used by the kernel-comparison benches.
+  explicit BiqGemm(const BinaryMatrix& plane, const BiqGemmOptions& opt = {});
+
+  /// Y = quantized W . X. X is n x b col-major, Y m x b col-major
+  /// (overwritten). b == 1 takes the GEMV fast path.
+  void run(const Matrix& x, Matrix& y) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return m_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return n_; }
+  [[nodiscard]] unsigned bits() const noexcept { return bits_; }
+  [[nodiscard]] unsigned mu() const noexcept { return opt_.mu; }
+  [[nodiscard]] const BiqGemmOptions& options() const noexcept { return opt_; }
+  [[nodiscard]] const KeyMatrix& keys(unsigned plane) const {
+    return keys_.at(plane);
+  }
+
+  /// Bytes inference actually loads for weights: packed keys + scales.
+  [[nodiscard]] std::size_t packed_weight_bytes() const noexcept;
+
+ private:
+  std::size_t m_ = 0;
+  std::size_t n_ = 0;
+  unsigned bits_ = 0;
+  BiqGemmOptions opt_;
+  std::vector<KeyMatrix> keys_;
+  std::vector<std::vector<float>> alphas_;  // empty => unit scales
+};
+
+/// One-shot convenience wrapper (packs keys, runs, discards).
+void biqgemm(const BinaryCodes& codes, const Matrix& x, Matrix& y,
+             const BiqGemmOptions& opt = {});
+
+/// Untiled, unvectorized two-phase reference implementation of the same
+/// algorithm — the clarity oracle the optimized kernel is tested against
+/// (in addition to gemm_codes_ref).
+void biqgemm_basic(const BinaryCodes& codes, const Matrix& x, Matrix& y,
+                   unsigned mu = 8);
+
+}  // namespace biq

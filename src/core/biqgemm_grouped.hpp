@@ -1,0 +1,47 @@
+// BiQGEMM with group-wise scales (extension; see quant/grouped.hpp).
+// Because every lookup already covers exactly mu inputs, per-group
+// scaling costs one extra multiply per (row, group) instead of per
+// element: the kernel accumulates table hits within a group and applies
+// alpha[row][group] once. Requires group_size % mu == 0 so tables never
+// straddle group boundaries.
+#pragma once
+
+#include <vector>
+
+#include "core/context.hpp"
+#include "core/key_matrix.hpp"
+#include "matrix/matrix.hpp"
+#include "quant/grouped.hpp"
+
+namespace biq {
+
+class BiqGemmGrouped {
+ public:
+  /// Packs all planes. opt.mu must divide codes.group_size.
+  explicit BiqGemmGrouped(const GroupedBinaryCodes& codes,
+                          const BiqGemmOptions& opt = {});
+
+  /// Y = dequant(codes) . X, computed via lookups (never materializes
+  /// the dequantized weights).
+  void run(const Matrix& x, Matrix& y) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return m_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return n_; }
+  [[nodiscard]] unsigned bits() const noexcept { return bits_; }
+  [[nodiscard]] std::size_t group_size() const noexcept { return group_size_; }
+
+  [[nodiscard]] std::size_t packed_weight_bytes() const noexcept;
+
+ private:
+  std::size_t m_ = 0;
+  std::size_t n_ = 0;
+  unsigned bits_ = 0;
+  std::size_t group_size_ = 0;
+  std::size_t num_groups_ = 0;
+  std::size_t tables_per_group_ = 0;
+  BiqGemmOptions opt_;
+  std::vector<KeyMatrix> keys_;
+  std::vector<std::vector<float>> alphas_;  // [q][row * num_groups + g]
+};
+
+}  // namespace biq

@@ -1,0 +1,33 @@
+#include "core/context.hpp"
+
+#include <algorithm>
+
+#include "simd/simd.hpp"
+
+namespace biq {
+
+TilePlan plan_tiles(std::size_t m, std::size_t b, const BiqGemmOptions& opt) {
+  TilePlan plan;
+  if (simd::have_avx512() && b >= 16) {
+    plan.lanes = 16;
+  } else {
+    plan.lanes =
+        std::min<std::size_t>(simd::kFloatLanes, std::max<std::size_t>(b, 1));
+  }
+
+  if (opt.tables_per_tile != 0) {
+    plan.tables_per_tile = opt.tables_per_tile;
+  } else {
+    const std::size_t entries = std::size_t{1} << opt.mu;
+    const std::size_t bytes_per_table = entries * plan.lanes * sizeof(float);
+    plan.tables_per_tile =
+        std::max<std::size_t>(1, opt.lut_tile_bytes / std::max<std::size_t>(
+                                                          bytes_per_table, 1));
+  }
+
+  plan.row_block = std::clamp<std::size_t>(opt.row_block, 16,
+                                           std::max<std::size_t>(m, 16));
+  return plan;
+}
+
+}  // namespace biq

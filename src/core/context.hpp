@@ -1,0 +1,62 @@
+// Execution options, phase profiling and tile planning for the BiQGEMM
+// kernel (paper Sec. III-B tiling, Fig. 7; Sec. IV-B phase breakdown).
+#pragma once
+
+#include <cstddef>
+
+#include "threading/thread_pool.hpp"
+
+namespace biq {
+
+/// Wall-time attribution of a kernel invocation to the three operation
+/// classes of the paper's Fig. 8. Filled only for single-threaded runs
+/// (profiling a fork-join region per phase would perturb the hot loop).
+struct BiqGemmProfile {
+  double build_seconds = 0.0;    // LUT construction (Algorithm 1)
+  double query_seconds = 0.0;    // key-indexed retrieval + accumulate
+  double replace_seconds = 0.0;  // tile staging: transposes, zeroing, writeback
+
+  void clear() noexcept { build_seconds = query_seconds = replace_seconds = 0.0; }
+
+  [[nodiscard]] double total_seconds() const noexcept {
+    return build_seconds + query_seconds + replace_seconds;
+  }
+};
+
+struct BiqGemmOptions {
+  /// LUT-unit (Definition 1). 8 matches the paper's empirically optimal
+  /// choice; any value in [1, 16] is supported.
+  unsigned mu = 8;
+  /// Tables per LUT tile (tile height in Fig. 7); 0 = derive from
+  /// lut_tile_bytes so a tile fits comfortably in L1.
+  std::size_t tables_per_tile = 0;
+  /// LUT tile budget used when tables_per_tile == 0. Random-access LUT
+  /// reads tolerate L2 latency well (two independent accumulator
+  /// chains), so the sweet spot is a large-but-L2-resident tile — see
+  /// bench/ablation_tile_threads for the measured curve.
+  std::size_t lut_tile_bytes = 256 * 1024;
+  /// Row-block size for the query phase when work is split across
+  /// threads.
+  std::size_t row_block = 128;
+  /// Worker pool; nullptr runs single-threaded.
+  ThreadPool* pool = nullptr;
+  /// false selects the GEMM-style LUT builder (Fig. 4a) instead of the
+  /// dynamic-programming one — exists for the Tc,dp vs Tc,mm ablation.
+  bool use_dp_builder = true;
+  /// Optional phase instrumentation (see BiqGemmProfile).
+  BiqGemmProfile* profile = nullptr;
+};
+
+/// Resolved tiling geometry for one (shape, options) pair.
+struct TilePlan {
+  std::size_t lanes = 8;            // batch columns per tile (vector width)
+  std::size_t tables_per_tile = 4;  // LUT tile height
+  std::size_t row_block = 128;      // rows per query work item
+};
+
+/// Derives the plan: lanes = SIMD width (clamped to b), tile height from
+/// the byte budget (at least 1), row_block clamped to [16, m].
+[[nodiscard]] TilePlan plan_tiles(std::size_t m, std::size_t b,
+                                  const BiqGemmOptions& opt);
+
+}  // namespace biq

@@ -1,0 +1,45 @@
+#include "core/key_matrix.hpp"
+
+#include <algorithm>
+
+namespace biq {
+
+namespace {
+
+std::size_t checked_table_count(std::size_t n, unsigned mu) {
+  if (mu == 0 || mu > kMaxLutUnit) {
+    throw std::invalid_argument("KeyMatrix: mu must be in [1, 16]");
+  }
+  return table_count(n, mu);
+}
+
+}  // namespace
+
+KeyMatrix::KeyMatrix(const BinaryMatrix& b, unsigned mu)
+    : rows_(b.rows()), tables_(checked_table_count(b.cols(), mu)), mu_(mu) {
+  const std::size_t n = b.cols();
+  if (wide()) {
+    data16_ = AlignedBuffer<std::uint16_t>(rows_ * tables_, /*zero_fill=*/true);
+  } else {
+    data8_ = AlignedBuffer<std::uint8_t>(rows_ * tables_, /*zero_fill=*/true);
+  }
+
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const std::int8_t* row = b.row(i);
+    for (std::size_t t = 0; t < tables_; ++t) {
+      const std::size_t base = t * mu;
+      const std::size_t len = std::min<std::size_t>(mu, n - base);
+      unsigned key = 0;
+      for (std::size_t j = 0; j < len; ++j) {
+        if (row[base + j] > 0) key |= 1u << (mu - 1 - j);
+      }
+      if (wide()) {
+        data16_[i * tables_ + t] = static_cast<std::uint16_t>(key);
+      } else {
+        data8_[i * tables_ + t] = static_cast<std::uint8_t>(key);
+      }
+    }
+  }
+}
+
+}  // namespace biq

@@ -1,0 +1,71 @@
+// Key matrix K in Z^{m x ceil(n/mu)} (paper Fig. 5): each mu consecutive
+// binary weights of a row are bit-packed into one integer key that
+// indexes a lookup table. Convention (paper example): the FIRST element
+// of the group is the MOST significant bit and bit value 1 encodes +1,
+// so {-1, 1, 1, -1} with mu=4 packs to 0110b = 6.
+//
+// Keys are stored row-major (a row's keys are scanned sequentially by the
+// query loop) in the smallest integer that fits mu bits. The key matrix
+// is precomputed from the quantized weights once and is what inference
+// loads from memory — it IS the packed weight storage, no unpack needed.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <stdexcept>
+
+#include "matrix/binary_matrix.hpp"
+#include "util/aligned_buffer.hpp"
+
+namespace biq {
+
+inline constexpr unsigned kMaxLutUnit = 16;
+
+/// Number of lookup tables for an input size n: ceil(n / mu).
+[[nodiscard]] constexpr std::size_t table_count(std::size_t n, unsigned mu) noexcept {
+  return (n + mu - 1) / mu;
+}
+
+class KeyMatrix {
+ public:
+  KeyMatrix() = default;
+
+  /// Packs binary plane `b` (m x n of {-1,+1}) with LUT-unit mu in
+  /// [1, 16]. Tail groups (n % mu != 0) pack missing elements as bit 0;
+  /// the LUT builder zero-pads activations so those bits never affect
+  /// results.
+  KeyMatrix(const BinaryMatrix& b, unsigned mu);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t tables() const noexcept { return tables_; }
+  [[nodiscard]] unsigned mu() const noexcept { return mu_; }
+  [[nodiscard]] bool wide() const noexcept { return mu_ > 8; }
+
+  /// Key value at (row, table) regardless of storage width.
+  [[nodiscard]] unsigned key(std::size_t row, std::size_t table) const noexcept {
+    return wide() ? data16_[row * tables_ + table]
+                  : data8_[row * tables_ + table];
+  }
+
+  [[nodiscard]] const std::uint8_t* row8(std::size_t row) const noexcept {
+    return data8_.data() + row * tables_;
+  }
+  [[nodiscard]] const std::uint16_t* row16(std::size_t row) const noexcept {
+    return data16_.data() + row * tables_;
+  }
+
+  /// Bytes of packed key storage (the paper's quantized-weight footprint
+  /// when mu == 8: exactly m*n/8 bytes).
+  [[nodiscard]] std::size_t storage_bytes() const noexcept {
+    return wide() ? data16_.size_bytes() : data8_.size_bytes();
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t tables_ = 0;
+  unsigned mu_ = 0;
+  AlignedBuffer<std::uint8_t> data8_;
+  AlignedBuffer<std::uint16_t> data16_;
+};
+
+}  // namespace biq

@@ -1,0 +1,42 @@
+// Cache-blocked, vectorized fp32 GEMM — the library's stand-in for the
+// paper's Eigen/MKL baselines ("sGEMM"): a well-optimized dense kernel
+// with packed row panels and an 8x4 FMA microkernel. It never sees
+// quantized data; quantized weights stored one-bit-per-float-container
+// run at exactly this speed, which is the paper's sGEMM scenario.
+#pragma once
+
+#include "matrix/matrix.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace biq {
+
+/// One-shot blocked GEMM: Y = W . X (shapes as gemm_ref). `pool`
+/// nullptr runs single-threaded (the Fig. 10 baseline configuration).
+void gemm_blocked(const Matrix& w, const Matrix& x, Matrix& y,
+                  ThreadPool* pool = nullptr);
+
+/// Weight-stationary form for repeated multiplications against the same
+/// W (inference): packs W once into microkernel panels.
+class BlockedGemm {
+ public:
+  explicit BlockedGemm(const Matrix& w);
+
+  /// Y = W . X using the pre-packed panels.
+  void run(const Matrix& x, Matrix& y, ThreadPool* pool = nullptr) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return m_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return n_; }
+  [[nodiscard]] std::size_t packed_bytes() const noexcept {
+    return packed_.size_bytes();
+  }
+
+ private:
+  std::size_t m_ = 0;
+  std::size_t n_ = 0;
+  std::size_t panels_ = 0;  // ceil(m / 8)
+  // Panel-major packed weights: panel p holds 8*n floats, layout
+  // packed[p*8*n + k*8 + r] = W(8p + r, k), zero-padded past row m.
+  AlignedBuffer<float> packed_;
+};
+
+}  // namespace biq

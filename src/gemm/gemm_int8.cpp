@@ -1,0 +1,94 @@
+#include "gemm/gemm_int8.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace biq {
+
+Int8Gemm::Int8Gemm(const Matrix& w)
+    : m_(w.rows()), n_(w.cols()), weights_(w.rows() * w.cols()) {
+  const UniformQuantized q = quantize_uniform(w, 8);
+  wscale_ = q.scale;
+  // quantize_uniform stores col-major int16; repack row-major int8 for a
+  // unit-stride integer dot product.
+  for (std::size_t i = 0; i < m_; ++i) {
+    for (std::size_t k = 0; k < n_; ++k) {
+      weights_[i * n_ + k] = static_cast<std::int8_t>(q.values[k * m_ + i]);
+    }
+  }
+}
+
+float Int8Gemm::quantize_column(const float* src, std::size_t n,
+                                std::int8_t* dst) noexcept {
+  float max_abs = 0.0f;
+  for (std::size_t k = 0; k < n; ++k) max_abs = std::max(max_abs, std::fabs(src[k]));
+  const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+  const float inv = 1.0f / scale;
+  for (std::size_t k = 0; k < n; ++k) {
+    const int v = static_cast<int>(std::lround(src[k] * inv));
+    dst[k] = static_cast<std::int8_t>(std::clamp(v, -127, 127));
+  }
+  return scale;
+}
+
+void Int8Gemm::run_profiled(const Matrix& x, Matrix& y, Phases& phases) const {
+  if (x.rows() != n_ || y.rows() != m_ || y.cols() != x.cols()) {
+    throw std::invalid_argument("Int8Gemm: shape mismatch");
+  }
+  const std::size_t b = x.cols();
+
+  // Phase 1: dynamic activation quantization (fp32 -> int8 per column).
+  AlignedBuffer<std::int8_t> xq(n_ * b);
+  std::vector<float> xscales(b);
+  {
+    Stopwatch watch;
+    for (std::size_t c = 0; c < b; ++c) {
+      xscales[c] = quantize_column(x.col(c), n_, xq.data() + c * n_);
+    }
+    phases.quantize_seconds += watch.elapsed_seconds();
+  }
+
+  // Phase 2: integer GEMM with int32 accumulation.
+  AlignedBuffer<std::int32_t> acc(m_ * b);
+  {
+    Stopwatch watch;
+    for (std::size_t c = 0; c < b; ++c) {
+      const std::int8_t* xc = xq.data() + c * n_;
+      std::int32_t* out = acc.data() + c * m_;
+      for (std::size_t i = 0; i < m_; ++i) {
+        const std::int8_t* wrow = weights_.data() + i * n_;
+        std::int32_t sum = 0;
+        for (std::size_t k = 0; k < n_; ++k) {
+          sum += static_cast<std::int32_t>(wrow[k]) * xc[k];
+        }
+        out[i] = sum;
+      }
+    }
+    phases.multiply_seconds += watch.elapsed_seconds();
+  }
+
+  // Phase 3: dequantize back to fp32 for the float operators downstream.
+  {
+    Stopwatch watch;
+    for (std::size_t c = 0; c < b; ++c) {
+      const float scale = wscale_ * xscales[c];
+      const std::int32_t* in = acc.data() + c * m_;
+      float* out = y.col(c);
+      for (std::size_t i = 0; i < m_; ++i) {
+        out[i] = scale * static_cast<float>(in[i]);
+      }
+    }
+    phases.dequantize_seconds += watch.elapsed_seconds();
+  }
+}
+
+void Int8Gemm::run(const Matrix& x, Matrix& y) const {
+  Phases phases;
+  run_profiled(x, y, phases);
+}
+
+}  // namespace biq

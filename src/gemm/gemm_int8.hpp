@@ -1,0 +1,59 @@
+// Fixed-point (INT8-style) GEMM — the "uniform quantization" execution
+// path the paper contrasts against in Sec. II-A: both weights AND
+// activations must be quantized on the fly, multiplied in integer
+// arithmetic with int32 accumulation, and converted back to fp32 for the
+// float-only operators around the GEMM (LayerNorm, softmax). The paper
+// cites a 15-30% overhead for those conversions; the
+// ablation_int8_conversion bench measures the equivalent split here.
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/matrix.hpp"
+#include "quant/uniform.hpp"
+#include "util/aligned_buffer.hpp"
+
+namespace biq {
+
+/// Weight-stationary int8 GEMM engine. Weights are quantized once at
+/// construction (symmetric per-tensor, like the paper's INT8 baseline);
+/// activations are quantized per run() call — the dynamic-quantization
+/// cost the paper charges against fixed-point inference.
+class Int8Gemm {
+ public:
+  /// Quantizes w (m x n fp32) to int8 with a single symmetric scale.
+  explicit Int8Gemm(const Matrix& w);
+
+  /// Y = dequant(int8(W) . int8(X)): quantizes X column-wise to int8,
+  /// multiplies in int32, dequantizes into fp32 Y.
+  void run(const Matrix& x, Matrix& y) const;
+
+  /// The three phases separately, for the conversion-overhead ablation:
+  /// quantize_input -> multiply_integer -> dequantize_output.
+  struct Phases {
+    double quantize_seconds = 0.0;
+    double multiply_seconds = 0.0;
+    double dequantize_seconds = 0.0;
+  };
+  void run_profiled(const Matrix& x, Matrix& y, Phases& phases) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return m_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return n_; }
+  [[nodiscard]] float weight_scale() const noexcept { return wscale_; }
+  [[nodiscard]] std::size_t weight_bytes() const noexcept {
+    return weights_.size_bytes();
+  }
+
+ private:
+  /// Quantizes one activation column symmetrically to int8; returns the
+  /// scale (max|x| / 127, or 1 for an all-zero column).
+  static float quantize_column(const float* src, std::size_t n,
+                               std::int8_t* dst) noexcept;
+
+  std::size_t m_ = 0;
+  std::size_t n_ = 0;
+  float wscale_ = 1.0f;
+  AlignedBuffer<std::int8_t> weights_;  // row-major m x n
+};
+
+}  // namespace biq

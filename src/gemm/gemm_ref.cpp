@@ -1,0 +1,99 @@
+#include "gemm/gemm_ref.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace biq {
+namespace {
+
+void check_shapes(std::size_t wr, std::size_t wc, const Matrix& x,
+                  const Matrix& y) {
+  if (x.rows() != wc || y.rows() != wr || y.cols() != x.cols()) {
+    throw std::invalid_argument("gemm: shape mismatch");
+  }
+}
+
+}  // namespace
+
+void gemm_ref(const Matrix& w, const Matrix& x, Matrix& y) {
+  check_shapes(w.rows(), w.cols(), x, y);
+  const std::size_t m = w.rows(), n = w.cols(), b = x.cols();
+  for (std::size_t c = 0; c < b; ++c) {
+    const float* xc = x.col(c);
+    float* yc = y.col(c);
+    for (std::size_t i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        acc += static_cast<double>(w(i, k)) * xc[k];
+      }
+      yc[i] = static_cast<float>(acc);
+    }
+  }
+}
+
+void gemm_naive(const Matrix& w, const Matrix& x, Matrix& y) {
+  check_shapes(w.rows(), w.cols(), x, y);
+  const std::size_t m = w.rows(), n = w.cols(), b = x.cols();
+  const float* wdata = w.data();  // column k of W is contiguous (ld == m)
+  for (std::size_t c = 0; c < b; ++c) {
+    const float* xc = x.col(c);
+    float* yc = y.col(c);
+    for (std::size_t i = 0; i < m; ++i) yc[i] = 0.0f;
+    for (std::size_t k = 0; k < n; ++k) {
+      const float xk = xc[k];
+      const float* wk = wdata + k * w.ld();
+      for (std::size_t i = 0; i < m; ++i) yc[i] += wk[i] * xk;
+    }
+  }
+}
+
+void gemv_ref(const Matrix& w, const float* x, float* y) {
+  const std::size_t m = w.rows(), n = w.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      acc += static_cast<double>(w(i, k)) * x[k];
+    }
+    y[i] = static_cast<float>(acc);
+  }
+}
+
+void gemm_binary_ref(const BinaryMatrix& bmat, const Matrix& x, Matrix& y) {
+  check_shapes(bmat.rows(), bmat.cols(), x, y);
+  const std::size_t m = bmat.rows(), n = bmat.cols(), b = x.cols();
+  for (std::size_t c = 0; c < b; ++c) {
+    const float* xc = x.col(c);
+    float* yc = y.col(c);
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::int8_t* row = bmat.row(i);
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        acc += row[k] > 0 ? xc[k] : -xc[k];
+      }
+      yc[i] = static_cast<float>(acc);
+    }
+  }
+}
+
+void gemm_codes_ref(const BinaryCodes& codes, const Matrix& x, Matrix& y) {
+  check_shapes(codes.rows, codes.cols, x, y);
+  const std::size_t m = codes.rows, n = codes.cols, b = x.cols();
+  for (std::size_t c = 0; c < b; ++c) {
+    const float* xc = x.col(c);
+    float* yc = y.col(c);
+    for (std::size_t i = 0; i < m; ++i) {
+      double total = 0.0;
+      for (unsigned q = 0; q < codes.bits; ++q) {
+        const std::int8_t* row = codes.planes[q].row(i);
+        double acc = 0.0;
+        for (std::size_t k = 0; k < n; ++k) {
+          acc += row[k] > 0 ? xc[k] : -xc[k];
+        }
+        total += static_cast<double>(codes.alphas[q][i]) * acc;
+      }
+      yc[i] = static_cast<float>(total);
+    }
+  }
+}
+
+}  // namespace biq

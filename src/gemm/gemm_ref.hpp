@@ -1,0 +1,33 @@
+// Naive reference GEMM/GEMV kernels. These are (a) the ground truth every
+// optimized kernel is tested against and (b) the paper's `kCpu` baseline
+// (straightforward triple loop, one thread).
+#pragma once
+
+#include "matrix/binary_matrix.hpp"
+#include "matrix/matrix.hpp"
+#include "quant/binary_codes.hpp"
+
+namespace biq {
+
+/// Y = W . X. W is m x n (addressed row, col), X is n x b col-major,
+/// Y is m x b col-major (overwritten). Shapes must agree. Accumulates in
+/// double — this is the oracle every other kernel is tested against.
+void gemm_ref(const Matrix& w, const Matrix& x, Matrix& y);
+
+/// The paper's `kCpu` baseline: a straightforward, unblocked,
+/// unpacked triple loop — but with a cache-friendly loop order
+/// (column-sweep, unit-stride inner loop) so the compiler can
+/// auto-vectorize it. No packing, no tiling, no intrinsics.
+void gemm_naive(const Matrix& w, const Matrix& x, Matrix& y);
+
+/// y = W . x for a single column (GEMV).
+void gemv_ref(const Matrix& w, const float* x, float* y);
+
+/// Y = B . X with a single binary plane (no scales).
+void gemm_binary_ref(const BinaryMatrix& b, const Matrix& x, Matrix& y);
+
+/// Y = sum_q alpha_q o (B_q . X)  — paper Eq. 2, the exact result
+/// BiQGEMM must reproduce.
+void gemm_codes_ref(const BinaryCodes& codes, const Matrix& x, Matrix& y);
+
+}  // namespace biq

@@ -1,0 +1,169 @@
+#include "gemm/gemm_unpack.hpp"
+
+#include <stdexcept>
+
+#include "simd/simd.hpp"
+
+namespace biq {
+namespace {
+
+using simd::F32x8;
+
+void check_shapes(const PackedBits32& packed, const Matrix& x, const Matrix& y) {
+  if (x.rows() != packed.cols() || y.rows() != packed.rows() ||
+      y.cols() != x.cols()) {
+    throw std::invalid_argument("gemm_unpack: shape mismatch");
+  }
+}
+
+/// dot(weights, x[0..len)) with len <= 32.
+float dot_unpacked(const float* weights, const float* x, std::size_t len) {
+  std::size_t t = 0;
+  F32x8 acc = F32x8::zero();
+  for (; t + 8 <= len; t += 8) {
+    acc.fma(F32x8::loadu(weights + t), F32x8::loadu(x + t));
+  }
+  float s = acc.reduce_add();
+  for (; t < len; ++t) s += weights[t] * x[t];
+  return s;
+}
+
+/// Expands a whole packed plane into fp32 {-1,+1}, one row padded to a
+/// multiple of 32 columns. This is the paper's "unpacking is required to
+/// be performed prior to running GEMM" step — it runs per GEMM call,
+/// because the fp32 form is 32x larger than the packed form and caching
+/// it would forfeit the footprint reduction quantization bought.
+void unpack_plane(const PackedBits32& packed, AlignedBuffer<float>& out,
+                  std::size_t padded_cols) {
+  const std::size_t words = packed.words_per_row();
+  for (std::size_t i = 0; i < packed.rows(); ++i) {
+    const std::uint32_t* row = packed.row(i);
+    float* dst = out.data() + i * padded_cols;
+    for (std::size_t wi = 0; wi < words; ++wi) {
+      unpack_word_to_pm1(row[wi], dst + wi * 32);  // Algorithm 3
+    }
+  }
+}
+
+/// The shared multiply loop of all three Fig. 9 scenarios: row-major
+/// fp32 weights (padded to 32-column groups) against col-major X.
+void multiply_rowmajor(const float* w, std::size_t m, std::size_t n,
+                       std::size_t padded_cols, const Matrix& x, Matrix& y) {
+  const std::size_t b = x.cols();
+  const std::size_t words = padded_cols / 32;
+  y.set_zero();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* wrow = w + i * padded_cols;
+    for (std::size_t wi = 0; wi < words; ++wi) {
+      const std::size_t base = wi * 32;
+      const std::size_t len = std::min<std::size_t>(32, n - base);
+      for (std::size_t c = 0; c < b; ++c) {
+        y(i, c) += dot_unpacked(wrow + base, x.col(c) + base, len);
+      }
+    }
+  }
+}
+
+std::size_t pad32(std::size_t n) { return (n + 31) / 32 * 32; }
+
+}  // namespace
+
+void gemm_unpack(const PackedBits32& packed, const Matrix& x, Matrix& y) {
+  check_shapes(packed, x, y);
+  const std::size_t m = packed.rows(), n = packed.cols();
+  const std::size_t padded = pad32(n);
+
+  AlignedBuffer<float> unpacked(m * padded);
+  unpack_plane(packed, unpacked, padded);
+  multiply_rowmajor(unpacked.data(), m, n, padded, x, y);
+}
+
+void gemm_unpack_codes(const std::vector<PackedBits32>& planes,
+                       const std::vector<std::vector<float>>& alphas,
+                       const Matrix& x, Matrix& y) {
+  if (planes.empty() || planes.size() != alphas.size()) {
+    throw std::invalid_argument("gemm_unpack_codes: plane/alpha mismatch");
+  }
+  check_shapes(planes[0], x, y);
+  const std::size_t m = planes[0].rows(), n = planes[0].cols(), b = x.cols();
+  const std::size_t padded = pad32(n);
+  const std::size_t words = padded / 32;
+
+  AlignedBuffer<float> unpacked(m * padded);
+  y.set_zero();
+  for (std::size_t q = 0; q < planes.size(); ++q) {
+    unpack_plane(planes[q], unpacked, padded);
+    const std::vector<float>& alpha = alphas[q];
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* wrow = unpacked.data() + i * padded;
+      const float a = alpha[i];
+      for (std::size_t wi = 0; wi < words; ++wi) {
+        const std::size_t base = wi * 32;
+        const std::size_t len = std::min<std::size_t>(32, n - base);
+        for (std::size_t c = 0; c < b; ++c) {
+          y(i, c) += a * dot_unpacked(wrow + base, x.col(c) + base, len);
+        }
+      }
+    }
+  }
+}
+
+void gemm_packed_no_unpack(const PackedBits32& packed, const Matrix& x,
+                           Matrix& y) {
+  check_shapes(packed, x, y);
+  const std::size_t m = packed.rows(), n = packed.cols(), b = x.cols();
+  const std::size_t words = packed.words_per_row();
+
+  y.set_zero();
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::uint32_t* row = packed.row(i);
+    for (std::size_t wi = 0; wi < words; ++wi) {
+      // Treat the packed word as one fp32 scalar and multiply the
+      // 32 activations it covers — same arithmetic volume as the
+      // unpacked path, zero decode work, wrong values (by design).
+      // int->float conversion, NOT a bit reinterpretation: see header.
+      const float s = static_cast<float>(row[wi]);
+      const std::size_t base = wi * 32;
+      const std::size_t len = std::min<std::size_t>(32, n - base);
+      for (std::size_t c = 0; c < b; ++c) {
+        const float* xc = x.col(c) + base;
+        std::size_t t = 0;
+        F32x8 acc = F32x8::zero();
+        const F32x8 sv = F32x8::set1(s);
+        for (; t + 8 <= len; t += 8) {
+          acc.fma(sv, F32x8::loadu(xc + t));
+        }
+        float partial = acc.reduce_add();
+        for (; t < len; ++t) partial += s * xc[t];
+        y(i, c) += partial;
+      }
+    }
+  }
+}
+
+RowMajorGemm::RowMajorGemm(const Matrix& w)
+    : m_(w.rows()), n_(w.cols()), padded_cols_(pad32(w.cols())),
+      w_(w.rows() * padded_cols_, /*zero_fill=*/true) {
+  for (std::size_t i = 0; i < m_; ++i) {
+    float* dst = w_.data() + i * padded_cols_;
+    for (std::size_t k = 0; k < n_; ++k) dst[k] = w(i, k);
+  }
+}
+
+void RowMajorGemm::run(const Matrix& x, Matrix& y) const {
+  if (x.rows() != n_ || y.rows() != m_ || y.cols() != x.cols()) {
+    throw std::invalid_argument("RowMajorGemm: shape mismatch");
+  }
+  multiply_rowmajor(w_.data(), m_, n_, padded_cols_, x, y);
+}
+
+std::vector<PackedBits32> pack_code_planes(const BinaryCodes& codes) {
+  std::vector<PackedBits32> planes;
+  planes.reserve(codes.bits);
+  for (unsigned q = 0; q < codes.bits; ++q) {
+    planes.push_back(pack_rows_u32(codes.planes[q]));
+  }
+  return planes;
+}
+
+}  // namespace biq

@@ -1,0 +1,66 @@
+// The three bit-packed GEMM scenarios of the paper's Fig. 9:
+//   * w/ unpack  — weights stored 32-per-word; every word is expanded to
+//     32 fp32 {-1,+1} values via Algorithm 3 before the multiply. The
+//     correct-but-slow way to run GEMM on packed quantized weights.
+//   * w/o unpack — bandwidth probe: reads the same packed words but skips
+//     the unpack, multiplying the word (reinterpreted as one scalar) with
+//     the 32 activations it covers. The result is WRONG by construction;
+//     its runtime isolates the memory-side gain of packing.
+//   * sGEMM      — one bit stored per 32-bit container (no packing), i.e.
+//     plain fp32 GEMM; provided by gemm_blocked / gemm_ref.
+// All scenarios here share one loop structure so their runtimes differ
+// only in the data path, as in the paper's experiment.
+#pragma once
+
+#include "matrix/matrix.hpp"
+#include "matrix/packing.hpp"
+#include "quant/binary_codes.hpp"
+
+namespace biq {
+
+/// Correct GEMM over packed 1-bit weights: Y = B . X where B's bits are
+/// packed 32 per word (bit 1 = +1). Per the paper's description,
+/// unpacking runs *prior to* the GEMM: the whole plane is expanded with
+/// Algorithm 3 into a transient fp32 buffer, then multiplied with the
+/// same loop the sGEMM scenario uses.
+void gemm_unpack(const PackedBits32& packed, const Matrix& x, Matrix& y);
+
+/// Scaled multi-plane variant (Eq. 2): Y = sum_q alpha_q o (B_q . X)
+/// with every plane packed. This is "GEMM with quantized+packed weights"
+/// end to end.
+void gemm_unpack_codes(const std::vector<PackedBits32>& planes,
+                       const std::vector<std::vector<float>>& alphas,
+                       const Matrix& x, Matrix& y);
+
+/// Bandwidth probe (intentionally incorrect results; see header comment).
+/// The packed word enters the arithmetic as float(word) — an integer
+/// conversion rather than a bit reinterpretation, because random bit
+/// patterns are frequently denormal floats and denormal multiplies stall
+/// CPUs by orders of magnitude, which would corrupt the measurement.
+void gemm_packed_no_unpack(const PackedBits32& packed, const Matrix& x,
+                           Matrix& y);
+
+/// The Fig. 9 "sGEMM" scenario kernel: identical loop structure to
+/// gemm_unpack, but weights are pre-materialized fp32 (one value per
+/// 32-bit container, i.e. quantization saves nothing) — so the three
+/// scenarios differ only in the weight data path.
+class RowMajorGemm {
+ public:
+  explicit RowMajorGemm(const Matrix& w);
+
+  void run(const Matrix& x, Matrix& y) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return m_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return n_; }
+
+ private:
+  std::size_t m_ = 0;
+  std::size_t n_ = 0;
+  std::size_t padded_cols_ = 0;
+  AlignedBuffer<float> w_;  // row-major, rows padded to 32-col groups
+};
+
+/// Packs every plane of a BinaryCodes into 32-bit words.
+[[nodiscard]] std::vector<PackedBits32> pack_code_planes(const BinaryCodes& codes);
+
+}  // namespace biq

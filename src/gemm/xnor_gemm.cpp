@@ -1,0 +1,92 @@
+#include "gemm/xnor_gemm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "simd/simd.hpp"
+
+namespace biq {
+
+QuantizedActivations quantize_activations(const Matrix& x, unsigned bits) {
+  if (bits == 0) {
+    throw std::invalid_argument("quantize_activations: bits must be >= 1");
+  }
+  QuantizedActivations qa;
+  qa.n = x.rows();
+  qa.batch = x.cols();
+  qa.bits = bits;
+  qa.gammas.assign(bits, std::vector<float>(x.cols(), 0.0f));
+  for (unsigned q = 0; q < bits; ++q) qa.planes.emplace_back(x.cols(), x.rows());
+
+  std::vector<float> residual(x.rows());
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    const float* src = x.col(c);
+    for (std::size_t k = 0; k < x.rows(); ++k) residual[k] = src[k];
+    for (unsigned q = 0; q < bits; ++q) {
+      double mag = 0.0;
+      for (float v : residual) mag += std::fabs(v);
+      const float gamma =
+          x.rows() == 0 ? 0.0f
+                        : static_cast<float>(mag / static_cast<double>(x.rows()));
+      qa.gammas[q][c] = gamma;
+      for (std::size_t k = 0; k < x.rows(); ++k) {
+        if (residual[k] >= 0.0f) {
+          qa.planes[q].set_plus_one(c, k);
+          residual[k] -= gamma;
+        } else {
+          residual[k] += gamma;
+        }
+      }
+    }
+  }
+  return qa;
+}
+
+XnorGemm::XnorGemm(const BinaryCodes& weight_codes)
+    : m_(weight_codes.rows), n_(weight_codes.cols),
+      weight_bits_(weight_codes.bits), alphas_(weight_codes.alphas) {
+  planes_.reserve(weight_bits_);
+  for (unsigned q = 0; q < weight_bits_; ++q) {
+    planes_.push_back(pack_rows_u64(weight_codes.planes[q]));
+  }
+}
+
+void XnorGemm::run_prequantized(const QuantizedActivations& qx, Matrix& y) const {
+  if (qx.n != n_ || y.rows() != m_ || y.cols() != qx.batch) {
+    throw std::invalid_argument("XnorGemm: shape mismatch");
+  }
+  const std::size_t words = planes_[0].words_per_row();
+  const auto n_int = static_cast<long long>(n_);
+
+  y.set_zero();
+  for (unsigned qw = 0; qw < weight_bits_; ++qw) {
+    const PackedBits64& wplane = planes_[qw];
+    for (unsigned qa = 0; qa < qx.bits; ++qa) {
+      const PackedBits64& xplane = qx.planes[qa];
+      for (std::size_t c = 0; c < qx.batch; ++c) {
+        const std::uint64_t* xrow = xplane.row(c);
+        const float gamma = qx.gammas[qa][c];
+        float* yc = y.col(c);
+        for (std::size_t i = 0; i < m_; ++i) {
+          const std::uint64_t* wrow = wplane.row(i);
+          long long diff = 0;
+          for (std::size_t wi = 0; wi < words; ++wi) {
+            diff += simd::popcount64(wrow[wi] ^ xrow[wi]);
+          }
+          // Padded tail bits are 0 on both sides, so every mismatch is a
+          // real element: dot = n - 2 * diff.
+          const long long dot = n_int - 2 * diff;
+          yc[i] += alphas_[qw][i] * gamma * static_cast<float>(dot);
+        }
+      }
+    }
+  }
+}
+
+void XnorGemm::run(const Matrix& x, Matrix& y, unsigned activation_bits) const {
+  const QuantizedActivations qx = quantize_activations(x, activation_bits);
+  run_prequantized(qx, y);
+}
+
+}  // namespace biq

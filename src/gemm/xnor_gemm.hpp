@@ -1,0 +1,57 @@
+// XNOR-popcount GEMM baseline (Rastegari et al. / Courbariaux et al.;
+// the paper's `xnor` comparator). Unlike BiQGEMM it quantizes the
+// activations too: each activation column is greedily sign-quantized
+// into beta_a bit-planes with per-column scales, and every
+// (weight-plane, activation-plane) pair contributes
+//     alpha_i * gamma_c * (n - 2 * popcount(w_row XOR x_col))
+// computed on 64-bit packed words. Complexity O(bw * ba * m * n/64 * b).
+#pragma once
+
+#include <vector>
+
+#include "matrix/matrix.hpp"
+#include "matrix/packing.hpp"
+#include "quant/binary_codes.hpp"
+
+namespace biq {
+
+/// Greedy per-column sign quantization of activations (the on-the-fly
+/// step the paper charges against xnor): plane q gets sign(residual) and
+/// scale mean|residual|, packed 64 bits/word. Exposed for tests.
+struct QuantizedActivations {
+  std::size_t n = 0;
+  std::size_t batch = 0;
+  unsigned bits = 0;
+  std::vector<PackedBits64> planes;          // planes[q], rows = batch
+  std::vector<std::vector<float>> gammas;    // gammas[q][column]
+};
+
+[[nodiscard]] QuantizedActivations quantize_activations(const Matrix& x,
+                                                        unsigned bits);
+
+class XnorGemm {
+ public:
+  /// Packs the weight planes once (weights are fixed at inference time).
+  explicit XnorGemm(const BinaryCodes& weight_codes);
+
+  /// Quantizes X on the fly into `activation_bits` planes and runs the
+  /// popcount GEMM. Results approximate W.X with both-sides quantization
+  /// error, matching what the paper's xnor kernel computes.
+  void run(const Matrix& x, Matrix& y, unsigned activation_bits = 1) const;
+
+  /// Popcount GEMM against pre-quantized activations (separates the
+  /// quantization cost from the multiply cost in the benches).
+  void run_prequantized(const QuantizedActivations& qx, Matrix& y) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return m_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return n_; }
+
+ private:
+  std::size_t m_ = 0;
+  std::size_t n_ = 0;
+  unsigned weight_bits_ = 0;
+  std::vector<PackedBits64> planes_;
+  std::vector<std::vector<float>> alphas_;
+};
+
+}  // namespace biq

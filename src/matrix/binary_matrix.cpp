@@ -1,0 +1,35 @@
+#include "matrix/binary_matrix.hpp"
+
+#include "matrix/matrix.hpp"
+
+namespace biq {
+
+BinaryMatrix BinaryMatrix::random(std::size_t rows, std::size_t cols, Rng& rng) {
+  BinaryMatrix b(rows, cols);
+  fill_signs(rng, b.data_.data(), b.data_.size());
+  return b;
+}
+
+BinaryMatrix BinaryMatrix::sign_of(const Matrix& w) {
+  // `w` is a col-major Matrix holding a logically row-major weight array:
+  // weight(i, j) lives at w(i, j) regardless; we only read elements.
+  BinaryMatrix b(w.rows(), w.cols());
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    for (std::size_t j = 0; j < w.cols(); ++j) {
+      b(i, j) = w(i, j) < 0.0f ? std::int8_t{-1} : std::int8_t{1};
+    }
+  }
+  return b;
+}
+
+Matrix BinaryMatrix::to_float_rowmajor_as_colmajor() const {
+  Matrix m(rows_, cols_, /*zero_fill=*/false);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      m(i, j) = static_cast<float>((*this)(i, j));
+    }
+  }
+  return m;
+}
+
+}  // namespace biq

@@ -1,0 +1,77 @@
+#include "matrix/matrix.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace biq {
+
+Matrix Matrix::random_uniform(std::size_t rows, std::size_t cols, Rng& rng,
+                              float lo, float hi) {
+  Matrix m(rows, cols, /*zero_fill=*/false);
+  fill_uniform(rng, m.data(), m.size(), lo, hi);
+  return m;
+}
+
+Matrix Matrix::random_normal(std::size_t rows, std::size_t cols, Rng& rng,
+                             float mean, float stddev) {
+  Matrix m(rows, cols, /*zero_fill=*/false);
+  fill_normal(rng, m.data(), m.size(), mean, stddev);
+  return m;
+}
+
+float max_abs_diff(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return std::numeric_limits<float>::infinity();
+  }
+  float worst = 0.0f;
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      worst = std::max(worst, std::fabs(a(i, j) - b(i, j)));
+    }
+  }
+  return worst;
+}
+
+double fro_norm(const Matrix& a) {
+  double sum = 0.0;
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      sum += static_cast<double>(a(i, j)) * a(i, j);
+    }
+  }
+  return std::sqrt(sum);
+}
+
+double rel_fro_error(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double diff = 0.0;
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      const double d = static_cast<double>(a(i, j)) - b(i, j);
+      diff += d * d;
+    }
+  }
+  const double denom = std::max(fro_norm(b), 1e-12);
+  return std::sqrt(diff) / denom;
+}
+
+bool allclose(const Matrix& a, const Matrix& b, float rtol, float atol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      const float tol = atol + rtol * std::fabs(b(i, j));
+      if (std::fabs(a(i, j) - b(i, j)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+std::string shape_str(const Matrix& a) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%zux%zu", a.rows(), a.cols());
+  return buf;
+}
+
+}  // namespace biq

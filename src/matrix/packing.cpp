@@ -1,0 +1,53 @@
+#include "matrix/packing.hpp"
+
+#include "matrix/binary_matrix.hpp"
+#include "matrix/matrix.hpp"
+
+namespace biq {
+namespace {
+
+template <typename Word>
+PackedBits<Word> pack_rows(const BinaryMatrix& b) {
+  PackedBits<Word> packed(b.rows(), b.cols());
+  for (std::size_t i = 0; i < b.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      if (b(i, j) > 0) packed.set_plus_one(i, j);
+    }
+  }
+  return packed;
+}
+
+}  // namespace
+
+PackedBits32 pack_rows_u32(const BinaryMatrix& b) {
+  return pack_rows<std::uint32_t>(b);
+}
+
+PackedBits64 pack_rows_u64(const BinaryMatrix& b) {
+  return pack_rows<std::uint64_t>(b);
+}
+
+PackedBits64 pack_column_signs_u64(const Matrix& x) {
+  PackedBits64 packed(x.cols(), x.rows());
+  for (std::size_t col = 0; col < x.cols(); ++col) {
+    const float* src = x.col(col);
+    for (std::size_t row = 0; row < x.rows(); ++row) {
+      if (src[row] >= 0.0f) packed.set_plus_one(col, row);
+    }
+  }
+  return packed;
+}
+
+void unpack_word_to_pm1(std::uint32_t word, float* dst32) noexcept {
+  for (int i = 0; i < 32; ++i) {
+    dst32[i] = static_cast<float>(((word >> i) & 1u) * 2u) - 1.0f;
+  }
+}
+
+void unpack_row(const PackedBits64& p, std::size_t row, std::int8_t* dst) {
+  for (std::size_t j = 0; j < p.cols(); ++j) {
+    dst[j] = static_cast<std::int8_t>(p.sign_at(row, j));
+  }
+}
+
+}  // namespace biq

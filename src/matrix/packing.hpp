@@ -1,0 +1,88 @@
+// Word-level bit-packing of {-1,+1} matrices. Two consumers:
+//   * the XNOR-popcount baseline (64-bit words, both weights and sign-
+//     quantized activations),
+//   * the "GEMM with unpack" baseline (32-bit containers, Algorithm 3 of
+//     the paper).
+// Convention everywhere: bit value 1 encodes +1, and within a word bit 0
+// (LSB) holds the lowest column index of the group, so unpacking with
+// `(x >> i) & 1` recovers column (base + i) — exactly Algorithm 3.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "util/aligned_buffer.hpp"
+
+namespace biq {
+
+class BinaryMatrix;
+class Matrix;
+
+/// Row-major bit-packed matrix with W-bit words (W = 32 or 64).
+template <typename Word>
+class PackedBits {
+ public:
+  PackedBits() = default;
+  PackedBits(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols),
+        words_per_row_((cols + bits_per_word() - 1) / bits_per_word()),
+        data_(rows * words_per_row_, /*zero_fill=*/true) {}
+
+  static constexpr std::size_t bits_per_word() noexcept {
+    return sizeof(Word) * 8;
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t words_per_row() const noexcept {
+    return words_per_row_;
+  }
+
+  [[nodiscard]] Word* row(std::size_t i) noexcept {
+    return data_.data() + i * words_per_row_;
+  }
+  [[nodiscard]] const Word* row(std::size_t i) const noexcept {
+    return data_.data() + i * words_per_row_;
+  }
+
+  /// Sign at (i, j): +1 or -1. Bits past `cols` read as -1 (zero bit).
+  [[nodiscard]] int sign_at(std::size_t i, std::size_t j) const noexcept {
+    const Word w = row(i)[j / bits_per_word()];
+    return ((w >> (j % bits_per_word())) & Word{1}) != 0 ? 1 : -1;
+  }
+
+  void set_plus_one(std::size_t i, std::size_t j) noexcept {
+    row(i)[j / bits_per_word()] |= Word{1} << (j % bits_per_word());
+  }
+
+  [[nodiscard]] std::size_t storage_bytes() const noexcept {
+    return data_.size_bytes();
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t words_per_row_ = 0;
+  AlignedBuffer<Word> data_;
+};
+
+using PackedBits32 = PackedBits<std::uint32_t>;
+using PackedBits64 = PackedBits<std::uint64_t>;
+
+/// Packs a {-1,+1} matrix row-major (+1 -> bit 1). Tail bits are zero.
+PackedBits32 pack_rows_u32(const BinaryMatrix& b);
+PackedBits64 pack_rows_u64(const BinaryMatrix& b);
+
+/// Packs the signs of each *column* of a col-major float matrix (the
+/// activation quantization step of the XNOR baseline): result is b rows
+/// (one per batch column) of n packed sign bits; sign(0) := +1.
+PackedBits64 pack_column_signs_u64(const Matrix& x);
+
+/// Unpacks one 32-bit word to 32 fp32 values in {-1,+1} — Algorithm 3
+/// verbatim: w_i = ((x >> i) & 1) * 2 - 1.
+void unpack_word_to_pm1(std::uint32_t word, float* dst32) noexcept;
+
+/// Round-trip check helper: expands a packed row into int8 {-1,+1}.
+void unpack_row(const PackedBits64& p, std::size_t row, std::int8_t* dst);
+
+}  // namespace biq

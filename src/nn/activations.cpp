@@ -1,0 +1,64 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+
+namespace biq::nn {
+namespace {
+
+template <typename Fn>
+void for_each_element(Matrix& x, Fn&& fn) noexcept {
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    float* col = x.col(c);
+    for (std::size_t i = 0; i < x.rows(); ++i) col[i] = fn(col[i]);
+  }
+}
+
+}  // namespace
+
+float sigmoid(float v) noexcept { return 1.0f / (1.0f + std::exp(-v)); }
+
+void apply_relu(Matrix& x) noexcept {
+  for_each_element(x, [](float v) { return v > 0.0f ? v : 0.0f; });
+}
+
+void apply_gelu(Matrix& x) noexcept {
+  constexpr float kSqrt2OverPi = 0.7978845608028654f;
+  for_each_element(x, [](float v) {
+    const float inner = kSqrt2OverPi * (v + 0.044715f * v * v * v);
+    return 0.5f * v * (1.0f + std::tanh(inner));
+  });
+}
+
+void apply_sigmoid(Matrix& x) noexcept {
+  for_each_element(x, [](float v) { return sigmoid(v); });
+}
+
+void apply_tanh(Matrix& x) noexcept {
+  for_each_element(x, [](float v) { return std::tanh(v); });
+}
+
+void apply(Matrix& x, Act act) noexcept {
+  switch (act) {
+    case Act::kRelu: apply_relu(x); break;
+    case Act::kGelu: apply_gelu(x); break;
+    case Act::kSigmoid: apply_sigmoid(x); break;
+    case Act::kTanh: apply_tanh(x); break;
+  }
+}
+
+void softmax_columns(Matrix& x) noexcept {
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    float* col = x.col(c);
+    float peak = col[0];
+    for (std::size_t i = 1; i < x.rows(); ++i) peak = std::max(peak, col[i]);
+    float sum = 0.0f;
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      col[i] = std::exp(col[i] - peak);
+      sum += col[i];
+    }
+    const float inv = 1.0f / sum;
+    for (std::size_t i = 0; i < x.rows(); ++i) col[i] *= inv;
+  }
+}
+
+}  // namespace biq::nn

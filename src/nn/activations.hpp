@@ -1,0 +1,26 @@
+// Element-wise non-linearities and column softmax. Activations stay fp32
+// throughout (the paper quantizes weights only; Sec. II argues activation
+// quantization costs accuracy and on-the-fly conversion work).
+#pragma once
+
+#include "matrix/matrix.hpp"
+
+namespace biq::nn {
+
+enum class Act { kRelu, kGelu, kSigmoid, kTanh };
+
+void apply_relu(Matrix& x) noexcept;
+/// tanh-approximation GELU (as used by BERT-family models).
+void apply_gelu(Matrix& x) noexcept;
+void apply_sigmoid(Matrix& x) noexcept;
+void apply_tanh(Matrix& x) noexcept;
+void apply(Matrix& x, Act act) noexcept;
+
+/// Scalar versions (LSTM gates operate on vectors).
+[[nodiscard]] float sigmoid(float v) noexcept;
+
+/// Numerically-stable softmax over the rows of each column (columns are
+/// independent distributions) — the attention-weight normalization.
+void softmax_columns(Matrix& x) noexcept;
+
+}  // namespace biq::nn

@@ -1,0 +1,78 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+
+namespace biq::nn {
+
+MultiHeadAttention::MultiHeadAttention(std::unique_ptr<LinearLayer> wq,
+                                       std::unique_ptr<LinearLayer> wk,
+                                       std::unique_ptr<LinearLayer> wv,
+                                       std::unique_ptr<LinearLayer> wo,
+                                       unsigned heads)
+    : hidden_(wq->out_features()), heads_(heads),
+      head_dim_(heads == 0 ? 0 : hidden_ / heads), wq_(std::move(wq)),
+      wk_(std::move(wk)), wv_(std::move(wv)), wo_(std::move(wo)) {
+  if (heads_ == 0 || hidden_ % heads_ != 0) {
+    throw std::invalid_argument("MultiHeadAttention: heads must divide hidden");
+  }
+  for (const LinearLayer* p :
+       {wq_.get(), wk_.get(), wv_.get(), wo_.get()}) {
+    if (p->in_features() != hidden_ || p->out_features() != hidden_) {
+      throw std::invalid_argument("MultiHeadAttention: projections must be square");
+    }
+  }
+}
+
+std::size_t MultiHeadAttention::weight_bytes() const noexcept {
+  return wq_->weight_bytes() + wk_->weight_bytes() + wv_->weight_bytes() +
+         wo_->weight_bytes();
+}
+
+void MultiHeadAttention::forward(const Matrix& x, Matrix& y) const {
+  if (x.rows() != hidden_ || y.rows() != hidden_ || y.cols() != x.cols()) {
+    throw std::invalid_argument("MultiHeadAttention: shape mismatch");
+  }
+  const std::size_t t = x.cols();
+
+  Matrix q(hidden_, t, /*zero_fill=*/false);
+  Matrix k(hidden_, t, /*zero_fill=*/false);
+  Matrix v(hidden_, t, /*zero_fill=*/false);
+  wq_->forward(x, q);
+  wk_->forward(x, k);
+  wv_->forward(x, v);
+
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  Matrix context(hidden_, t, /*zero_fill=*/true);
+  Matrix scores(t, t, /*zero_fill=*/false);
+
+  for (unsigned h = 0; h < heads_; ++h) {
+    const std::size_t r0 = h * head_dim_;
+    // scores(key_tok, query_tok) = <Q_h[:, query], K_h[:, key]> / sqrt(d)
+    for (std::size_t qt = 0; qt < t; ++qt) {
+      const float* qcol = q.col(qt) + r0;
+      for (std::size_t kt = 0; kt < t; ++kt) {
+        const float* kcol = k.col(kt) + r0;
+        float dot = 0.0f;
+        for (std::size_t d = 0; d < head_dim_; ++d) dot += qcol[d] * kcol[d];
+        scores(kt, qt) = dot * inv_sqrt_d;
+      }
+    }
+    softmax_columns(scores);
+    // context_h[:, query] = sum_key V_h[:, key] * scores(key, query)
+    for (std::size_t qt = 0; qt < t; ++qt) {
+      float* out = context.col(qt) + r0;
+      for (std::size_t kt = 0; kt < t; ++kt) {
+        const float wgt = scores(kt, qt);
+        const float* vcol = v.col(kt) + r0;
+        for (std::size_t d = 0; d < head_dim_; ++d) out[d] += wgt * vcol[d];
+      }
+    }
+  }
+
+  wo_->forward(context, y);
+}
+
+}  // namespace biq::nn

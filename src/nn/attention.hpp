@@ -1,0 +1,37 @@
+// Multi-head self-attention with pluggable projection engines: the four
+// n x n projections (Q, K, V, output) are LinearLayer instances, so the
+// paper's workload — attention blocks whose weight GEMMs run as BiQGEMM —
+// is exercised end to end while the score/softmax math stays fp32.
+#pragma once
+
+#include <memory>
+
+#include "matrix/matrix.hpp"
+#include "nn/linear.hpp"
+
+namespace biq::nn {
+
+class MultiHeadAttention {
+ public:
+  /// All projections must be hidden x hidden; heads must divide hidden.
+  MultiHeadAttention(std::unique_ptr<LinearLayer> wq,
+                     std::unique_ptr<LinearLayer> wk,
+                     std::unique_ptr<LinearLayer> wv,
+                     std::unique_ptr<LinearLayer> wo, unsigned heads);
+
+  /// Self-attention: x is hidden x T (T tokens), y is hidden x T
+  /// (overwritten).
+  void forward(const Matrix& x, Matrix& y) const;
+
+  [[nodiscard]] std::size_t hidden() const noexcept { return hidden_; }
+  [[nodiscard]] unsigned heads() const noexcept { return heads_; }
+  [[nodiscard]] std::size_t weight_bytes() const noexcept;
+
+ private:
+  std::size_t hidden_;
+  unsigned heads_;
+  std::size_t head_dim_;
+  std::unique_ptr<LinearLayer> wq_, wk_, wv_, wo_;
+};
+
+}  // namespace biq::nn

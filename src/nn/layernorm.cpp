@@ -1,0 +1,31 @@
+#include "nn/layernorm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace biq::nn {
+
+void LayerNorm::forward(Matrix& x) const {
+  if (x.rows() != gamma_.size()) {
+    throw std::invalid_argument("LayerNorm: dimension mismatch");
+  }
+  const std::size_t d = x.rows();
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    float* col = x.col(c);
+    double mean = 0.0;
+    for (std::size_t i = 0; i < d; ++i) mean += col[i];
+    mean /= static_cast<double>(d);
+    double var = 0.0;
+    for (std::size_t i = 0; i < d; ++i) {
+      const double dv = col[i] - mean;
+      var += dv * dv;
+    }
+    var /= static_cast<double>(d);
+    const float inv = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+    for (std::size_t i = 0; i < d; ++i) {
+      col[i] = gamma_[i] * (static_cast<float>(col[i] - mean) * inv) + beta_[i];
+    }
+  }
+}
+
+}  // namespace biq::nn

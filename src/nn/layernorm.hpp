@@ -1,0 +1,34 @@
+// LayerNorm over the feature dimension (rows) of each column — the
+// operation the paper cites as the reason Transformers keep needing
+// floating-point math even under INT8 quantization (Sec. II-A). Runs in
+// fp32 here, which binary-coding weight quantization permits without any
+// format conversions.
+#pragma once
+
+#include <vector>
+
+#include "matrix/matrix.hpp"
+
+namespace biq::nn {
+
+class LayerNorm {
+ public:
+  explicit LayerNorm(std::size_t dim, float eps = 1e-5f)
+      : gamma_(dim, 1.0f), beta_(dim, 0.0f), eps_(eps) {}
+
+  [[nodiscard]] std::size_t dim() const noexcept { return gamma_.size(); }
+
+  [[nodiscard]] std::vector<float>& gamma() noexcept { return gamma_; }
+  [[nodiscard]] std::vector<float>& beta() noexcept { return beta_; }
+
+  /// Normalizes each column of x in place: per-column mean/variance over
+  /// rows, then scale by gamma and shift by beta.
+  void forward(Matrix& x) const;
+
+ private:
+  std::vector<float> gamma_;
+  std::vector<float> beta_;
+  float eps_;
+};
+
+}  // namespace biq::nn

@@ -1,0 +1,69 @@
+#include "nn/linear.hpp"
+
+#include <stdexcept>
+
+#include "nn/tensor.hpp"
+#include "quant/alternating.hpp"
+#include "quant/greedy.hpp"
+
+namespace biq::nn {
+namespace {
+
+BinaryCodes quantize(const Matrix& w, unsigned bits, QuantMethod method) {
+  switch (method) {
+    case QuantMethod::kGreedy: return quantize_greedy(w, bits);
+    case QuantMethod::kAlternating: return quantize_alternating(w, bits);
+  }
+  throw std::logic_error("unknown QuantMethod");
+}
+
+}  // namespace
+
+Linear::Linear(const Matrix& w, std::vector<float> bias, ThreadPool* pool)
+    : m_(w.rows()), n_(w.cols()), engine_(w), bias_(std::move(bias)),
+      pool_(pool) {
+  if (!bias_.empty() && bias_.size() != m_) {
+    throw std::invalid_argument("Linear: bias size mismatch");
+  }
+}
+
+void Linear::forward(const Matrix& x, Matrix& y) const {
+  engine_.run(x, y, pool_);
+  if (!bias_.empty()) add_bias(y, bias_);
+}
+
+QuantLinear::QuantLinear(const Matrix& w, std::vector<float> bias,
+                         unsigned bits, QuantMethod method,
+                         const BiqGemmOptions& opt)
+    : m_(w.rows()), n_(w.cols()),
+      engine_([&] {
+        const BinaryCodes codes = quantize(w, bits, method);
+        return BiqGemm(codes, opt);
+      }()),
+      bias_(std::move(bias)) {
+  if (!bias_.empty() && bias_.size() != m_) {
+    throw std::invalid_argument("QuantLinear: bias size mismatch");
+  }
+  // Record reconstruction quality while the codes are still cheap to
+  // recompute (construction-only cost; the engine keeps packed keys).
+  const BinaryCodes codes = quantize(w, bits, method);
+  quant_error_ = rel_fro_error(codes.dequantize(), w);
+}
+
+void QuantLinear::forward(const Matrix& x, Matrix& y) const {
+  engine_.run(x, y);
+  if (!bias_.empty()) add_bias(y, bias_);
+}
+
+std::unique_ptr<LinearLayer> make_linear(const Matrix& w,
+                                         std::vector<float> bias,
+                                         unsigned bits, QuantMethod method,
+                                         const BiqGemmOptions& opt,
+                                         ThreadPool* pool) {
+  if (bits == 0) {
+    return std::make_unique<Linear>(w, std::move(bias), pool);
+  }
+  return std::make_unique<QuantLinear>(w, std::move(bias), bits, method, opt);
+}
+
+}  // namespace biq::nn

@@ -1,0 +1,97 @@
+// Fully-connected layers: the float reference (`Linear`, backed by the
+// blocked GEMM) and the quantized layer (`QuantLinear`, backed by
+// BiQGEMM). Both implement `LinearLayer`, so attention / feed-forward /
+// LSTM blocks are written once and run with either engine — this is the
+// integration surface a downstream user adopts.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/biqgemm.hpp"
+#include "gemm/gemm_blocked.hpp"
+#include "matrix/matrix.hpp"
+
+namespace biq::nn {
+
+class LinearLayer {
+ public:
+  virtual ~LinearLayer() = default;
+
+  /// y = W.x + bias. x: in x batch, y: out x batch (overwritten).
+  virtual void forward(const Matrix& x, Matrix& y) const = 0;
+
+  [[nodiscard]] virtual std::size_t in_features() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t out_features() const noexcept = 0;
+
+  /// Bytes of weight storage inference reads (packed form for quantized).
+  [[nodiscard]] virtual std::size_t weight_bytes() const noexcept = 0;
+};
+
+/// fp32 layer over the pre-packed blocked GEMM.
+class Linear final : public LinearLayer {
+ public:
+  Linear(const Matrix& w, std::vector<float> bias,
+         ThreadPool* pool = nullptr);
+
+  void forward(const Matrix& x, Matrix& y) const override;
+  [[nodiscard]] std::size_t in_features() const noexcept override { return n_; }
+  [[nodiscard]] std::size_t out_features() const noexcept override { return m_; }
+  [[nodiscard]] std::size_t weight_bytes() const noexcept override {
+    return m_ * n_ * sizeof(float);
+  }
+
+ private:
+  std::size_t m_, n_;
+  BlockedGemm engine_;
+  std::vector<float> bias_;
+  ThreadPool* pool_;
+};
+
+enum class QuantMethod { kGreedy, kAlternating };
+
+/// Quantization policy for every weight matrix of a model build.
+/// weight_bits == 0 means fp32 (the reference build).
+struct QuantSpec {
+  unsigned weight_bits = 0;
+  QuantMethod method = QuantMethod::kGreedy;
+  BiqGemmOptions kernel;
+};
+
+/// Binary-coding quantized layer over BiQGEMM. Quantizes at construction
+/// (weights are fixed during inference — Sec. II-A); keeps only packed
+/// keys + scales + bias.
+class QuantLinear final : public LinearLayer {
+ public:
+  QuantLinear(const Matrix& w, std::vector<float> bias, unsigned bits,
+              QuantMethod method = QuantMethod::kGreedy,
+              const BiqGemmOptions& opt = {});
+
+  void forward(const Matrix& x, Matrix& y) const override;
+  [[nodiscard]] std::size_t in_features() const noexcept override { return n_; }
+  [[nodiscard]] std::size_t out_features() const noexcept override { return m_; }
+  [[nodiscard]] std::size_t weight_bytes() const noexcept override {
+    return engine_.packed_weight_bytes();
+  }
+
+  [[nodiscard]] const BiqGemm& engine() const noexcept { return engine_; }
+  [[nodiscard]] unsigned bits() const noexcept { return engine_.bits(); }
+
+  /// Relative Frobenius error of the dequantized weights vs the
+  /// originals, recorded at construction (Table I quality proxy).
+  [[nodiscard]] double quantization_error() const noexcept { return quant_error_; }
+
+ private:
+  std::size_t m_, n_;
+  BiqGemm engine_;
+  std::vector<float> bias_;
+  double quant_error_ = 0.0;
+};
+
+/// Factory: bits == 0 returns the float layer, otherwise QuantLinear.
+[[nodiscard]] std::unique_ptr<LinearLayer> make_linear(
+    const Matrix& w, std::vector<float> bias, unsigned bits,
+    QuantMethod method = QuantMethod::kGreedy, const BiqGemmOptions& opt = {},
+    ThreadPool* pool = nullptr);
+
+}  // namespace biq::nn

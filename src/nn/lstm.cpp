@@ -1,0 +1,124 @@
+#include "nn/lstm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/tensor.hpp"
+
+namespace biq::nn {
+
+LstmCell::LstmCell(std::unique_ptr<LinearLayer> input_proj,
+                   std::unique_ptr<LinearLayer> recurrent_proj,
+                   std::vector<float> bias)
+    : in_(input_proj->in_features()),
+      hidden_(recurrent_proj->in_features()),
+      wx_(std::move(input_proj)), wh_(std::move(recurrent_proj)),
+      bias_(std::move(bias)) {
+  if (wx_->out_features() != 4 * hidden_ || wh_->out_features() != 4 * hidden_) {
+    throw std::invalid_argument("LstmCell: projections must output 4*hidden");
+  }
+  if (bias_.size() != 4 * hidden_) {
+    throw std::invalid_argument("LstmCell: bias must have length 4*hidden");
+  }
+}
+
+void LstmCell::step(const float* x_t, float* h, float* c) const {
+  // Single-column matmuls: the b == 1 (GEMV) path of the engines.
+  Matrix xin(in_, 1, /*zero_fill=*/false);
+  for (std::size_t i = 0; i < in_; ++i) xin(i, 0) = x_t[i];
+  Matrix hin(hidden_, 1, /*zero_fill=*/false);
+  for (std::size_t i = 0; i < hidden_; ++i) hin(i, 0) = h[i];
+
+  Matrix gx(4 * hidden_, 1, /*zero_fill=*/false);
+  Matrix gh(4 * hidden_, 1, /*zero_fill=*/false);
+  wx_->forward(xin, gx);
+  wh_->forward(hin, gh);
+
+  const float* px = gx.col(0);
+  const float* ph = gh.col(0);
+  for (std::size_t j = 0; j < hidden_; ++j) {
+    const float gi = sigmoid(px[j] + ph[j] + bias_[j]);
+    const float gf = sigmoid(px[hidden_ + j] + ph[hidden_ + j] + bias_[hidden_ + j]);
+    const float gg =
+        std::tanh(px[2 * hidden_ + j] + ph[2 * hidden_ + j] + bias_[2 * hidden_ + j]);
+    const float go =
+        sigmoid(px[3 * hidden_ + j] + ph[3 * hidden_ + j] + bias_[3 * hidden_ + j]);
+    c[j] = gf * c[j] + gi * gg;
+    h[j] = go * std::tanh(c[j]);
+  }
+}
+
+void Lstm::forward(const Matrix& x, Matrix& h_out) const {
+  const std::size_t hidden = cell_.hidden_size();
+  if (x.rows() != cell_.input_size() || h_out.rows() != hidden ||
+      h_out.cols() != x.cols()) {
+    throw std::invalid_argument("Lstm::forward: shape mismatch");
+  }
+  std::vector<float> h(hidden, 0.0f), c(hidden, 0.0f);
+  for (std::size_t t = 0; t < x.cols(); ++t) {
+    cell_.step(x.col(t), h.data(), c.data());
+    float* out = h_out.col(t);
+    for (std::size_t i = 0; i < hidden; ++i) out[i] = h[i];
+  }
+}
+
+void Lstm::forward_reverse(const Matrix& x, Matrix& h_out) const {
+  const std::size_t hidden = cell_.hidden_size();
+  if (x.rows() != cell_.input_size() || h_out.rows() != hidden ||
+      h_out.cols() != x.cols()) {
+    throw std::invalid_argument("Lstm::forward_reverse: shape mismatch");
+  }
+  std::vector<float> h(hidden, 0.0f), c(hidden, 0.0f);
+  for (std::size_t t = x.cols(); t-- > 0;) {
+    cell_.step(x.col(t), h.data(), c.data());
+    float* out = h_out.col(t);
+    for (std::size_t i = 0; i < hidden; ++i) out[i] = h[i];
+  }
+}
+
+BiLstm::BiLstm(LstmCell forward_cell, LstmCell backward_cell)
+    : fw_(std::move(forward_cell)), bw_(std::move(backward_cell)) {
+  if (fw_.cell().hidden_size() != bw_.cell().hidden_size() ||
+      fw_.cell().input_size() != bw_.cell().input_size()) {
+    throw std::invalid_argument("BiLstm: direction shape mismatch");
+  }
+}
+
+void BiLstm::forward(const Matrix& x, Matrix& h_out) const {
+  const std::size_t hidden = hidden_size();
+  if (h_out.rows() != 2 * hidden || h_out.cols() != x.cols()) {
+    throw std::invalid_argument("BiLstm::forward: shape mismatch");
+  }
+  Matrix hf(hidden, x.cols(), /*zero_fill=*/false);
+  Matrix hb(hidden, x.cols(), /*zero_fill=*/false);
+  fw_.forward(x, hf);
+  bw_.forward_reverse(x, hb);
+  for (std::size_t t = 0; t < x.cols(); ++t) {
+    float* out = h_out.col(t);
+    const float* f = hf.col(t);
+    const float* b = hb.col(t);
+    for (std::size_t i = 0; i < hidden; ++i) out[i] = f[i];
+    for (std::size_t i = 0; i < hidden; ++i) out[hidden + i] = b[i];
+  }
+}
+
+LstmCell make_lstm_cell(std::size_t input, std::size_t hidden,
+                        std::uint64_t seed, const QuantSpec& spec,
+                        ThreadPool* pool) {
+  Rng rng(seed);
+  Matrix wx = xavier_uniform(4 * hidden, input, rng);
+  Matrix wh = xavier_uniform(4 * hidden, hidden, rng);
+  std::vector<float> bias(4 * hidden, 0.0f);
+  // Standard trick: forget-gate bias starts at 1 for stable gradients —
+  // kept here so float and quantized cells match common checkpoints.
+  for (std::size_t j = 0; j < hidden; ++j) bias[hidden + j] = 1.0f;
+
+  auto wx_layer = make_linear(wx, std::vector<float>(), spec.weight_bits,
+                              spec.method, spec.kernel, pool);
+  auto wh_layer = make_linear(wh, std::vector<float>(), spec.weight_bits,
+                              spec.method, spec.kernel, pool);
+  return LstmCell(std::move(wx_layer), std::move(wh_layer), std::move(bias));
+}
+
+}  // namespace biq::nn

@@ -1,0 +1,84 @@
+// LSTM with pluggable projection engines — the ASR workload of the
+// paper's Sec. II-C (LAS-style bi-directional encoders with (2.5K x 5K)
+// weight matrices). The two big GEMVs per step (input and recurrent
+// projections of all four gates) run through LinearLayer, i.e. as
+// BiQGEMM when quantized; gate non-linearities stay fp32.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "matrix/matrix.hpp"
+#include "nn/linear.hpp"
+
+namespace biq::nn {
+
+/// Single LSTM cell. Gate layout along the 4h output rows: input i,
+/// forget f, candidate g, output o (rows [0,h), [h,2h), [2h,3h), [3h,4h)).
+class LstmCell {
+ public:
+  /// input_proj: (4h x in), recurrent_proj: (4h x h), bias length 4h.
+  LstmCell(std::unique_ptr<LinearLayer> input_proj,
+           std::unique_ptr<LinearLayer> recurrent_proj,
+           std::vector<float> bias);
+
+  [[nodiscard]] std::size_t input_size() const noexcept { return in_; }
+  [[nodiscard]] std::size_t hidden_size() const noexcept { return hidden_; }
+  [[nodiscard]] std::size_t weight_bytes() const noexcept {
+    return wx_->weight_bytes() + wh_->weight_bytes();
+  }
+
+  /// One time step: consumes x_t (length in), updates h and c (length h)
+  /// in place.
+  void step(const float* x_t, float* h, float* c) const;
+
+ private:
+  std::size_t in_, hidden_;
+  std::unique_ptr<LinearLayer> wx_, wh_;
+  std::vector<float> bias_;
+};
+
+/// Unidirectional layer: runs the cell over a sequence.
+class Lstm {
+ public:
+  explicit Lstm(LstmCell cell) : cell_(std::move(cell)) {}
+
+  /// x: in x T, h_out: hidden x T (overwritten; h_out[:, t] is the
+  /// hidden state after step t). Initial h, c are zero.
+  void forward(const Matrix& x, Matrix& h_out) const;
+
+  /// Reverse-time variant (scans t = T-1 .. 0).
+  void forward_reverse(const Matrix& x, Matrix& h_out) const;
+
+  [[nodiscard]] const LstmCell& cell() const noexcept { return cell_; }
+
+ private:
+  LstmCell cell_;
+};
+
+/// Bidirectional layer: concatenates forward and backward hidden states
+/// to 2h x T (the LAS encoder building block).
+class BiLstm {
+ public:
+  BiLstm(LstmCell forward_cell, LstmCell backward_cell);
+
+  void forward(const Matrix& x, Matrix& h_out) const;
+
+  [[nodiscard]] std::size_t hidden_size() const noexcept {
+    return fw_.cell().hidden_size();
+  }
+  [[nodiscard]] std::size_t weight_bytes() const noexcept {
+    return fw_.cell().weight_bytes() + bw_.cell().weight_bytes();
+  }
+
+ private:
+  Lstm fw_, bw_;
+};
+
+/// Deterministic factory (same convention as make_encoder): identical
+/// fp32 weights for any spec with the same seed.
+[[nodiscard]] LstmCell make_lstm_cell(std::size_t input, std::size_t hidden,
+                                      std::uint64_t seed, const QuantSpec& spec,
+                                      ThreadPool* pool = nullptr);
+
+}  // namespace biq::nn

@@ -1,0 +1,66 @@
+#include "nn/transformer.hpp"
+
+#include <stdexcept>
+
+#include "nn/tensor.hpp"
+
+namespace biq::nn {
+
+FeedForward::FeedForward(std::unique_ptr<LinearLayer> up,
+                         std::unique_ptr<LinearLayer> down, Act act)
+    : up_(std::move(up)), down_(std::move(down)), act_(act) {
+  if (up_->out_features() != down_->in_features() ||
+      up_->in_features() != down_->out_features()) {
+    throw std::invalid_argument("FeedForward: layer shapes must be transposed");
+  }
+}
+
+void FeedForward::forward(const Matrix& x, Matrix& y) const {
+  Matrix mid(up_->out_features(), x.cols(), /*zero_fill=*/false);
+  up_->forward(x, mid);
+  apply(mid, act_);
+  down_->forward(mid, y);
+}
+
+EncoderLayer::EncoderLayer(MultiHeadAttention attention, FeedForward ffn,
+                           std::size_t hidden)
+    : attention_(std::move(attention)), ffn_(std::move(ffn)), ln1_(hidden),
+      ln2_(hidden) {}
+
+void EncoderLayer::forward(Matrix& x) const {
+  Matrix sub(x.rows(), x.cols(), /*zero_fill=*/false);
+  attention_.forward(x, sub);
+  add_into(x, sub, x);
+  ln1_.forward(x);
+
+  ffn_.forward(x, sub);
+  add_into(x, sub, x);
+  ln2_.forward(x);
+}
+
+TransformerEncoder make_encoder(const TransformerConfig& config,
+                                std::uint64_t seed, const QuantSpec& spec,
+                                ThreadPool* pool) {
+  Rng rng(seed);
+  auto project = [&](std::size_t out, std::size_t in) {
+    Matrix w = xavier_uniform(out, in, rng);
+    std::vector<float> bias(out, 0.0f);
+    return make_linear(w, std::move(bias), spec.weight_bits, spec.method,
+                       spec.kernel, pool);
+  };
+
+  std::vector<EncoderLayer> layers;
+  layers.reserve(config.layers);
+  for (unsigned l = 0; l < config.layers; ++l) {
+    MultiHeadAttention attention(
+        project(config.hidden, config.hidden), project(config.hidden, config.hidden),
+        project(config.hidden, config.hidden), project(config.hidden, config.hidden),
+        config.heads);
+    FeedForward ffn(project(config.ffn, config.hidden),
+                    project(config.hidden, config.ffn), Act::kGelu);
+    layers.emplace_back(std::move(attention), std::move(ffn), config.hidden);
+  }
+  return TransformerEncoder(config, std::move(layers));
+}
+
+}  // namespace biq::nn

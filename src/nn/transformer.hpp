@@ -1,0 +1,98 @@
+// Transformer encoder stack — the workload class the paper's evaluation
+// is motivated by (Sec. II-C/D): per layer, one attention block of four
+// (n x n) projections and a feed-forward block of (4n x n) and (n x 4n)
+// matrices. Built either fp32 or binary-coding quantized from identical
+// deterministic weights, so outputs are directly comparable.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/activations.hpp"
+#include "nn/attention.hpp"
+#include "nn/layernorm.hpp"
+#include "nn/linear.hpp"
+
+namespace biq::nn {
+
+struct TransformerConfig {
+  std::size_t hidden = 512;
+  std::size_t ffn = 2048;
+  unsigned heads = 8;
+  unsigned layers = 6;
+
+  /// Paper Sec. II-C: base model n=512, 6 layers; big model n=1024.
+  static TransformerConfig base() { return {512, 2048, 8, 6}; }
+  static TransformerConfig big() { return {1024, 4096, 16, 6}; }
+};
+
+class FeedForward {
+ public:
+  FeedForward(std::unique_ptr<LinearLayer> up, std::unique_ptr<LinearLayer> down,
+              Act act = Act::kGelu);
+
+  /// x, y: hidden x T (y overwritten).
+  void forward(const Matrix& x, Matrix& y) const;
+
+  [[nodiscard]] std::size_t weight_bytes() const noexcept {
+    return up_->weight_bytes() + down_->weight_bytes();
+  }
+
+ private:
+  std::unique_ptr<LinearLayer> up_, down_;
+  Act act_;
+};
+
+class EncoderLayer {
+ public:
+  EncoderLayer(MultiHeadAttention attention, FeedForward ffn,
+               std::size_t hidden);
+
+  /// Post-LN residual block (original Transformer):
+  /// x <- LN(x + Attn(x)); x <- LN(x + FFN(x)). In place.
+  void forward(Matrix& x) const;
+
+  [[nodiscard]] std::size_t weight_bytes() const noexcept {
+    return attention_.weight_bytes() + ffn_.weight_bytes();
+  }
+
+ private:
+  MultiHeadAttention attention_;
+  FeedForward ffn_;
+  LayerNorm ln1_, ln2_;
+};
+
+class TransformerEncoder {
+ public:
+  TransformerEncoder(TransformerConfig config, std::vector<EncoderLayer> layers)
+      : config_(config), layers_(std::move(layers)) {}
+
+  /// x: hidden x T, transformed in place through all layers.
+  void forward(Matrix& x) const {
+    for (const EncoderLayer& layer : layers_) layer.forward(x);
+  }
+
+  [[nodiscard]] const TransformerConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t layer_count() const noexcept { return layers_.size(); }
+
+  [[nodiscard]] std::size_t weight_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const EncoderLayer& layer : layers_) total += layer.weight_bytes();
+    return total;
+  }
+
+ private:
+  TransformerConfig config_;
+  std::vector<EncoderLayer> layers_;
+};
+
+/// Builds an encoder with deterministic Xavier weights derived from
+/// `seed`. Two calls with the same (config, seed) and different specs
+/// produce models with IDENTICAL underlying fp32 weights — one float,
+/// one quantized — enabling apples-to-apples accuracy/latency studies.
+[[nodiscard]] TransformerEncoder make_encoder(const TransformerConfig& config,
+                                              std::uint64_t seed,
+                                              const QuantSpec& spec,
+                                              ThreadPool* pool = nullptr);
+
+}  // namespace biq::nn

@@ -1,0 +1,28 @@
+// Alternating binary-coding quantization (Xu et al. 2018 style): starting
+// from the greedy solution, alternate between
+//   (a) optimal scales given the planes: per-row least squares
+//       G alpha = c with G = B B^T (bits x bits), c = B w, and
+//   (b) optimal planes given the scales: each weight independently picks
+//       the sign combination s in {-1,+1}^bits minimizing
+//       |w - sum_q alpha_q s_q|, found by binary search over the 2^bits
+//       candidate reconstruction levels.
+// Both steps are optimal given the other, so row MSE is non-increasing —
+// a property the tests assert.
+#pragma once
+
+#include "quant/binary_codes.hpp"
+
+namespace biq {
+
+struct AlternatingOptions {
+  unsigned iterations = 10;
+  /// Stop early when a full sweep improves row MSE by less than this
+  /// relative amount.
+  double tolerance = 1e-7;
+};
+
+/// Requires 1 <= bits <= 8 (candidate enumeration is 2^bits).
+[[nodiscard]] BinaryCodes quantize_alternating(const Matrix& w, unsigned bits,
+                                               const AlternatingOptions& opt = {});
+
+}  // namespace biq

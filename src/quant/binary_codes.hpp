@@ -1,0 +1,47 @@
+// Binary-coding quantization result: q bit-planes B_i in {-1,+1}^{m x n}
+// with per-row scale vectors alpha_i in R^m, approximating
+//   W  ~=  sum_i diag(alpha_i) * B_i            (paper Eq. 1 / Fig. 2)
+// Rows are quantized independently, matching the paper's row-wise scaling.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "matrix/binary_matrix.hpp"
+#include "matrix/matrix.hpp"
+
+namespace biq {
+
+struct BinaryCodes {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  unsigned bits = 0;
+  /// planes[q] is the q-th binary matrix B_q (rows x cols).
+  std::vector<BinaryMatrix> planes;
+  /// alphas[q][i] is the scale of plane q for output row i.
+  std::vector<std::vector<float>> alphas;
+
+  /// Reconstructs the dense approximation sum_q alpha_q o B_q.
+  [[nodiscard]] Matrix dequantize() const {
+    Matrix w(rows, cols, /*zero_fill=*/true);
+    for (unsigned q = 0; q < bits; ++q) {
+      const BinaryMatrix& b = planes[q];
+      const std::vector<float>& a = alphas[q];
+      for (std::size_t i = 0; i < rows; ++i) {
+        for (std::size_t j = 0; j < cols; ++j) {
+          w(i, j) += a[i] * static_cast<float>(b(i, j));
+        }
+      }
+    }
+    return w;
+  }
+
+  /// Packed storage the paper's Table II accounts for: bits planes of
+  /// ceil(n/8) bytes per row, plus one fp32 scale per row per plane.
+  [[nodiscard]] std::size_t packed_storage_bytes() const noexcept {
+    const std::size_t plane = rows * ((cols + 7) / 8);
+    return bits * (plane + rows * sizeof(float));
+  }
+};
+
+}  // namespace biq

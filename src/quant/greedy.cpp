@@ -1,0 +1,47 @@
+#include "quant/greedy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace biq {
+
+void quantize_greedy_row(const float* w, std::size_t n, unsigned bits,
+                         BinaryCodes& out, std::size_t row) {
+  std::vector<float> residual(w, w + n);
+  for (unsigned q = 0; q < bits; ++q) {
+    double mag = 0.0;
+    for (std::size_t j = 0; j < n; ++j) mag += std::fabs(residual[j]);
+    const float alpha = n == 0 ? 0.0f : static_cast<float>(mag / static_cast<double>(n));
+    out.alphas[q][row] = alpha;
+    BinaryMatrix& plane = out.planes[q];
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::int8_t s = residual[j] < 0.0f ? std::int8_t{-1} : std::int8_t{1};
+      plane(row, j) = s;
+      residual[j] -= alpha * static_cast<float>(s);
+    }
+  }
+}
+
+BinaryCodes quantize_greedy(const Matrix& w, unsigned bits) {
+  if (bits == 0) throw std::invalid_argument("quantize_greedy: bits must be >= 1");
+  if (w.rows() == 0 || w.cols() == 0) {
+    throw std::invalid_argument("quantize_greedy: empty matrix");
+  }
+  BinaryCodes out;
+  out.rows = w.rows();
+  out.cols = w.cols();
+  out.bits = bits;
+  out.planes.reserve(bits);
+  out.alphas.assign(bits, std::vector<float>(w.rows(), 0.0f));
+  for (unsigned q = 0; q < bits; ++q) out.planes.emplace_back(w.rows(), w.cols());
+
+  std::vector<float> row_buf(w.cols());
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    for (std::size_t j = 0; j < w.cols(); ++j) row_buf[j] = w(i, j);
+    quantize_greedy_row(row_buf.data(), w.cols(), bits, out, i);
+  }
+  return out;
+}
+
+}  // namespace biq

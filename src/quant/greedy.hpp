@@ -1,0 +1,21 @@
+// Greedy binary-coding quantization (network sketching, Guo et al. 2017;
+// the paper's Table I "Binary-Coding (Greedy)" rows): each plane takes
+// the sign of the running residual with the residual's mean magnitude as
+// scale. Per-row, embarrassingly parallel.
+#pragma once
+
+#include "quant/binary_codes.hpp"
+
+namespace biq {
+
+/// Quantizes W (m x n, addressed (row, col)) into `bits` binary planes.
+/// Requires bits >= 1 and a non-empty matrix.
+[[nodiscard]] BinaryCodes quantize_greedy(const Matrix& w, unsigned bits);
+
+/// Single-row variant used by the tests and by quantize_greedy itself:
+/// writes plane signs into planes[q]'s row `row` and scales into
+/// alphas[q][row].
+void quantize_greedy_row(const float* w, std::size_t n, unsigned bits,
+                         BinaryCodes& out, std::size_t row);
+
+}  // namespace biq

@@ -1,0 +1,71 @@
+#include "quant/grouped.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace biq {
+
+Matrix GroupedBinaryCodes::dequantize() const {
+  Matrix w(rows, cols, /*zero_fill=*/true);
+  for (unsigned q = 0; q < bits; ++q) {
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        w(i, j) += alpha(q, i, j / group_size) * static_cast<float>(planes[q](i, j));
+      }
+    }
+  }
+  return w;
+}
+
+GroupedBinaryCodes quantize_greedy_grouped(const Matrix& w, unsigned bits,
+                                           std::size_t group_size) {
+  if (bits == 0) {
+    throw std::invalid_argument("quantize_greedy_grouped: bits must be >= 1");
+  }
+  if (group_size == 0) {
+    throw std::invalid_argument("quantize_greedy_grouped: group_size must be >= 1");
+  }
+  if (w.rows() == 0 || w.cols() == 0) {
+    throw std::invalid_argument("quantize_greedy_grouped: empty matrix");
+  }
+
+  GroupedBinaryCodes out;
+  out.rows = w.rows();
+  out.cols = w.cols();
+  out.bits = bits;
+  out.group_size = group_size;
+  out.num_groups = (w.cols() + group_size - 1) / group_size;
+  out.planes.reserve(bits);
+  for (unsigned q = 0; q < bits; ++q) out.planes.emplace_back(w.rows(), w.cols());
+  out.alphas.assign(bits, std::vector<float>(w.rows() * out.num_groups, 0.0f));
+
+  std::vector<float> residual;
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    for (std::size_t g = 0; g < out.num_groups; ++g) {
+      const std::size_t j0 = g * group_size;
+      const std::size_t j1 = std::min(w.cols(), j0 + group_size);
+      residual.assign(j1 - j0, 0.0f);
+      for (std::size_t j = j0; j < j1; ++j) residual[j - j0] = w(i, j);
+
+      for (unsigned q = 0; q < bits; ++q) {
+        double mag = 0.0;
+        for (float v : residual) mag += std::fabs(v);
+        const float a = residual.empty()
+                            ? 0.0f
+                            : static_cast<float>(mag / static_cast<double>(
+                                                           residual.size()));
+        out.alphas[q][i * out.num_groups + g] = a;
+        for (std::size_t j = j0; j < j1; ++j) {
+          const std::int8_t s =
+              residual[j - j0] < 0.0f ? std::int8_t{-1} : std::int8_t{1};
+          out.planes[q](i, j) = s;
+          residual[j - j0] -= a * static_cast<float>(s);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace biq

@@ -1,0 +1,49 @@
+#include "quant/uniform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace biq {
+
+Matrix UniformQuantized::dequantize() const {
+  Matrix w(rows, cols, /*zero_fill=*/false);
+  for (std::size_t j = 0; j < cols; ++j) {
+    for (std::size_t i = 0; i < rows; ++i) {
+      w(i, j) = scale * static_cast<float>(values[j * rows + i]);
+    }
+  }
+  return w;
+}
+
+UniformQuantized quantize_uniform(const Matrix& w, unsigned bits) {
+  if (bits < 2 || bits > 16) {
+    throw std::invalid_argument("quantize_uniform: bits must be in [2, 16]");
+  }
+  UniformQuantized q;
+  q.rows = w.rows();
+  q.cols = w.cols();
+  q.bits = bits;
+  q.values = AlignedBuffer<std::int16_t>(w.rows() * w.cols());
+
+  float max_abs = 0.0f;
+  for (std::size_t j = 0; j < w.cols(); ++j) {
+    for (std::size_t i = 0; i < w.rows(); ++i) {
+      max_abs = std::max(max_abs, std::fabs(w(i, j)));
+    }
+  }
+  const int qmax = (1 << (bits - 1)) - 1;
+  q.scale = max_abs > 0.0f ? max_abs / static_cast<float>(qmax) : 1.0f;
+
+  for (std::size_t j = 0; j < w.cols(); ++j) {
+    for (std::size_t i = 0; i < w.rows(); ++i) {
+      const float scaled = w(i, j) / q.scale;
+      const int rounded = static_cast<int>(std::lround(scaled));
+      q.values[j * w.rows() + i] =
+          static_cast<std::int16_t>(std::clamp(rounded, -qmax, qmax));
+    }
+  }
+  return q;
+}
+
+}  // namespace biq

@@ -1,0 +1,35 @@
+// Uniform (fixed-point) symmetric quantization — the INT8/INT6/INT4
+// baseline of the paper's Tables I & II. Weights and activations map to
+// signed integers with a single per-tensor scale; dequantization is a
+// multiply. Used by the quality benches for comparison against binary
+// coding; BiQGEMM itself never uses this path.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "matrix/matrix.hpp"
+#include "util/aligned_buffer.hpp"
+
+namespace biq {
+
+struct UniformQuantized {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  unsigned bits = 8;
+  float scale = 1.0f;  // dequantized = scale * q
+  AlignedBuffer<std::int16_t> values;  // int16 container fits up to 16 bits
+
+  [[nodiscard]] Matrix dequantize() const;
+
+  /// Packed storage: `bits` bits per element (no per-row scales).
+  [[nodiscard]] std::size_t packed_storage_bytes() const noexcept {
+    return (rows * cols * bits + 7) / 8;
+  }
+};
+
+/// Symmetric per-tensor quantization to `bits` in [2, 16]:
+/// scale = max|w| / (2^(bits-1) - 1), values = round(w / scale) clamped.
+[[nodiscard]] UniformQuantized quantize_uniform(const Matrix& w, unsigned bits);
+
+}  // namespace biq

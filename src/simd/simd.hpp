@@ -1,0 +1,240 @@
+// Thin SIMD abstraction: an 8-lane fp32 vector with identical semantics
+// on AVX2 and on the scalar fallback, plus popcount helpers for the
+// XNOR-GEMM baseline. Kernels are written once against this type; the
+// fallback keeps every configuration testable on non-AVX2 hosts.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define BIQ_HAVE_AVX2 1
+#else
+#define BIQ_HAVE_AVX2 0
+#endif
+
+#if defined(__AVX512F__)
+#define BIQ_HAVE_AVX512 1
+#else
+#define BIQ_HAVE_AVX512 0
+#endif
+
+namespace biq::simd {
+
+inline constexpr int kFloatLanes = 8;
+
+/// Widest fp32 vector the build can use; the batched BiQGEMM kernel
+/// prefers this lane count for its batch tiles.
+inline constexpr int kMaxFloatLanes = BIQ_HAVE_AVX512 ? 16 : 8;
+
+#if BIQ_HAVE_AVX2
+
+struct F32x8 {
+  __m256 v;
+
+  static F32x8 zero() noexcept { return {_mm256_setzero_ps()}; }
+  static F32x8 set1(float x) noexcept { return {_mm256_set1_ps(x)}; }
+  static F32x8 load(const float* p) noexcept { return {_mm256_load_ps(p)}; }
+  static F32x8 loadu(const float* p) noexcept { return {_mm256_loadu_ps(p)}; }
+
+  void store(float* p) const noexcept { _mm256_store_ps(p, v); }
+  void storeu(float* p) const noexcept { _mm256_storeu_ps(p, v); }
+
+  friend F32x8 operator+(F32x8 a, F32x8 b) noexcept {
+    return {_mm256_add_ps(a.v, b.v)};
+  }
+  friend F32x8 operator-(F32x8 a, F32x8 b) noexcept {
+    return {_mm256_sub_ps(a.v, b.v)};
+  }
+  friend F32x8 operator*(F32x8 a, F32x8 b) noexcept {
+    return {_mm256_mul_ps(a.v, b.v)};
+  }
+
+  /// this = a*b + this
+  void fma(F32x8 a, F32x8 b) noexcept {
+#if defined(__FMA__)
+    v = _mm256_fmadd_ps(a.v, b.v, v);
+#else
+    v = _mm256_add_ps(_mm256_mul_ps(a.v, b.v), v);
+#endif
+  }
+
+  [[nodiscard]] float reduce_add() const noexcept {
+    const __m128 lo = _mm256_castps256_ps128(v);
+    const __m128 hi = _mm256_extractf128_ps(v, 1);
+    __m128 s = _mm_add_ps(lo, hi);
+    s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+    return _mm_cvtss_f32(s);
+  }
+
+  /// Negates all lanes (used by the LUT builder's symmetry step).
+  [[nodiscard]] F32x8 negate() const noexcept {
+    return {_mm256_xor_ps(v, _mm256_set1_ps(-0.0f))};
+  }
+};
+
+#else  // scalar fallback
+
+struct F32x8 {
+  float v[kFloatLanes];
+
+  static F32x8 zero() noexcept {
+    F32x8 r{};
+    return r;
+  }
+  static F32x8 set1(float x) noexcept {
+    F32x8 r;
+    for (float& lane : r.v) lane = x;
+    return r;
+  }
+  static F32x8 load(const float* p) noexcept { return loadu(p); }
+  static F32x8 loadu(const float* p) noexcept {
+    F32x8 r;
+    for (int i = 0; i < kFloatLanes; ++i) r.v[i] = p[i];
+    return r;
+  }
+
+  void store(float* p) const noexcept { storeu(p); }
+  void storeu(float* p) const noexcept {
+    for (int i = 0; i < kFloatLanes; ++i) p[i] = v[i];
+  }
+
+  friend F32x8 operator+(F32x8 a, F32x8 b) noexcept {
+    F32x8 r;
+    for (int i = 0; i < kFloatLanes; ++i) r.v[i] = a.v[i] + b.v[i];
+    return r;
+  }
+  friend F32x8 operator-(F32x8 a, F32x8 b) noexcept {
+    F32x8 r;
+    for (int i = 0; i < kFloatLanes; ++i) r.v[i] = a.v[i] - b.v[i];
+    return r;
+  }
+  friend F32x8 operator*(F32x8 a, F32x8 b) noexcept {
+    F32x8 r;
+    for (int i = 0; i < kFloatLanes; ++i) r.v[i] = a.v[i] * b.v[i];
+    return r;
+  }
+
+  void fma(F32x8 a, F32x8 b) noexcept {
+    for (int i = 0; i < kFloatLanes; ++i) v[i] += a.v[i] * b.v[i];
+  }
+
+  [[nodiscard]] float reduce_add() const noexcept {
+    float s = 0.0f;
+    for (float lane : v) s += lane;
+    return s;
+  }
+
+  [[nodiscard]] F32x8 negate() const noexcept {
+    F32x8 r;
+    for (int i = 0; i < kFloatLanes; ++i) r.v[i] = -v[i];
+    return r;
+  }
+};
+
+#endif  // BIQ_HAVE_AVX2
+
+#if BIQ_HAVE_AVX512
+
+/// 16-lane fp32 vector (AVX-512). Only the operations the 16-lane
+/// BiQGEMM batch tile needs; everything else stays on F32x8.
+struct F32x16 {
+  __m512 v;
+
+  static F32x16 zero() noexcept { return {_mm512_setzero_ps()}; }
+  static F32x16 set1(float x) noexcept { return {_mm512_set1_ps(x)}; }
+  static F32x16 load(const float* p) noexcept { return {_mm512_load_ps(p)}; }
+  static F32x16 loadu(const float* p) noexcept { return {_mm512_loadu_ps(p)}; }
+
+  void store(float* p) const noexcept { _mm512_store_ps(p, v); }
+  void storeu(float* p) const noexcept { _mm512_storeu_ps(p, v); }
+
+  friend F32x16 operator+(F32x16 a, F32x16 b) noexcept {
+    return {_mm512_add_ps(a.v, b.v)};
+  }
+  friend F32x16 operator-(F32x16 a, F32x16 b) noexcept {
+    return {_mm512_sub_ps(a.v, b.v)};
+  }
+
+  void fma(F32x16 a, F32x16 b) noexcept { v = _mm512_fmadd_ps(a.v, b.v, v); }
+
+  [[nodiscard]] F32x16 negate() const noexcept {
+    return {_mm512_sub_ps(_mm512_setzero_ps(), v)};
+  }
+};
+
+#else
+
+/// Scalar stand-in so lane-generic code compiles everywhere; the kernel
+/// never selects 16-lane tiles unless BIQ_HAVE_AVX512 is set.
+struct F32x16 {
+  float v[16];
+
+  static F32x16 zero() noexcept {
+    F32x16 r{};
+    return r;
+  }
+  static F32x16 set1(float x) noexcept {
+    F32x16 r;
+    for (float& lane : r.v) lane = x;
+    return r;
+  }
+  static F32x16 load(const float* p) noexcept { return loadu(p); }
+  static F32x16 loadu(const float* p) noexcept {
+    F32x16 r;
+    for (int i = 0; i < 16; ++i) r.v[i] = p[i];
+    return r;
+  }
+
+  void store(float* p) const noexcept { storeu(p); }
+  void storeu(float* p) const noexcept {
+    for (int i = 0; i < 16; ++i) p[i] = v[i];
+  }
+
+  friend F32x16 operator+(F32x16 a, F32x16 b) noexcept {
+    F32x16 r;
+    for (int i = 0; i < 16; ++i) r.v[i] = a.v[i] + b.v[i];
+    return r;
+  }
+  friend F32x16 operator-(F32x16 a, F32x16 b) noexcept {
+    F32x16 r;
+    for (int i = 0; i < 16; ++i) r.v[i] = a.v[i] - b.v[i];
+    return r;
+  }
+
+  void fma(F32x16 a, F32x16 b) noexcept {
+    for (int i = 0; i < 16; ++i) v[i] += a.v[i] * b.v[i];
+  }
+
+  [[nodiscard]] F32x16 negate() const noexcept {
+    F32x16 r;
+    for (int i = 0; i < 16; ++i) r.v[i] = -v[i];
+    return r;
+  }
+};
+
+#endif  // BIQ_HAVE_AVX512
+
+/// True when the vectorized code paths are compiled in.
+[[nodiscard]] constexpr bool have_avx2() noexcept { return BIQ_HAVE_AVX2 != 0; }
+
+/// True when the 16-lane AVX-512 paths are compiled in.
+[[nodiscard]] constexpr bool have_avx512() noexcept {
+  return BIQ_HAVE_AVX512 != 0;
+}
+
+[[nodiscard]] inline int popcount64(std::uint64_t x) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_popcountll(x);
+#else
+  int c = 0;
+  while (x != 0) {
+    x &= x - 1;
+    ++c;
+  }
+  return c;
+#endif
+}
+
+}  // namespace biq::simd

@@ -1,0 +1,98 @@
+// Fork-join thread pool used by every parallel kernel in the library.
+// The calling thread participates as worker 0, so a pool of size 1 runs
+// inline with zero synchronization cost and kernels need no special
+// single-threaded path.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace biq {
+
+class ThreadPool {
+ public:
+  /// threads == 0 picks BIQ_THREADS env var if set, otherwise
+  /// hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers, including the calling thread.
+  [[nodiscard]] unsigned worker_count() const noexcept {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Runs job(worker_id) once on every worker (ids 0..worker_count-1) and
+  /// blocks until all have finished. The first exception thrown by any
+  /// worker is rethrown on the calling thread.
+  void run(const std::function<void(unsigned)>& job);
+
+  /// Process-wide default pool (size from BIQ_THREADS or the hardware).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop(unsigned id);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned pending_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Splits [begin, end) into chunks of at most `grain` and executes
+/// fn(lo, hi) over them on the pool, dynamically load-balanced. Safe to
+/// call with an empty range; runs inline when the range fits one grain.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                  std::int64_t grain, Fn&& fn);
+
+/// Convenience overload on the global pool.
+template <typename Fn>
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  Fn&& fn) {
+  parallel_for(ThreadPool::global(), begin, end, grain, std::forward<Fn>(fn));
+}
+
+}  // namespace biq
+
+#include <algorithm>
+#include <atomic>
+
+namespace biq {
+
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                  std::int64_t grain, Fn&& fn) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  const std::int64_t total = end - begin;
+  if (pool.worker_count() == 1 || total <= grain) {
+    fn(begin, end);
+    return;
+  }
+  const std::int64_t chunks = (total + grain - 1) / grain;
+  std::atomic<std::int64_t> next{0};
+  pool.run([&](unsigned /*worker*/) {
+    for (;;) {
+      const std::int64_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) break;
+      const std::int64_t lo = begin + c * grain;
+      const std::int64_t hi = std::min(end, lo + grain);
+      fn(lo, hi);
+    }
+  });
+}
+
+}  // namespace biq

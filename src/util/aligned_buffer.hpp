@@ -1,0 +1,90 @@
+// Cache-line / SIMD aligned heap buffer. All matrix storage in the library
+// goes through this so that vector loads never straddle alignment
+// boundaries and adjacent buffers never share a cache line.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+namespace biq {
+
+inline constexpr std::size_t kDefaultAlignment = 64;
+
+/// Owning, aligned, fixed-size array of trivially-destructible T.
+/// Unlike std::vector it guarantees the alignment of element 0 and never
+/// default-constructs elements it is not asked to (zero_fill is explicit).
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "AlignedBuffer only supports trivially destructible types");
+
+ public:
+  AlignedBuffer() noexcept = default;
+
+  explicit AlignedBuffer(std::size_t count, bool zero_fill = false)
+      : size_(count) {
+    if (count == 0) return;
+    const std::size_t bytes = round_up(count * sizeof(T), kDefaultAlignment);
+    data_ = static_cast<T*>(std::aligned_alloc(kDefaultAlignment, bytes));
+    if (data_ == nullptr) throw std::bad_alloc{};
+    if (zero_fill) {
+      for (std::size_t i = 0; i < count; ++i) data_[i] = T{};
+    }
+  }
+
+  AlignedBuffer(const AlignedBuffer& other) : AlignedBuffer(other.size_) {
+    for (std::size_t i = 0; i < size_; ++i) data_[i] = other.data_[i];
+  }
+
+  AlignedBuffer& operator=(const AlignedBuffer& other) {
+    if (this != &other) {
+      AlignedBuffer tmp(other);
+      swap(tmp);
+    }
+    return *this;
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept { swap(other); }
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    swap(other);
+    return *this;
+  }
+
+  ~AlignedBuffer() { std::free(data_); }
+
+  void swap(AlignedBuffer& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+  }
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size_bytes() const noexcept { return size_ * sizeof(T); }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  [[nodiscard]] T* begin() noexcept { return data_; }
+  [[nodiscard]] T* end() noexcept { return data_ + size_; }
+  [[nodiscard]] const T* begin() const noexcept { return data_; }
+  [[nodiscard]] const T* end() const noexcept { return data_ + size_; }
+
+  void fill(const T& value) noexcept {
+    for (std::size_t i = 0; i < size_; ++i) data_[i] = value;
+  }
+
+ private:
+  static std::size_t round_up(std::size_t v, std::size_t a) noexcept {
+    return (v + a - 1) / a * a;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace biq

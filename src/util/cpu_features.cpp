@@ -1,0 +1,81 @@
+#include "util/cpu_features.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#define BIQ_X86 1
+#endif
+
+#if defined(__unix__)
+#include <unistd.h>
+#endif
+
+namespace biq {
+namespace {
+
+CpuFeatures probe() {
+  CpuFeatures f;
+  f.logical_cores = std::max(1u, std::thread::hardware_concurrency());
+
+#ifdef BIQ_X86
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) != 0) {
+    f.sse42 = (ecx & bit_SSE4_2) != 0;
+    f.fma = (ecx & bit_FMA) != 0;
+  }
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) != 0) {
+    f.avx2 = (ebx & bit_AVX2) != 0;
+    f.avx512f = (ebx & bit_AVX512F) != 0;
+  }
+#endif
+
+#if defined(_SC_LEVEL1_DCACHE_SIZE)
+  long v = sysconf(_SC_LEVEL1_DCACHE_SIZE);
+  if (v > 0) f.l1d_bytes = static_cast<std::size_t>(v);
+  v = sysconf(_SC_LEVEL2_CACHE_SIZE);
+  if (v > 0) f.l2_bytes = static_cast<std::size_t>(v);
+  v = sysconf(_SC_LEVEL3_CACHE_SIZE);
+  if (v > 0) f.l3_bytes = static_cast<std::size_t>(v);
+#endif
+
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const auto colon = line.find(':');
+      if (colon != std::string::npos) {
+        f.model_name = line.substr(colon + 2);
+      }
+      break;
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = probe();
+  return f;
+}
+
+std::string describe_machine() {
+  const CpuFeatures& f = cpu_features();
+  std::ostringstream os;
+  os << "machine: " << (f.model_name.empty() ? "unknown CPU" : f.model_name)
+     << " | cores: " << f.logical_cores << " | SIMD:";
+  if (f.avx512f) os << " avx512f";
+  if (f.avx2) os << " avx2";
+  if (f.fma) os << " fma";
+  if (f.sse42) os << " sse4.2";
+  if (!f.avx2 && !f.sse42) os << " scalar-only";
+  os << " | L1d/core: " << f.l1d_bytes / 1024 << " KB"
+     << " | L2: " << f.l2_bytes / 1024 << " KB"
+     << " | L3: " << f.l3_bytes / 1024 << " KB";
+  return os.str();
+}
+
+}  // namespace biq

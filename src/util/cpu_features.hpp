@@ -1,0 +1,29 @@
+// Runtime CPU feature probe — the analog of the paper's Table III machine
+// configuration. Every bench binary prints this so recorded numbers carry
+// their hardware context.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace biq {
+
+struct CpuFeatures {
+  bool sse42 = false;
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+  unsigned logical_cores = 1;
+  std::size_t l1d_bytes = 0;   // per core, 0 if unknown
+  std::size_t l2_bytes = 0;    // per core, 0 if unknown
+  std::size_t l3_bytes = 0;    // shared, 0 if unknown
+  std::string model_name;      // from /proc/cpuinfo when available
+};
+
+/// Probes once and caches; cheap to call repeatedly.
+const CpuFeatures& cpu_features();
+
+/// Human-readable one-paragraph summary (Table III analog).
+std::string describe_machine();
+
+}  // namespace biq

@@ -1,0 +1,31 @@
+#include "util/footprint.hpp"
+
+#include <cstdio>
+
+namespace biq {
+
+Footprint model_footprint(const FootprintConfig& cfg, bool include_scales) {
+  Footprint fp;
+  const std::size_t mn = cfg.output_size * cfg.input_size;
+  const std::size_t nb = cfg.input_size * cfg.batch;
+  const std::size_t mb = cfg.output_size * cfg.batch;
+
+  fp.weight_bytes = mn * cfg.weight_bits / 8;
+  if (include_scales && cfg.weight_bits < 32) {
+    // One fp32 scale per output row per bit-plane.
+    fp.scale_bytes = cfg.output_size * cfg.weight_bits * sizeof(float);
+    fp.weight_bytes += fp.scale_bytes;
+  }
+  fp.input_bytes = nb * cfg.activation_bits / 8;
+  fp.output_bytes = mb * cfg.output_bits / 8;
+  return fp;
+}
+
+std::string format_mb(std::size_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                static_cast<double>(bytes) / (1024.0 * 1024.0));
+  return buf;
+}
+
+}  // namespace biq

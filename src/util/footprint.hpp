@@ -1,0 +1,44 @@
+// Memory-footprint model for quantized few-batch multiplication.
+// Reproduces the accounting of the paper's Table II: bytes needed for
+// weights / activations(inputs) / outputs as a function of shape and
+// quantization bit-widths.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace biq {
+
+struct FootprintConfig {
+  std::size_t output_size = 0;  // m
+  std::size_t input_size = 0;   // n
+  std::size_t batch = 0;        // b
+  unsigned weight_bits = 32;    // bits per weight element
+  unsigned activation_bits = 32;  // bits per input element
+  unsigned output_bits = 32;      // outputs stay fp32 in the paper
+};
+
+struct Footprint {
+  std::size_t weight_bytes = 0;
+  std::size_t input_bytes = 0;
+  std::size_t output_bytes = 0;
+  /// Per-row scale factors for binary-coding quantization, fp32 each;
+  /// zero for unquantized / uniform cases (uniform keeps one global
+  /// scale, negligible). Included in weight_bytes.
+  std::size_t scale_bytes = 0;
+
+  [[nodiscard]] std::size_t total_bytes() const noexcept {
+    return weight_bytes + input_bytes + output_bytes;
+  }
+};
+
+/// Bit-exact accounting used by bench/table2_memory_usage. Binary-coding
+/// weights of q bits store q bit-planes (m*n/8 bytes each) plus q fp32
+/// scale vectors of length m when include_scales is true.
+[[nodiscard]] Footprint model_footprint(const FootprintConfig& cfg,
+                                        bool include_scales = false);
+
+/// Formats a byte count as the paper does (MB with 3 decimals).
+[[nodiscard]] std::string format_mb(std::size_t bytes);
+
+}  // namespace biq

@@ -1,0 +1,89 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace biq {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  has_cached_normal_ = false;
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+float Rng::uniform(float lo, float hi) noexcept {
+  return lo + (hi - lo) * static_cast<float>(next_double());
+}
+
+float Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 in (0,1] to keep log() finite.
+  const double u1 = 1.0 - next_double();
+  const double u2 = next_double();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * 3.14159265358979323846 * u2;
+  cached_normal_ = static_cast<float>(radius * std::sin(angle));
+  has_cached_normal_ = true;
+  return static_cast<float>(radius * std::cos(angle));
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Multiply-shift rejection-free mapping (Lemire); tiny bias is fine for
+  // test-data generation.
+  const unsigned __int128 product =
+      static_cast<unsigned __int128>(next_u64()) * bound;
+  return static_cast<std::uint64_t>(product >> 64);
+}
+
+int Rng::sign() noexcept { return (next_u64() & 1u) != 0 ? 1 : -1; }
+
+void fill_uniform(Rng& rng, float* dst, std::size_t count, float lo, float hi) {
+  for (std::size_t i = 0; i < count; ++i) dst[i] = rng.uniform(lo, hi);
+}
+
+void fill_normal(Rng& rng, float* dst, std::size_t count, float mean,
+                 float stddev) {
+  for (std::size_t i = 0; i < count; ++i) dst[i] = mean + stddev * rng.normal();
+}
+
+void fill_signs(Rng& rng, std::int8_t* dst, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    dst[i] = static_cast<std::int8_t>(rng.sign());
+  }
+}
+
+}  // namespace biq

@@ -1,0 +1,49 @@
+// Deterministic random generation used across tests, examples and
+// benchmarks. A fixed default seed makes every run reproducible; the
+// splitmix-initialized xoshiro256** generator is much faster than
+// std::mt19937 for bulk matrix fills.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace biq {
+
+/// xoshiro256** PRNG (public-domain algorithm by Blackman & Vigna).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  /// Uniform 64-bit integer.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, 1).
+  double next_double() noexcept;
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) noexcept;
+
+  /// Standard normal via Box-Muller (cached second value).
+  float normal() noexcept;
+
+  /// Uniform integer in [0, bound).
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// +1 or -1 with equal probability.
+  int sign() noexcept;
+
+ private:
+  std::uint64_t s_[4] = {};
+  float cached_normal_ = 0.0f;
+  bool has_cached_normal_ = false;
+};
+
+/// Fill helpers (all deterministic given the Rng state).
+void fill_uniform(Rng& rng, float* dst, std::size_t count, float lo, float hi);
+void fill_normal(Rng& rng, float* dst, std::size_t count, float mean = 0.0f,
+                 float stddev = 1.0f);
+void fill_signs(Rng& rng, std::int8_t* dst, std::size_t count);
+
+}  // namespace biq

@@ -1,0 +1,34 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace biq {
+
+SampleStats summarize(const std::vector<double>& samples) {
+  SampleStats s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  const std::size_t mid = sorted.size() / 2;
+  s.median = (sorted.size() % 2 == 1)
+                 ? sorted[mid]
+                 : 0.5 * (sorted[mid - 1] + sorted[mid]);
+
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(sorted.size());
+
+  double sq = 0.0;
+  for (double v : sorted) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = sorted.size() > 1
+                 ? std::sqrt(sq / static_cast<double>(sorted.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+}  // namespace biq

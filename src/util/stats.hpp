@@ -1,0 +1,53 @@
+// Summary statistics over repeated timing samples.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace biq {
+
+struct SampleStats {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  std::size_t count = 0;
+};
+
+/// Computes summary statistics; does not modify the input.
+[[nodiscard]] SampleStats summarize(const std::vector<double>& samples);
+
+/// Runs `fn` until both `min_reps` repetitions and `min_seconds` of total
+/// time have elapsed, returning per-repetition wall times in seconds.
+/// This is the measurement loop used by the table-style benches (the
+/// google-benchmark binaries use the library's own loop instead).
+template <typename Fn>
+std::vector<double> measure_repetitions(Fn&& fn, std::size_t min_reps,
+                                        double min_seconds);
+
+}  // namespace biq
+
+#include <chrono>
+
+namespace biq {
+
+template <typename Fn>
+std::vector<double> measure_repetitions(Fn&& fn, std::size_t min_reps,
+                                        double min_seconds) {
+  using clock = std::chrono::steady_clock;
+  std::vector<double> samples;
+  samples.reserve(min_reps);
+  double total = 0.0;
+  while (samples.size() < min_reps || total < min_seconds) {
+    const auto t0 = clock::now();
+    fn();
+    const double dt = std::chrono::duration<double>(clock::now() - t0).count();
+    samples.push_back(dt);
+    total += dt;
+    if (samples.size() > 100000) break;  // runaway guard for ~0-cost fns
+  }
+  return samples;
+}
+
+}  // namespace biq

@@ -1,0 +1,81 @@
+#include "util/table_printer.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace biq {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("table needs >=1 column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("row arity does not match header");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::fmt_int(long long value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", value);
+  return buf;
+}
+
+std::string TablePrinter::to_markdown() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& cells, std::string& out) {
+    out += '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += ' ';
+      out += cells[c];
+      out.append(widths[c] - cells[c].size() + 1, ' ');
+      out += '|';
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(headers_, out);
+  out += '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out.append(widths[c] + 2, '-');
+    out += '|';
+  }
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+std::string TablePrinter::to_csv() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out += ',';
+      out += cells[c];
+    }
+    out += '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+void TablePrinter::print(std::ostream& os) const { os << to_markdown(); }
+
+}  // namespace biq

@@ -1,0 +1,39 @@
+// Aligned text/markdown table output. Every bench binary prints its
+// results through this so the paper's tables and figures have a uniform,
+// diffable textual form (and an optional CSV for plotting).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace biq {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; the row must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells with fixed precision.
+  static std::string fmt(double value, int precision = 2);
+  static std::string fmt_int(long long value);
+
+  /// Renders a GitHub-flavoured markdown table.
+  [[nodiscard]] std::string to_markdown() const;
+
+  /// Renders comma-separated values (header + rows).
+  [[nodiscard]] std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace biq

@@ -1,0 +1,71 @@
+// Wall-clock measurement helpers for the benchmark harness and the
+// instrumented kernel (Fig. 8 phase profiling).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace biq {
+
+/// Monotonic stopwatch with nanosecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_us() const noexcept {
+    return elapsed_seconds() * 1e6;
+  }
+
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return elapsed_seconds() * 1e3;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates time spent in repeatedly-entered code regions; used by the
+/// instrumented BiQGEMM kernel to attribute runtime to build/query/replace
+/// phases without perturbing the hot loop (one clock read per region).
+class PhaseAccumulator {
+ public:
+  void add_seconds(double s) noexcept {
+    total_ += s;
+    ++count_;
+  }
+
+  [[nodiscard]] double total_seconds() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+  void clear() noexcept {
+    total_ = 0.0;
+    count_ = 0;
+  }
+
+ private:
+  double total_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+/// RAII region timer feeding a PhaseAccumulator.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(PhaseAccumulator& acc) noexcept : acc_(acc) {}
+  ~ScopedPhase() { acc_.add_seconds(watch_.elapsed_seconds()); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseAccumulator& acc_;
+  Stopwatch watch_;
+};
+
+}  // namespace biq

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "gemm/gemm_int8.hpp"
+#include "gemm/gemm_ref.hpp"
+
+namespace biq {
+namespace {
+
+TEST(Int8Gemm, ApproximatesFloatGemm) {
+  Rng rng(1);
+  Matrix w = Matrix::random_normal(32, 64, rng);
+  Matrix x = Matrix::random_normal(64, 5, rng);
+  Matrix exact(32, 5), approx(32, 5);
+  gemm_ref(w, x, exact);
+  const Int8Gemm engine(w);
+  engine.run(x, approx);
+  // 8-bit x 8-bit: ~1% relative error territory.
+  EXPECT_LT(rel_fro_error(approx, exact), 0.03);
+}
+
+TEST(Int8Gemm, ExactForSmallIntegerData) {
+  // Integer-valued inputs within +-127 with max 127: scales become
+  // exactly 1.0 and the whole pipeline is exact.
+  const std::size_t m = 4, n = 8;
+  Matrix w(m, n), x(n, 2);
+  Rng rng(2);
+  w(0, 0) = 127.0f;  // pins the weight scale to 1.0
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (i != 0 || k != 0) {
+        w(i, k) = static_cast<float>(static_cast<int>(rng.next_below(21)) - 10);
+      }
+    }
+  }
+  x(0, 0) = 127.0f;  // pins the column-0 scale
+  x(0, 1) = -127.0f;
+  for (std::size_t k = 1; k < n; ++k) {
+    x(k, 0) = static_cast<float>(static_cast<int>(rng.next_below(11)) - 5);
+    x(k, 1) = static_cast<float>(static_cast<int>(rng.next_below(11)) - 5);
+  }
+  Matrix exact(m, 2), got(m, 2);
+  gemm_ref(w, x, exact);
+  Int8Gemm(w).run(x, got);
+  EXPECT_LT(max_abs_diff(got, exact), 1e-3f);
+}
+
+TEST(Int8Gemm, PhasesAllAccounted) {
+  Rng rng(3);
+  Matrix w = Matrix::random_normal(128, 128, rng);
+  Matrix x = Matrix::random_normal(128, 8, rng);
+  Matrix y(128, 8);
+  const Int8Gemm engine(w);
+  Int8Gemm::Phases phases;
+  engine.run_profiled(x, y, phases);
+  EXPECT_GT(phases.quantize_seconds, 0.0);
+  EXPECT_GT(phases.multiply_seconds, 0.0);
+  EXPECT_GT(phases.dequantize_seconds, 0.0);
+}
+
+TEST(Int8Gemm, WeightBytesAreOnePerElement) {
+  Rng rng(4);
+  Matrix w = Matrix::random_normal(16, 48, rng);
+  const Int8Gemm engine(w);
+  EXPECT_EQ(engine.weight_bytes(), 16u * 48u);
+  EXPECT_EQ(engine.rows(), 16u);
+  EXPECT_EQ(engine.cols(), 48u);
+  EXPECT_GT(engine.weight_scale(), 0.0f);
+}
+
+TEST(Int8Gemm, ShapeValidation) {
+  Rng rng(5);
+  const Int8Gemm engine(Matrix::random_normal(4, 8, rng));
+  Matrix x(7, 1), y(4, 1);
+  EXPECT_THROW(engine.run(x, y), std::invalid_argument);
+}
+
+TEST(Int8Gemm, ZeroInputGivesZeroOutput) {
+  Rng rng(6);
+  const Int8Gemm engine(Matrix::random_normal(8, 8, rng));
+  Matrix x(8, 2), y(8, 2);
+  y.fill(5.0f);
+  engine.run(x, y);
+  for (std::size_t c = 0; c < 2; ++c) {
+    for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(y(i, c), 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace biq

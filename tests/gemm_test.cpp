@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "gemm/gemm_blocked.hpp"
+#include "gemm/gemm_ref.hpp"
+#include "quant/greedy.hpp"
+
+namespace biq {
+namespace {
+
+TEST(GemmRef, KnownSmallProduct) {
+  Matrix w(2, 3);
+  // W = [1 2 3; 4 5 6]
+  w(0, 0) = 1; w(0, 1) = 2; w(0, 2) = 3;
+  w(1, 0) = 4; w(1, 1) = 5; w(1, 2) = 6;
+  Matrix x(3, 1);
+  x(0, 0) = 1; x(1, 0) = 0; x(2, 0) = -1;
+  Matrix y(2, 1);
+  gemm_ref(w, x, y);
+  EXPECT_FLOAT_EQ(y(0, 0), -2.0f);
+  EXPECT_FLOAT_EQ(y(1, 0), -2.0f);
+}
+
+TEST(GemmRef, RejectsShapeMismatch) {
+  Matrix w(2, 3), x(4, 1), y(2, 1);
+  EXPECT_THROW(gemm_ref(w, x, y), std::invalid_argument);
+}
+
+TEST(GemmNaive, MatchesReferenceAcrossShapes) {
+  for (const auto [m, n, b] :
+       {std::tuple{1, 1, 1}, std::tuple{7, 5, 3}, std::tuple{64, 33, 9},
+        std::tuple{130, 70, 2}}) {
+    Rng rng(static_cast<std::uint64_t>(m + n + b));
+    Matrix w = Matrix::random_normal(m, n, rng);
+    Matrix x = Matrix::random_normal(n, b, rng);
+    Matrix expected(m, b), actual(m, b);
+    gemm_ref(w, x, expected);
+    gemm_naive(w, x, actual);
+    EXPECT_TRUE(allclose(actual, expected, 1e-3f, 1e-3f));
+  }
+}
+
+TEST(GemvRef, MatchesGemmSingleColumn) {
+  Rng rng(1);
+  Matrix w = Matrix::random_normal(7, 9, rng);
+  Matrix x = Matrix::random_normal(9, 1, rng);
+  Matrix y(7, 1);
+  gemm_ref(w, x, y);
+  std::vector<float> yv(7);
+  gemv_ref(w, x.col(0), yv.data());
+  for (std::size_t i = 0; i < 7; ++i) EXPECT_FLOAT_EQ(yv[i], y(i, 0));
+}
+
+TEST(GemmBinaryRef, MatchesFloatGemm) {
+  Rng rng(2);
+  BinaryMatrix b = BinaryMatrix::random(6, 11, rng);
+  Matrix x = Matrix::random_normal(11, 3, rng);
+  Matrix expected(6, 3), actual(6, 3);
+  gemm_ref(b.to_float_rowmajor_as_colmajor(), x, expected);
+  gemm_binary_ref(b, x, actual);
+  EXPECT_LT(max_abs_diff(actual, expected), 1e-4f);
+}
+
+TEST(GemmCodesRef, MatchesDequantizedGemm) {
+  Rng rng(3);
+  Matrix w = Matrix::random_normal(8, 24, rng);
+  const BinaryCodes codes = quantize_greedy(w, 3);
+  Matrix x = Matrix::random_normal(24, 5, rng);
+  Matrix expected(8, 5), actual(8, 5);
+  gemm_ref(codes.dequantize(), x, expected);
+  gemm_codes_ref(codes, x, actual);
+  EXPECT_LT(max_abs_diff(actual, expected), 1e-3f);
+}
+
+// ---- Blocked GEMM equivalence sweep (panels, tails, k-blocking) ----
+
+using BlockedParam = std::tuple<int, int, int>;  // m, n, b
+
+class BlockedGemmSweep : public ::testing::TestWithParam<BlockedParam> {};
+
+TEST_P(BlockedGemmSweep, MatchesReference) {
+  const auto [m, n, b] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 131 + n * 17 + b));
+  Matrix w = Matrix::random_normal(m, n, rng);
+  Matrix x = Matrix::random_normal(n, b, rng);
+  Matrix expected(m, b), actual(m, b);
+  gemm_ref(w, x, expected);
+  gemm_blocked(w, x, actual);
+  EXPECT_TRUE(allclose(actual, expected, 1e-3f, 1e-3f))
+      << "max diff " << max_abs_diff(actual, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlockedGemmSweep,
+    ::testing::Values(BlockedParam{1, 1, 1}, BlockedParam{8, 8, 4},
+                      BlockedParam{7, 5, 3}, BlockedParam{9, 16, 1},
+                      BlockedParam{16, 9, 2}, BlockedParam{33, 64, 5},
+                      BlockedParam{64, 33, 8}, BlockedParam{65, 127, 7},
+                      BlockedParam{128, 600, 6},  // crosses the k-block
+                      BlockedParam{130, 70, 12}));
+
+TEST(BlockedGemm, MultithreadedMatchesSerial) {
+  Rng rng(5);
+  Matrix w = Matrix::random_normal(100, 64, rng);
+  Matrix x = Matrix::random_normal(64, 9, rng);
+  Matrix serial(100, 9), threaded(100, 9);
+  ThreadPool pool(4);
+  gemm_blocked(w, x, serial, nullptr);
+  gemm_blocked(w, x, threaded, &pool);
+  EXPECT_LT(max_abs_diff(serial, threaded), 1e-5f);
+}
+
+TEST(BlockedGemm, PrepackedReuseAcrossBatches) {
+  Rng rng(6);
+  Matrix w = Matrix::random_normal(24, 40, rng);
+  const BlockedGemm packed(w);
+  EXPECT_EQ(packed.rows(), 24u);
+  EXPECT_EQ(packed.cols(), 40u);
+  for (int rep = 0; rep < 3; ++rep) {
+    Matrix x = Matrix::random_normal(40, 5, rng);
+    Matrix expected(24, 5), actual(24, 5);
+    gemm_ref(w, x, expected);
+    packed.run(x, actual);
+    EXPECT_TRUE(allclose(actual, expected, 1e-3f, 1e-3f));
+  }
+}
+
+TEST(BlockedGemm, RunRejectsShapeMismatch) {
+  Rng rng(7);
+  Matrix w = Matrix::random_normal(4, 4, rng);
+  const BlockedGemm packed(w);
+  Matrix x(5, 1), y(4, 1);
+  EXPECT_THROW(packed.run(x, y), std::invalid_argument);
+}
+
+TEST(BlockedGemm, OverwritesStaleOutput) {
+  Rng rng(8);
+  Matrix w = Matrix::random_normal(10, 10, rng);
+  Matrix x = Matrix::random_normal(10, 2, rng);
+  Matrix expected(10, 2);
+  gemm_ref(w, x, expected);
+  Matrix y(10, 2);
+  y.fill(123.0f);  // stale garbage must not leak into the result
+  gemm_blocked(w, x, y);
+  EXPECT_TRUE(allclose(y, expected, 1e-3f, 1e-3f));
+}
+
+}  // namespace
+}  // namespace biq

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "gemm/gemm_ref.hpp"
+#include "gemm/gemm_unpack.hpp"
+#include "quant/greedy.hpp"
+
+namespace biq {
+namespace {
+
+TEST(GemmUnpack, MatchesBinaryReferenceAlignedWidth) {
+  Rng rng(1);
+  BinaryMatrix b = BinaryMatrix::random(9, 64, rng);  // exactly 2 words
+  Matrix x = Matrix::random_normal(64, 4, rng);
+  Matrix expected(9, 4), actual(9, 4);
+  gemm_binary_ref(b, x, expected);
+  gemm_unpack(pack_rows_u32(b), x, actual);
+  EXPECT_LT(max_abs_diff(actual, expected), 1e-3f);
+}
+
+TEST(GemmUnpack, MatchesBinaryReferenceRaggedWidth) {
+  Rng rng(2);
+  BinaryMatrix b = BinaryMatrix::random(5, 45, rng);  // tail of 13 bits
+  Matrix x = Matrix::random_normal(45, 3, rng);
+  Matrix expected(5, 3), actual(5, 3);
+  gemm_binary_ref(b, x, expected);
+  gemm_unpack(pack_rows_u32(b), x, actual);
+  EXPECT_LT(max_abs_diff(actual, expected), 1e-3f);
+}
+
+TEST(GemmUnpack, SingleColumn) {
+  Rng rng(3);
+  BinaryMatrix b = BinaryMatrix::random(17, 96, rng);
+  Matrix x = Matrix::random_normal(96, 1, rng);
+  Matrix expected(17, 1), actual(17, 1);
+  gemm_binary_ref(b, x, expected);
+  gemm_unpack(pack_rows_u32(b), x, actual);
+  EXPECT_LT(max_abs_diff(actual, expected), 1e-3f);
+}
+
+TEST(GemmUnpackCodes, MatchesCodesReference) {
+  Rng rng(4);
+  Matrix w = Matrix::random_normal(12, 80, rng);
+  const BinaryCodes codes = quantize_greedy(w, 3);
+  Matrix x = Matrix::random_normal(80, 6, rng);
+  Matrix expected(12, 6), actual(12, 6);
+  gemm_codes_ref(codes, x, expected);
+  gemm_unpack_codes(pack_code_planes(codes), codes.alphas, x, actual);
+  EXPECT_LT(max_abs_diff(actual, expected), 1e-3f);
+}
+
+TEST(GemmUnpackCodes, RejectsEmptyPlanes) {
+  Matrix x(4, 1), y(4, 1);
+  EXPECT_THROW(gemm_unpack_codes({}, {}, x, y), std::invalid_argument);
+}
+
+TEST(RowMajorGemm, MatchesReference) {
+  Rng rng(7);
+  Matrix w = Matrix::random_normal(9, 70, rng);  // ragged 32-group tail
+  Matrix x = Matrix::random_normal(70, 3, rng);
+  Matrix expected(9, 3), actual(9, 3);
+  gemm_ref(w, x, expected);
+  const RowMajorGemm dense(w);
+  dense.run(x, actual);
+  EXPECT_TRUE(allclose(actual, expected, 1e-3f, 1e-3f));
+  EXPECT_EQ(dense.rows(), 9u);
+  EXPECT_EQ(dense.cols(), 70u);
+}
+
+TEST(RowMajorGemm, ShapeValidation) {
+  Rng rng(8);
+  const RowMajorGemm dense(Matrix::random_normal(4, 32, rng));
+  Matrix x(31, 1), y(4, 1);
+  EXPECT_THROW(dense.run(x, y), std::invalid_argument);
+}
+
+TEST(GemmPackedNoUnpack, RunsButDiffersFromCorrectResult) {
+  Rng rng(5);
+  BinaryMatrix b = BinaryMatrix::random(8, 64, rng);
+  Matrix x = Matrix::random_normal(64, 2, rng);
+  Matrix correct(8, 2), probe(8, 2);
+  gemm_binary_ref(b, x, correct);
+  gemm_packed_no_unpack(pack_rows_u32(b), x, probe);
+  // The probe is a bandwidth experiment: it must complete with the right
+  // shape but (for random data) produce different numbers.
+  EXPECT_GT(max_abs_diff(probe, correct), 1e-3f);
+}
+
+TEST(GemmPackedNoUnpack, ShapeValidation) {
+  BinaryMatrix b(4, 32);
+  Matrix x(31, 1), y(4, 1);
+  EXPECT_THROW(gemm_packed_no_unpack(pack_rows_u32(b), x, y),
+               std::invalid_argument);
+}
+
+TEST(PackCodePlanes, OnePackedPlanePerBit) {
+  Rng rng(6);
+  Matrix w = Matrix::random_normal(6, 40, rng);
+  const BinaryCodes codes = quantize_greedy(w, 2);
+  const auto planes = pack_code_planes(codes);
+  ASSERT_EQ(planes.size(), 2u);
+  for (unsigned q = 0; q < 2; ++q) {
+    for (std::size_t i = 0; i < 6; ++i) {
+      for (std::size_t j = 0; j < 40; ++j) {
+        EXPECT_EQ(planes[q].sign_at(i, j), codes.planes[q](i, j));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace biq

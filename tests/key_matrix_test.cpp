@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "core/key_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace biq {
+namespace {
+
+TEST(KeyMatrix, PaperPackingExample) {
+  // {-1, 1, 1, -1} -> 0110b = 6 (paper Fig. 5).
+  BinaryMatrix b(1, 4);
+  b(0, 0) = -1;
+  b(0, 1) = 1;
+  b(0, 2) = 1;
+  b(0, 3) = -1;
+  const KeyMatrix k(b, 4);
+  EXPECT_EQ(k.tables(), 1u);
+  EXPECT_EQ(k.key(0, 0), 6u);
+}
+
+TEST(KeyMatrix, FirstElementIsMsb) {
+  BinaryMatrix b(1, 4);
+  b(0, 0) = 1;
+  b(0, 1) = -1;
+  b(0, 2) = -1;
+  b(0, 3) = -1;
+  const KeyMatrix k(b, 4);
+  EXPECT_EQ(k.key(0, 0), 8u);  // 1000b
+}
+
+TEST(KeyMatrix, TableCountFormula) {
+  EXPECT_EQ(table_count(12, 4), 3u);
+  EXPECT_EQ(table_count(13, 4), 4u);
+  EXPECT_EQ(table_count(1, 8), 1u);
+  EXPECT_EQ(table_count(0, 8), 0u);
+}
+
+TEST(KeyMatrix, TailGroupPacksMissingAsZeroBits) {
+  BinaryMatrix b(1, 5);  // mu=4 -> second group has one real element
+  for (std::size_t j = 0; j < 5; ++j) b(0, j) = 1;
+  const KeyMatrix k(b, 4);
+  EXPECT_EQ(k.tables(), 2u);
+  EXPECT_EQ(k.key(0, 0), 0xFu);
+  EXPECT_EQ(k.key(0, 1), 0x8u);  // only the MSB position is a real +1
+}
+
+class KeyMatrixMuSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(KeyMatrixMuSweep, KeysMatchManualBitPacking) {
+  const unsigned mu = GetParam();
+  Rng rng(mu);
+  const std::size_t n = 3 * mu + (mu > 1 ? 1 : 0);  // force a tail group
+  BinaryMatrix b = BinaryMatrix::random(7, n, rng);
+  const KeyMatrix k(b, mu);
+  EXPECT_EQ(k.mu(), mu);
+  EXPECT_EQ(k.tables(), table_count(n, mu));
+  for (std::size_t i = 0; i < 7; ++i) {
+    for (std::size_t t = 0; t < k.tables(); ++t) {
+      unsigned expect = 0;
+      for (unsigned j = 0; j < mu; ++j) {
+        const std::size_t col = t * mu + j;
+        if (col < n && b(i, col) > 0) expect |= 1u << (mu - 1 - j);
+      }
+      EXPECT_EQ(k.key(i, t), expect) << "mu=" << mu << " i=" << i << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MuRange, KeyMatrixMuSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 7u, 8u, 9u, 12u,
+                                           15u, 16u));
+
+TEST(KeyMatrix, NarrowStorageForSmallMu) {
+  Rng rng(1);
+  BinaryMatrix b = BinaryMatrix::random(4, 16, rng);
+  const KeyMatrix k8(b, 8);
+  EXPECT_FALSE(k8.wide());
+  EXPECT_EQ(k8.storage_bytes(), 4u * 2u * sizeof(std::uint8_t));
+  const KeyMatrix k12(b, 12);
+  EXPECT_TRUE(k12.wide());
+  EXPECT_EQ(k12.storage_bytes(), 4u * 2u * sizeof(std::uint16_t));
+}
+
+TEST(KeyMatrix, MuEightRowBytesEqualPackedWeights) {
+  // The paper's key claim about storage: with mu=8 the key matrix IS the
+  // bit-packed weight matrix (m * n/8 bytes).
+  Rng rng(2);
+  BinaryMatrix b = BinaryMatrix::random(16, 256, rng);
+  const KeyMatrix k(b, 8);
+  EXPECT_EQ(k.storage_bytes(), 16u * 256u / 8u);
+}
+
+TEST(KeyMatrix, Row8PointerSeesSameKeys) {
+  Rng rng(3);
+  BinaryMatrix b = BinaryMatrix::random(3, 24, rng);
+  const KeyMatrix k(b, 8);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::uint8_t* row = k.row8(i);
+    for (std::size_t t = 0; t < k.tables(); ++t) {
+      EXPECT_EQ(row[t], k.key(i, t));
+    }
+  }
+}
+
+TEST(KeyMatrix, RejectsInvalidMu) {
+  BinaryMatrix b(1, 8);
+  EXPECT_THROW(KeyMatrix(b, 0), std::invalid_argument);
+  EXPECT_THROW(KeyMatrix(b, 17), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace biq

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "nn/layernorm.hpp"
+#include "nn/tensor.hpp"
+
+namespace biq::nn {
+namespace {
+
+Matrix filled(std::initializer_list<float> vals, std::size_t rows,
+              std::size_t cols) {
+  Matrix m(rows, cols);
+  auto it = vals.begin();
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) m(r, c) = *it++;
+  }
+  return m;
+}
+
+TEST(Activations, ReluClampsNegatives) {
+  Matrix x = filled({-1.0f, 0.0f, 2.5f}, 3, 1);
+  apply_relu(x);
+  EXPECT_EQ(x(0, 0), 0.0f);
+  EXPECT_EQ(x(1, 0), 0.0f);
+  EXPECT_EQ(x(2, 0), 2.5f);
+}
+
+TEST(Activations, SigmoidKnownValues) {
+  Matrix x = filled({0.0f}, 1, 1);
+  apply_sigmoid(x);
+  EXPECT_FLOAT_EQ(x(0, 0), 0.5f);
+  EXPECT_FLOAT_EQ(sigmoid(0.0f), 0.5f);
+  EXPECT_NEAR(sigmoid(100.0f), 1.0f, 1e-6f);
+  EXPECT_NEAR(sigmoid(-100.0f), 0.0f, 1e-6f);
+}
+
+TEST(Activations, TanhMatchesStd) {
+  Matrix x = filled({0.7f, -1.3f}, 2, 1);
+  apply_tanh(x);
+  EXPECT_FLOAT_EQ(x(0, 0), std::tanh(0.7f));
+  EXPECT_FLOAT_EQ(x(1, 0), std::tanh(-1.3f));
+}
+
+TEST(Activations, GeluProperties) {
+  Matrix x = filled({0.0f, 3.0f, -3.0f}, 3, 1);
+  apply_gelu(x);
+  EXPECT_FLOAT_EQ(x(0, 0), 0.0f);
+  EXPECT_NEAR(x(1, 0), 3.0f, 0.02f);   // ~identity for large positive
+  EXPECT_NEAR(x(2, 0), 0.0f, 0.01f);   // ~zero for large negative
+}
+
+TEST(Activations, DispatchEnum) {
+  Matrix x = filled({-2.0f}, 1, 1);
+  apply(x, Act::kRelu);
+  EXPECT_EQ(x(0, 0), 0.0f);
+}
+
+TEST(Softmax, ColumnsSumToOne) {
+  Rng rng(1);
+  Matrix x = Matrix::random_normal(9, 4, rng);
+  softmax_columns(x);
+  for (std::size_t c = 0; c < 4; ++c) {
+    float sum = 0.0f;
+    for (std::size_t i = 0; i < 9; ++i) {
+      EXPECT_GT(x(i, c), 0.0f);
+      sum += x(i, c);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Softmax, StableForLargeLogits) {
+  Matrix x = filled({1000.0f, 999.0f}, 2, 1);
+  softmax_columns(x);
+  EXPECT_TRUE(std::isfinite(x(0, 0)));
+  EXPECT_NEAR(x(0, 0) + x(1, 0), 1.0f, 1e-5f);
+  EXPECT_GT(x(0, 0), x(1, 0));
+}
+
+TEST(Softmax, UniformInputGivesUniformOutput) {
+  Matrix x(5, 1);
+  x.fill(0.3f);
+  softmax_columns(x);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(x(i, 0), 0.2f, 1e-6f);
+}
+
+TEST(LayerNorm, NormalizesToZeroMeanUnitVar) {
+  Rng rng(2);
+  Matrix x = Matrix::random_normal(64, 3, rng, 5.0f, 3.0f);
+  LayerNorm ln(64);
+  ln.forward(x);
+  for (std::size_t c = 0; c < 3; ++c) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t i = 0; i < 64; ++i) mean += x(i, c);
+    mean /= 64.0;
+    for (std::size_t i = 0; i < 64; ++i) var += (x(i, c) - mean) * (x(i, c) - mean);
+    var /= 64.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(LayerNorm, GammaBetaApplied) {
+  Matrix x = filled({1.0f, 3.0f}, 2, 1);
+  LayerNorm ln(2);
+  ln.gamma() = {2.0f, 2.0f};
+  ln.beta() = {10.0f, 10.0f};
+  ln.forward(x);
+  // normalized values are -1, +1 -> scaled to 8, 12.
+  EXPECT_NEAR(x(0, 0), 8.0f, 1e-2f);
+  EXPECT_NEAR(x(1, 0), 12.0f, 1e-2f);
+}
+
+TEST(LayerNorm, RejectsWrongDim) {
+  Matrix x(3, 1);
+  LayerNorm ln(4);
+  EXPECT_THROW(ln.forward(x), std::invalid_argument);
+}
+
+TEST(TensorHelpers, AddBias) {
+  Matrix y = filled({1.0f, 2.0f, 3.0f, 4.0f}, 2, 2);
+  add_bias(y, {10.0f, 20.0f});
+  EXPECT_EQ(y(0, 0), 11.0f);
+  EXPECT_EQ(y(1, 0), 22.0f);
+  EXPECT_EQ(y(0, 1), 13.0f);
+  EXPECT_EQ(y(1, 1), 24.0f);
+  EXPECT_THROW(add_bias(y, {1.0f}), std::invalid_argument);
+}
+
+TEST(TensorHelpers, AddIntoAndCopyInto) {
+  Matrix a = filled({1.0f, 2.0f}, 2, 1);
+  Matrix b = filled({10.0f, 20.0f}, 2, 1);
+  Matrix dst(2, 1);
+  add_into(a, b, dst);
+  EXPECT_EQ(dst(0, 0), 11.0f);
+  EXPECT_EQ(dst(1, 0), 22.0f);
+  copy_into(a, dst);
+  EXPECT_EQ(dst(1, 0), 2.0f);
+  // In-place residual (dst aliases a) must also work.
+  add_into(a, b, a);
+  EXPECT_EQ(a(0, 0), 11.0f);
+}
+
+TEST(TensorHelpers, Transpose) {
+  Matrix a = filled({1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f}, 2, 3);
+  Matrix t = transpose(a);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(t(j, i), a(i, j));
+  }
+}
+
+TEST(TensorHelpers, XavierBoundsAndDeterminism) {
+  Rng r1(3), r2(3);
+  Matrix a = xavier_uniform(30, 50, r1);
+  Matrix b = xavier_uniform(30, 50, r2);
+  EXPECT_EQ(max_abs_diff(a, b), 0.0f);
+  const float limit = std::sqrt(6.0f / 80.0f);
+  for (std::size_t j = 0; j < 50; ++j) {
+    for (std::size_t i = 0; i < 30; ++i) {
+      EXPECT_LE(std::fabs(a(i, j)), limit);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace biq::nn

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "matrix/binary_matrix.hpp"
+#include "matrix/matrix.hpp"
+#include "matrix/packing.hpp"
+
+namespace biq {
+namespace {
+
+TEST(Packing, RoundTripU64) {
+  Rng rng(1);
+  BinaryMatrix b = BinaryMatrix::random(5, 130, rng);  // spans 3 words
+  PackedBits64 p = pack_rows_u64(b);
+  EXPECT_EQ(p.words_per_row(), 3u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 130; ++j) {
+      EXPECT_EQ(p.sign_at(i, j), b(i, j)) << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(Packing, RoundTripU32) {
+  Rng rng(2);
+  BinaryMatrix b = BinaryMatrix::random(3, 33, rng);
+  PackedBits32 p = pack_rows_u32(b);
+  EXPECT_EQ(p.words_per_row(), 2u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 33; ++j) {
+      EXPECT_EQ(p.sign_at(i, j), b(i, j));
+    }
+  }
+}
+
+TEST(Packing, TailBitsAreZero) {
+  BinaryMatrix b(1, 10);  // all +1 => low 10 bits set
+  PackedBits64 p = pack_rows_u64(b);
+  EXPECT_EQ(p.row(0)[0], (std::uint64_t{1} << 10) - 1);
+}
+
+TEST(Packing, BitZeroIsLowestColumn) {
+  BinaryMatrix b(1, 8);
+  for (std::size_t j = 0; j < 8; ++j) b(0, j) = -1;
+  b(0, 0) = 1;  // only column 0 positive
+  PackedBits32 p = pack_rows_u32(b);
+  EXPECT_EQ(p.row(0)[0], 1u);
+}
+
+TEST(Packing, UnpackWordMatchesAlgorithm3) {
+  // Algorithm 3: w_i = ((x >> i) & 1) * 2 - 1.
+  const std::uint32_t word = 0b1011u;
+  float dst[32];
+  unpack_word_to_pm1(word, dst);
+  EXPECT_EQ(dst[0], 1.0f);
+  EXPECT_EQ(dst[1], 1.0f);
+  EXPECT_EQ(dst[2], -1.0f);
+  EXPECT_EQ(dst[3], 1.0f);
+  for (int i = 4; i < 32; ++i) EXPECT_EQ(dst[i], -1.0f);
+}
+
+TEST(Packing, UnpackRowRecoversSigns) {
+  Rng rng(3);
+  BinaryMatrix b = BinaryMatrix::random(2, 70, rng);
+  PackedBits64 p = pack_rows_u64(b);
+  std::vector<std::int8_t> out(70);
+  unpack_row(p, 1, out.data());
+  for (std::size_t j = 0; j < 70; ++j) EXPECT_EQ(out[j], b(1, j));
+}
+
+TEST(Packing, ColumnSignsPackNonNegativeAsPlus) {
+  Matrix x(70, 2);
+  Rng rng(4);
+  fill_normal(rng, x.data(), x.size());
+  x(10, 0) = 0.0f;  // sign(0) := +1
+  PackedBits64 p = pack_column_signs_u64(x);
+  EXPECT_EQ(p.rows(), 2u);   // one packed row per batch column
+  EXPECT_EQ(p.cols(), 70u);  // n bits each
+  for (std::size_t c = 0; c < 2; ++c) {
+    for (std::size_t k = 0; k < 70; ++k) {
+      const int expected = x(k, c) >= 0.0f ? 1 : -1;
+      EXPECT_EQ(p.sign_at(c, k), expected);
+    }
+  }
+}
+
+TEST(Packing, StorageBytesMatchesWordCount) {
+  BinaryMatrix b(7, 100);
+  PackedBits64 p = pack_rows_u64(b);
+  EXPECT_EQ(p.words_per_row(), 2u);
+  EXPECT_GE(p.storage_bytes(), 7u * 2u * 8u);
+}
+
+TEST(Packing, SetPlusOneIsIdempotent) {
+  PackedBits32 p(1, 40);
+  p.set_plus_one(0, 35);
+  p.set_plus_one(0, 35);
+  EXPECT_EQ(p.sign_at(0, 35), 1);
+  EXPECT_EQ(p.sign_at(0, 34), -1);
+}
+
+}  // namespace
+}  // namespace biq

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "threading/thread_pool.hpp"
+
+namespace biq {
+namespace {
+
+TEST(ThreadPool, WorkerCountMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_count(), 3u);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  int calls = 0;
+  pool.run([&](unsigned id) {
+    EXPECT_EQ(id, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, EveryWorkerRunsExactlyOnce) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<unsigned> seen;
+  pool.run([&](unsigned id) {
+    std::lock_guard lock(mu);
+    EXPECT_TRUE(seen.insert(id).second);
+  });
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_TRUE(seen.count(0));
+  EXPECT_TRUE(seen.count(3));
+}
+
+TEST(ThreadPool, ReusableAcrossRuns) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int rep = 0; rep < 50; ++rep) {
+    pool.run([&](unsigned) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 150);
+}
+
+TEST(ThreadPool, PropagatesWorkerException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run([](unsigned id) {
+        if (id == 2) throw std::runtime_error("boom");
+      }),
+      std::runtime_error);
+  // The pool must remain usable after an exception.
+  std::atomic<int> count{0};
+  pool.run([&](unsigned) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ThreadPool, PropagatesCallerThreadException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.run([](unsigned id) {
+        if (id == 0) throw std::logic_error("caller");
+      }),
+      std::logic_error);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, 1000, 7, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, 5, 5, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  parallel_for(pool, 9, 3, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, GrainLargerThanRangeRunsInline) {
+  ThreadPool pool(4);
+  int calls = 0;
+  parallel_for(pool, 0, 10, 100, [&](std::int64_t lo, std::int64_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 10);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, NonPositiveGrainIsClamped) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  parallel_for(pool, 0, 16, 0, [&](std::int64_t lo, std::int64_t hi) {
+    total.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(total.load(), 16);
+}
+
+TEST(ParallelFor, ChunksRespectGrain) {
+  ThreadPool pool(1);  // inline => deterministic chunking is observable
+  std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+  parallel_for(pool, 0, 10, 3, [&](std::int64_t lo, std::int64_t hi) {
+    chunks.emplace_back(lo, hi);
+  });
+  // worker_count()==1 short-circuits to a single inline call.
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].first, 0);
+  EXPECT_EQ(chunks[0].second, 10);
+}
+
+TEST(ParallelFor, ParallelSumMatchesSerial) {
+  ThreadPool pool(4);
+  std::vector<double> data(10000);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<double>(i);
+  std::atomic<long long> sum{0};
+  parallel_for(pool, 0, static_cast<std::int64_t>(data.size()), 128,
+               [&](std::int64_t lo, std::int64_t hi) {
+                 long long local = 0;
+                 for (std::int64_t i = lo; i < hi; ++i) {
+                   local += static_cast<long long>(data[i]);
+                 }
+                 sum.fetch_add(local);
+               });
+  EXPECT_EQ(sum.load(), 10000LL * 9999 / 2);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().worker_count(), 1u);
+}
+
+}  // namespace
+}  // namespace biq

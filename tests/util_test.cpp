@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+
+#include "util/aligned_buffer.hpp"
+#include "util/cpu_features.hpp"
+#include "util/footprint.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table_printer.hpp"
+
+namespace biq {
+namespace {
+
+TEST(AlignedBuffer, AlignmentIs64Bytes) {
+  AlignedBuffer<float> buf(17);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kDefaultAlignment, 0u);
+  EXPECT_EQ(buf.size(), 17u);
+}
+
+TEST(AlignedBuffer, ZeroFill) {
+  AlignedBuffer<float> buf(100, /*zero_fill=*/true);
+  for (float v : buf) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(AlignedBuffer, CopyIsDeep) {
+  AlignedBuffer<int> a(8);
+  for (std::size_t i = 0; i < 8; ++i) a[i] = static_cast<int>(i);
+  AlignedBuffer<int> b = a;
+  b[0] = 99;
+  EXPECT_EQ(a[0], 0);
+  EXPECT_EQ(b[0], 99);
+  EXPECT_EQ(b[7], 7);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<int> a(8);
+  a[3] = 42;
+  const int* ptr = a.data();
+  AlignedBuffer<int> b = std::move(a);
+  EXPECT_EQ(b.data(), ptr);
+  EXPECT_EQ(b[3], 42);
+}
+
+TEST(AlignedBuffer, EmptyBufferIsSafe) {
+  AlignedBuffer<float> buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.data(), nullptr);
+  AlignedBuffer<float> copy = buf;  // must not crash
+  EXPECT_TRUE(copy.empty());
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.uniform(-2.0f, 3.0f);
+    EXPECT_GE(v, -2.0f);
+    EXPECT_LT(v, 3.0f);
+  }
+}
+
+TEST(Rng, SignIsBalanced) {
+  Rng rng(11);
+  int pos = 0;
+  constexpr int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) pos += rng.sign() > 0 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(pos) / kDraws, 0.5, 0.03);
+}
+
+TEST(Rng, NormalHasRoughlyUnitMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.05);
+  EXPECT_NEAR(sq / kDraws, 1.0, 0.05);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(7), 7u);
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Stats, KnownValues) {
+  const SampleStats s = summarize({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_NEAR(s.stddev, 1.2909944, 1e-6);
+}
+
+TEST(Stats, OddCountMedian) {
+  const SampleStats s = summarize({5.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+TEST(Stats, EmptyIsZero) {
+  const SampleStats s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, MeasureRepetitionsRunsAtLeastMinReps) {
+  int calls = 0;
+  const auto samples = measure_repetitions([&] { ++calls; }, 5, 0.0);
+  EXPECT_GE(samples.size(), 5u);
+  EXPECT_EQ(static_cast<std::size_t>(calls), samples.size());
+}
+
+TEST(TablePrinter, MarkdownShape) {
+  TablePrinter t({"a", "bb"});
+  t.add_row({"1", "2"});
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| a "), std::string::npos);
+  EXPECT_NE(md.find("| bb "), std::string::npos);
+  // header + separator + one row = 3 lines
+  EXPECT_EQ(std::count(md.begin(), md.end(), '\n'), 3);
+}
+
+TEST(TablePrinter, CsvOutput) {
+  TablePrinter t({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(TablePrinter, RejectsWrongArity) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, FormatHelpers) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt_int(-42), "-42");
+}
+
+// The paper's Table II rows (512x512 weights, batch 18). Weight bytes:
+// 512*512*bits/8; input bytes 512*18*abits/8; output 512*18*4.
+TEST(Footprint, TableTwoFp32Row) {
+  const Footprint fp = model_footprint({512, 512, 18, 32, 32, 32});
+  EXPECT_EQ(fp.weight_bytes, 512u * 512u * 4u);
+  EXPECT_EQ(fp.input_bytes, 512u * 18u * 4u);
+  EXPECT_EQ(fp.output_bytes, 512u * 18u * 4u);
+  EXPECT_EQ(format_mb(fp.weight_bytes), "1.000");
+  // Paper reports 1.049 MB using 10^6 MB; our binary MB differs by the
+  // usual 1.049 factor — the byte counts match exactly.
+}
+
+TEST(Footprint, TableTwoQuantizedRows) {
+  // 3/32 row: weights 512*512*3/8 bytes = 0.094 MiB (paper: 0.098 MB).
+  const Footprint q3 = model_footprint({512, 512, 18, 3, 32, 32});
+  EXPECT_EQ(q3.weight_bytes, 512u * 512u * 3u / 8u);
+  // 2/32 row.
+  const Footprint q2 = model_footprint({512, 512, 18, 2, 32, 32});
+  EXPECT_EQ(q2.weight_bytes, 512u * 512u * 2u / 8u);
+  // 4/4 row quantizes activations too.
+  const Footprint q44 = model_footprint({512, 512, 18, 4, 4, 32});
+  EXPECT_EQ(q44.input_bytes, 512u * 18u / 2u);
+}
+
+TEST(Footprint, ScaleAccounting) {
+  const Footprint fp = model_footprint({512, 512, 18, 3, 32, 32},
+                                       /*include_scales=*/true);
+  EXPECT_EQ(fp.scale_bytes, 512u * 3u * sizeof(float));
+  EXPECT_EQ(fp.weight_bytes, 512u * 512u * 3u / 8u + fp.scale_bytes);
+}
+
+TEST(CpuFeatures, ProbeIsStableAndSane) {
+  const CpuFeatures& a = cpu_features();
+  const CpuFeatures& b = cpu_features();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.logical_cores, 1u);
+  EXPECT_FALSE(describe_machine().empty());
+}
+
+}  // namespace
+}  // namespace biq
