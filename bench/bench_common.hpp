@@ -1,9 +1,13 @@
-// Shared helpers for the figure/table reproduction binaries.
+// Shared helpers for the figure/table reproduction binaries. All benches
+// report through these so machine description (describe_machine) and
+// kernel naming (EngineRegistry names) stay uniform across tables.
 #pragma once
 
 #include <cstdio>
 #include <string>
 
+#include "engine/gemm_engine.hpp"
+#include "engine/registry.hpp"
 #include "util/cpu_features.hpp"
 #include "util/stats.hpp"
 
@@ -15,6 +19,22 @@ inline void print_header(const char* title, const char* paper_ref) {
   std::printf("reproduces: %s\n", paper_ref);
   std::printf("%s\n", describe_machine().c_str());
   std::printf("==================================================================\n\n");
+}
+
+/// One line per registered engine — printed by benches that sweep the
+/// registry so the table rows are attributable to engine names.
+inline void print_engine_lineup() {
+  std::printf("registered engines:\n");
+  for (const EngineSpec& spec : EngineRegistry::instance().specs()) {
+    std::printf("  %-16s %s\n", spec.name.c_str(), spec.summary.c_str());
+  }
+  std::printf("\n");
+}
+
+/// Canonical column label for an engine's runtime ("biqgemm us", ...).
+inline std::string engine_col(const std::string& name,
+                              const char* unit = "us") {
+  return name + " " + unit;
 }
 
 /// Median wall time of fn in seconds (at least `reps` runs and

@@ -1,17 +1,20 @@
 // google-benchmark microbenchmarks for the library's primitive kernels:
-// LUT builders, key packing, query loop, and the baseline GEMMs. These
-// complement the figure/table binaries with statistically managed
-// per-primitive numbers (and FLOP/byte counters).
+// LUT builders, key packing, and one run() benchmark per EngineRegistry
+// entry (registered dynamically from the registry, so a newly added
+// backend shows up here without touching this file). These complement
+// the figure/table binaries with statistically managed per-primitive
+// numbers (and FLOP/byte counters).
 #include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
 
 #include "core/biqgemm.hpp"
 #include "core/lut_builder.hpp"
-#include "gemm/gemm_blocked.hpp"
-#include "gemm/gemm_ref.hpp"
-#include "gemm/gemm_unpack.hpp"
-#include "gemm/xnor_gemm.hpp"
+#include "engine/registry.hpp"
 #include "quant/greedy.hpp"
 #include "util/aligned_buffer.hpp"
+#include "util/cpu_features.hpp"
 
 namespace {
 
@@ -71,77 +74,6 @@ void BM_KeyPack(benchmark::State& state) {
 }
 BENCHMARK(BM_KeyPack)->Arg(512)->Arg(1024)->Unit(benchmark::kMicrosecond);
 
-void BM_BiqGemm(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto b = static_cast<std::size_t>(state.range(1));
-  biq::Rng rng(n + b);
-  biq::Matrix w = biq::Matrix::random_normal(n, n, rng);
-  const biq::BiqGemm engine(biq::quantize_greedy(w, 1), {});
-  biq::Matrix x = biq::Matrix::random_normal(n, b, rng);
-  biq::Matrix y(n, b);
-  for (auto _ : state) {
-    engine.run(x, y);
-    benchmark::DoNotOptimize(y.data());
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(n * n * b / 8));
-}
-BENCHMARK(BM_BiqGemm)
-    ->Args({1024, 1})
-    ->Args({1024, 32})
-    ->Args({2048, 32})
-    ->Unit(benchmark::kMicrosecond);
-
-void BM_BlockedGemm(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto b = static_cast<std::size_t>(state.range(1));
-  biq::Rng rng(n + b);
-  biq::Matrix w = biq::Matrix::random_normal(n, n, rng);
-  const biq::BlockedGemm engine(w);
-  biq::Matrix x = biq::Matrix::random_normal(n, b, rng);
-  biq::Matrix y(n, b);
-  for (auto _ : state) {
-    engine.run(x, y);
-    benchmark::DoNotOptimize(y.data());
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(2 * n * n * b));
-}
-BENCHMARK(BM_BlockedGemm)
-    ->Args({1024, 1})
-    ->Args({1024, 32})
-    ->Args({2048, 32})
-    ->Unit(benchmark::kMicrosecond);
-
-void BM_XnorGemm(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto b = static_cast<std::size_t>(state.range(1));
-  biq::Rng rng(n + b);
-  biq::Matrix w = biq::Matrix::random_normal(n, n, rng);
-  const biq::XnorGemm engine(biq::quantize_greedy(w, 1));
-  biq::Matrix x = biq::Matrix::random_normal(n, b, rng);
-  biq::Matrix y(n, b);
-  for (auto _ : state) {
-    engine.run(x, y, 1);
-    benchmark::DoNotOptimize(y.data());
-  }
-}
-BENCHMARK(BM_XnorGemm)->Args({1024, 32})->Unit(benchmark::kMicrosecond);
-
-void BM_UnpackGemm(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  biq::Rng rng(n);
-  biq::BinaryMatrix plane = biq::BinaryMatrix::random(n, n, rng);
-  const biq::PackedBits32 packed = biq::pack_rows_u32(plane);
-  biq::Matrix x = biq::Matrix::random_normal(n, 32, rng);
-  biq::Matrix y(n, 32);
-  for (auto _ : state) {
-    biq::gemm_unpack(packed, x, y);
-    benchmark::DoNotOptimize(y.data());
-  }
-}
-BENCHMARK(BM_UnpackGemm)->Arg(1024)->Unit(benchmark::kMicrosecond);
-
 void BM_QuantizeGreedy(benchmark::State& state) {
   const auto bits = static_cast<unsigned>(state.range(0));
   biq::Rng rng(bits);
@@ -153,6 +85,63 @@ void BM_QuantizeGreedy(benchmark::State& state) {
 }
 BENCHMARK(BM_QuantizeGreedy)->Arg(1)->Arg(3)->Unit(benchmark::kMillisecond);
 
+/// run() of one registry engine at (n x n) weights, batch b. The engine
+/// is built once outside the timed loop (weight-stationary contract).
+void engine_run_bench(benchmark::State& state, const std::string& name,
+                      std::size_t n, std::size_t b) {
+  biq::Rng rng(n + b);
+  biq::Matrix w = biq::Matrix::random_normal(n, n, rng);
+  biq::EngineConfig cfg;
+  cfg.weight_bits = 1;
+  const std::unique_ptr<biq::GemmEngine> engine = biq::make_engine(name, w, cfg);
+  biq::Matrix x = biq::Matrix::random_normal(n, b, rng);
+  biq::Matrix y(n, b);
+  for (auto _ : state) {
+    engine->run(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  // Uniform throughput counter: the 2*n*n*b MACs of the dense product
+  // every engine replaces, so items/sec is comparable across engines.
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * n * n * b));
+  state.SetLabel(std::string(engine->name()) + " n=" + std::to_string(n) +
+                 " b=" + std::to_string(b));
+}
+
+void register_engine_benchmarks() {
+  struct Shape {
+    std::size_t n, b;
+  };
+  // Slow exhaustive baselines (naive, unpack, xnor at depth 1) get the
+  // small shape only; the packed/LUT engines also run the larger ones.
+  for (const std::string& name : biq::EngineRegistry::instance().names()) {
+    std::vector<Shape> shapes = {{512, 32}};
+    if (name == "biqgemm" || name == "biqgemm-grouped" || name == "blocked" ||
+        name == "int8") {
+      shapes.push_back({1024, 1});
+      shapes.push_back({1024, 32});
+    }
+    for (const Shape& s : shapes) {
+      benchmark::RegisterBenchmark(
+          ("BM_Engine/" + name + "/" + std::to_string(s.n) + "x" +
+           std::to_string(s.b))
+              .c_str(),
+          [name, s](benchmark::State& state) {
+            engine_run_bench(state, name, s.n, s.b);
+          })
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::printf("%s\n", biq::describe_machine().c_str());
+  register_engine_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

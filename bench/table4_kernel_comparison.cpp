@@ -4,63 +4,97 @@
 // SUBSTITUTION (documented in DESIGN.md): the paper's Table IV runs on a
 // V100 against kGpu / cuBLAS / xnor. No GPU here, so each baseline is
 // replaced by its CPU role-equivalent:
-//   kGpu  (unoptimized reference kernel) -> naive triple-loop GEMM
-//   cublas (vendor-optimized library)    -> blocked AVX2+FMA GEMM
-//   xnor  (both sides binarized)         -> XNOR-popcount GEMM
+//   kGpu  (unoptimized reference kernel) -> "naive" registry engine
+//   cublas (vendor-optimized library)    -> "blocked" registry engine
+//   xnor  (both sides binarized)         -> "xnor" registry engine
+// Every kernel is obtained from the EngineRegistry by name — the bench
+// has no compile-time knowledge of concrete kernel types, so swapping a
+// contender is a one-string change.
 // Shape expectations carried over: BiQGEMM dominates at batch 1 and large
 // matrices; the optimized dense library catches up as batch grows; xnor
 // is the only rival at large batch (at the cost of quantized
 // activations).
+#include <algorithm>
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
-#include "core/biqgemm.hpp"
-#include "gemm/gemm_blocked.hpp"
-#include "gemm/gemm_ref.hpp"
-#include "gemm/xnor_gemm.hpp"
-#include "quant/greedy.hpp"
+#include "engine/registry.hpp"
+#include "quant/quantize.hpp"
 #include "util/table_printer.hpp"
 
 int main() {
   biq::bench::print_header(
       "table4_kernel_comparison — BiQGEMM vs baseline kernels (1-bit)",
-      "paper Table IV on CPU stand-ins: naive GEMM=kGpu, blocked "
-      "GEMM=cublas, xnor=xnor; runtimes in microseconds");
+      "paper Table IV on CPU stand-ins: naive=kGpu, blocked=cublas, "
+      "xnor=xnor; runtimes in microseconds");
+  biq::bench::print_engine_lineup();
 
-  biq::TablePrinter table({"n (square)", "batch", "BiQGEMM us", "naive us",
-                           "blocked us", "xnor us", "vs naive", "vs blocked"});
+  const std::vector<std::string> contenders = {"biqgemm", "naive", "blocked",
+                                               "xnor"};
+  const auto idx = [&](const char* name) {
+    return static_cast<std::size_t>(
+        std::find(contenders.begin(), contenders.end(), name) -
+        contenders.begin());
+  };
+  const std::size_t subject = idx("biqgemm");
+  const std::size_t vs_naive = idx("naive");
+  const std::size_t vs_blocked = idx("blocked");
+
+  std::vector<std::string> cols = {"n (square)", "batch"};
+  for (const std::string& name : contenders) {
+    cols.push_back(biq::bench::engine_col(name));
+  }
+  cols.push_back("vs naive");
+  cols.push_back("vs blocked");
+  biq::TablePrinter table(cols);
+
+  biq::EngineConfig cfg;
+  cfg.weight_bits = 1;
 
   for (std::size_t n : {512u, 1024u, 2048u, 4096u}) {
     biq::Rng rng(n);
     biq::Matrix w = biq::Matrix::random_normal(n, n, rng, 0.0f, 0.05f);
-    const biq::BinaryCodes codes = biq::quantize_greedy(w, 1);
-    const biq::BiqGemm biq_engine(codes, {});
-    const biq::BlockedGemm blocked(w);
-    const biq::XnorGemm xnor(codes);
-    // The naive kernel multiplies the same 1-bit weights stored as fp32
-    // (the paper's containers-without-packing arrangement).
-    const biq::Matrix w_pm1 = codes.planes[0].to_float_rowmajor_as_colmajor();
+    // Quantize once; the packed engines share the codes via cfg.codes,
+    // and the dense kernels multiply the same 1-bit weights stored as
+    // fp32 (the paper's containers-without-packing arrangement), so
+    // every contender sees the quantized operand.
+    const biq::BinaryCodes codes =
+        biq::quantize(w, 1, biq::QuantMethod::kGreedy);
+    cfg.codes = &codes;
+    const biq::Matrix w_pm1 =
+        codes.planes[0].to_float_rowmajor_as_colmajor();
+    std::vector<std::unique_ptr<biq::GemmEngine>> engines;
+    engines.reserve(contenders.size());
+    for (const std::string& name : contenders) {
+      const bool dense = name == "naive" || name == "blocked";
+      engines.push_back(biq::make_engine(name, dense ? w_pm1 : w, cfg));
+    }
 
     for (std::size_t b : {1u, 32u, 128u, 256u}) {
       biq::Matrix x = biq::Matrix::random_normal(n, b, rng);
       biq::Matrix y(n, b);
 
-      const double t_biq = biq::bench::median_seconds([&] { biq_engine.run(x, y); });
-      // Naive GEMM is slow at the largest shapes; one timed rep is
-      // plenty there (it is the reference point, not the subject).
-      const bool big = n * n * b > (1u << 28);
-      const double t_naive = biq::bench::median_seconds(
-          [&] { biq::gemm_naive(w_pm1, x, y); }, big ? 1 : 3, big ? 0.0 : 0.05);
-      const double t_blocked =
-          biq::bench::median_seconds([&] { blocked.run(x, y); });
-      const double t_xnor =
-          biq::bench::median_seconds([&] { xnor.run(x, y, 1); });
+      std::vector<double> times;
+      times.reserve(engines.size());
+      for (const auto& engine : engines) {
+        // The naive kernel is slow at the largest shapes; one timed rep
+        // is plenty there (it is the reference point, not the subject).
+        const bool big =
+            engine->name() == "naive" && n * n * b > (std::size_t{1} << 28);
+        times.push_back(biq::bench::median_seconds(
+            [&] { engine->run(x, y); }, big ? 1 : 3, big ? 0.0 : 0.05));
+      }
 
-      table.add_row({std::to_string(n), std::to_string(b),
-                     biq::bench::us(t_biq, 0), biq::bench::us(t_naive, 0),
-                     biq::bench::us(t_blocked, 0), biq::bench::us(t_xnor, 0),
-                     biq::TablePrinter::fmt(t_naive / t_biq, 1) + "x",
-                     biq::TablePrinter::fmt(t_blocked / t_biq, 2) + "x"});
+      std::vector<std::string> row = {std::to_string(n), std::to_string(b)};
+      for (double t : times) row.push_back(biq::bench::us(t, 0));
+      row.push_back(
+          biq::TablePrinter::fmt(times[vs_naive] / times[subject], 1) + "x");
+      row.push_back(
+          biq::TablePrinter::fmt(times[vs_blocked] / times[subject], 2) + "x");
+      table.add_row(row);
     }
   }
   std::printf("%s\n", table.to_markdown().c_str());

@@ -7,9 +7,11 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/biqgemm.hpp"
+#include <memory>
+
+#include "core/key_matrix.hpp"
 #include "core/mu_select.hpp"
-#include "quant/greedy.hpp"
+#include "engine/registry.hpp"
 #include "util/cpu_features.hpp"
 #include "util/stats.hpp"
 #include "util/table_printer.hpp"
@@ -27,7 +29,10 @@ int main(int argc, char** argv) {
 
   biq::Rng rng(11);
   biq::Matrix w = biq::Matrix::random_normal(m, n, rng);
-  const biq::BinaryCodes codes = biq::quantize_greedy(w, 1);
+  // Quantization is the offline step: do it once and hand the codes to
+  // every per-mu engine build through EngineConfig::codes.
+  const biq::BinaryCodes codes =
+      biq::quantize(w, 1, biq::QuantMethod::kGreedy);
   biq::Matrix x = biq::Matrix::random_normal(n, batch, rng);
   biq::Matrix y(m, batch);
 
@@ -35,12 +40,16 @@ int main(int argc, char** argv) {
                            "LUT entries/table"});
   double best_time = 1e30;
   unsigned best_mu = 1;
+  // One registry-built engine per candidate mu (1-bit quantization, the
+  // kernel-comparison configuration); the concrete type never appears.
+  biq::EngineConfig cfg;
+  cfg.codes = &codes;
   for (unsigned mu = 1; mu <= max_mu; ++mu) {
-    biq::BiqGemmOptions opt;
-    opt.mu = mu;
-    const biq::BiqGemm engine(codes, opt);
+    cfg.kernel.mu = mu;
+    const std::unique_ptr<biq::GemmEngine> engine =
+        biq::make_engine("biqgemm", w, cfg);
     const auto t = biq::summarize(
-        biq::measure_repetitions([&] { engine.run(x, y); }, 3, 0.1));
+        biq::measure_repetitions([&] { engine->run(x, y); }, 3, 0.1));
     if (t.median < best_time) {
       best_time = t.median;
       best_mu = mu;

@@ -4,17 +4,20 @@
 //   $ ./quickstart [m] [n] [batch] [bits]
 //
 // This is the 60-second tour of the public API:
-//   quantize_greedy / quantize_alternating  -> BinaryCodes
-//   BiqGemm(codes)                          -> packed inference kernel
-//   kernel.run(x, y)                        -> Y = W_quantized . X
+//   EngineRegistry / make_engine("biqgemm", w, cfg) -> packed LUT kernel
+//   make_engine("blocked", w)                       -> fp32 baseline
+//   engine->run(x, y)                               -> Y = W . X
+// Every kernel comes from the registry by name; the concrete classes
+// (BiqGemm, BlockedGemm, ...) never appear here. The BiQGEMM hot loops
+// pick their ISA plane (scalar / AVX2) at construction from the running
+// CPU — the same binary works on machines with and without AVX2.
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
-#include "core/biqgemm.hpp"
 #include "core/mu_select.hpp"
-#include "gemm/gemm_blocked.hpp"
-#include "matrix/matrix.hpp"
-#include "quant/greedy.hpp"
+#include "engine/dispatch.hpp"
+#include "engine/registry.hpp"
 #include "util/cpu_features.hpp"
 #include "util/stats.hpp"
 
@@ -33,42 +36,46 @@ int main(int argc, char** argv) {
   biq::Matrix w = biq::Matrix::random_normal(m, n, rng, 0.0f, 0.05f);
   biq::Matrix x = biq::Matrix::random_normal(n, batch, rng);
 
-  // 2. Quantize (offline step — weights are fixed during inference).
-  const biq::BinaryCodes codes = biq::quantize_greedy(w, bits);
-
-  // 3. Build the BiQGEMM engine: packs each binary plane into the mu-bit
-  //    key matrix. The recommended mu for this output size:
+  // 2. Configure and build the BiQGEMM engine from the registry. The
+  //    factory quantizes (offline step — weights are fixed during
+  //    inference) and packs each binary plane into mu-bit keys.
   // Cap the model's argmin at 8: above 8 the keys widen to 16 bits,
   // doubling weight traffic, which the pure operation-count model does
   // not see (and matching the paper's empirical mu = 8).
-  biq::BiqGemmOptions opt;
-  opt.mu = biq::select_mu(m, 8);
-  const biq::BiqGemm engine(codes, opt);
-  std::printf("selected LUT-unit mu = %u (Eq. 9 cost factor %.4f)\n", opt.mu,
-              biq::biqgemm_cost_factor(m, opt.mu));
+  biq::EngineConfig cfg;
+  cfg.weight_bits = bits;
+  cfg.kernel.mu = biq::select_mu(m, 8);
+  const std::unique_ptr<biq::GemmEngine> engine =
+      biq::make_engine("biqgemm", w, cfg);
+  std::printf("selected LUT-unit mu = %u (Eq. 9 cost factor %.4f), "
+              "kernel plane: %s\n",
+              cfg.kernel.mu, biq::biqgemm_cost_factor(m, cfg.kernel.mu),
+              biq::engine::select_kernels(biq::KernelIsa::kAuto).isa);
 
-  // 4. Run and compare against the fp32 product.
+  // 3. Run and compare against the fp32 product (also registry-built).
+  const std::unique_ptr<biq::GemmEngine> dense = biq::make_engine("blocked", w);
   biq::Matrix y_quant(m, batch);
   biq::Matrix y_float(m, batch);
-  engine.run(x, y_quant);
-  const biq::BlockedGemm dense(w);
-  dense.run(x, y_float);
+  engine->run(x, y_quant);
+  dense->run(x, y_float);
 
   std::printf("relative output error vs fp32: %.4f (from %u-bit quantization)\n",
               biq::rel_fro_error(y_quant, y_float), bits);
   std::printf("weight memory: fp32 %.2f MB -> packed %.2f MB (%.1fx smaller)\n",
               static_cast<double>(m * n * 4) / 1048576.0,
-              static_cast<double>(engine.packed_weight_bytes()) / 1048576.0,
+              static_cast<double>(engine->weight_bytes()) / 1048576.0,
               static_cast<double>(m * n * 4) /
-                  static_cast<double>(engine.packed_weight_bytes()));
+                  static_cast<double>(engine->weight_bytes()));
 
-  // 5. Quick timing comparison (median of repeated runs).
+  // 4. Quick timing comparison (median of repeated runs).
   const auto t_biq = biq::summarize(biq::measure_repetitions(
-      [&] { engine.run(x, y_quant); }, 5, 0.2));
+      [&] { engine->run(x, y_quant); }, 5, 0.2));
   const auto t_gemm = biq::summarize(biq::measure_repetitions(
-      [&] { dense.run(x, y_float); }, 5, 0.2));
-  std::printf("BiQGEMM:   %8.2f us/run (median)\n", t_biq.median * 1e6);
-  std::printf("fp32 GEMM: %8.2f us/run (median)\n", t_gemm.median * 1e6);
+      [&] { dense->run(x, y_float); }, 5, 0.2));
+  std::printf("%s:   %8.2f us/run (median)\n",
+              std::string(engine->name()).c_str(), t_biq.median * 1e6);
+  std::printf("%s: %8.2f us/run (median)\n",
+              std::string(dense->name()).c_str(), t_gemm.median * 1e6);
   std::printf("speedup:   %.2fx\n", t_gemm.median / t_biq.median);
   return 0;
 }

@@ -6,26 +6,12 @@
 
 #include "core/biqgemv.hpp"
 #include "core/lut_builder.hpp"
-#include "simd/simd.hpp"
+#include "engine/dispatch.hpp"
 #include "util/aligned_buffer.hpp"
 #include "util/timer.hpp"
 
 namespace biq {
 namespace {
-
-using simd::F32x8;
-
-template <typename KeyT>
-const KeyT* key_row(const KeyMatrix& k, std::size_t i) noexcept;
-
-template <>
-const std::uint8_t* key_row<std::uint8_t>(const KeyMatrix& k, std::size_t i) noexcept {
-  return k.row8(i);
-}
-template <>
-const std::uint16_t* key_row<std::uint16_t>(const KeyMatrix& k, std::size_t i) noexcept {
-  return k.row16(i);
-}
 
 /// Per-worker scratch for one batch tile.
 struct Scratch {
@@ -60,114 +46,6 @@ void stage_x_tile(const Matrix& x, std::size_t c0, std::size_t lanes,
   }
 }
 
-void build_tile(const float* xt, float* lut, std::size_t tcount, unsigned mu,
-                std::size_t lanes, bool use_dp) {
-  const std::size_t table_stride = (std::size_t{1} << mu) * lanes;
-  for (std::size_t g = 0; g < tcount; ++g) {
-    if (use_dp) {
-      build_lut_dp_interleaved(xt + g * mu * lanes, mu, lanes,
-                               lut + g * table_stride);
-    } else {
-      build_lut_mm_interleaved(xt + g * mu * lanes, mu, lanes,
-                               lut + g * table_stride);
-    }
-  }
-}
-
-/// Vector query: lanes == 8, LUT entries 32-byte aligned.
-template <typename KeyT>
-void query_tile_vec(const std::vector<KeyMatrix>& keys,
-                    const std::vector<std::vector<float>>& alphas,
-                    std::size_t t0, std::size_t tcount, unsigned mu,
-                    const float* lut, float* ytile, std::size_t i0,
-                    std::size_t i1) {
-  const bool scaled = !alphas.empty();
-  for (std::size_t i = i0; i < i1; ++i) {
-    float* yrow = ytile + i * 8;
-    F32x8 yv = F32x8::load(yrow);
-    for (std::size_t q = 0; q < keys.size(); ++q) {
-      const KeyT* krow = key_row<KeyT>(keys[q], i) + t0;
-      F32x8 acc0 = F32x8::zero();
-      F32x8 acc1 = F32x8::zero();
-      std::size_t g = 0;
-      for (; g + 2 <= tcount; g += 2) {
-        acc0 = acc0 + F32x8::load(lut + (((g) << mu) + krow[g]) * 8);
-        acc1 = acc1 + F32x8::load(lut + (((g + 1) << mu) + krow[g + 1]) * 8);
-      }
-      if (g < tcount) {
-        acc0 = acc0 + F32x8::load(lut + ((g << mu) + krow[g]) * 8);
-      }
-      acc0 = acc0 + acc1;
-      if (scaled) {
-        yv.fma(F32x8::set1(alphas[q][i]), acc0);
-      } else {
-        yv = yv + acc0;
-      }
-    }
-    yv.store(yrow);
-  }
-}
-
-/// 16-lane (AVX-512) query; layout identical to the 8-lane path with a
-/// doubled entry stride.
-template <typename KeyT>
-void query_tile_vec16(const std::vector<KeyMatrix>& keys,
-                      const std::vector<std::vector<float>>& alphas,
-                      std::size_t t0, std::size_t tcount, unsigned mu,
-                      const float* lut, float* ytile, std::size_t i0,
-                      std::size_t i1) {
-  using simd::F32x16;
-  const bool scaled = !alphas.empty();
-  for (std::size_t i = i0; i < i1; ++i) {
-    float* yrow = ytile + i * 16;
-    F32x16 yv = F32x16::load(yrow);
-    for (std::size_t q = 0; q < keys.size(); ++q) {
-      const KeyT* krow = key_row<KeyT>(keys[q], i) + t0;
-      F32x16 acc0 = F32x16::zero();
-      F32x16 acc1 = F32x16::zero();
-      std::size_t g = 0;
-      for (; g + 2 <= tcount; g += 2) {
-        acc0 = acc0 + F32x16::load(lut + (((g) << mu) + krow[g]) * 16);
-        acc1 = acc1 + F32x16::load(lut + (((g + 1) << mu) + krow[g + 1]) * 16);
-      }
-      if (g < tcount) {
-        acc0 = acc0 + F32x16::load(lut + ((g << mu) + krow[g]) * 16);
-      }
-      acc0 = acc0 + acc1;
-      if (scaled) {
-        yv.fma(F32x16::set1(alphas[q][i]), acc0);
-      } else {
-        yv = yv + acc0;
-      }
-    }
-    yv.store(yrow);
-  }
-}
-
-/// Generic-lane query for partial batch tiles (lanes in [1, 15]).
-template <typename KeyT>
-void query_tile_any(const std::vector<KeyMatrix>& keys,
-                    const std::vector<std::vector<float>>& alphas,
-                    std::size_t t0, std::size_t tcount, unsigned mu,
-                    const float* lut, float* ytile, std::size_t lanes,
-                    std::size_t i0, std::size_t i1) {
-  const bool scaled = !alphas.empty();
-  float acc[16];
-  for (std::size_t i = i0; i < i1; ++i) {
-    float* yrow = ytile + i * lanes;
-    for (std::size_t q = 0; q < keys.size(); ++q) {
-      const KeyT* krow = key_row<KeyT>(keys[q], i) + t0;
-      for (std::size_t lane = 0; lane < lanes; ++lane) acc[lane] = 0.0f;
-      for (std::size_t g = 0; g < tcount; ++g) {
-        const float* entry = lut + ((g << mu) + krow[g]) * lanes;
-        for (std::size_t lane = 0; lane < lanes; ++lane) acc[lane] += entry[lane];
-      }
-      const float a = scaled ? alphas[q][i] : 1.0f;
-      for (std::size_t lane = 0; lane < lanes; ++lane) yrow[lane] += a * acc[lane];
-    }
-  }
-}
-
 struct KernelArgs {
   const std::vector<KeyMatrix>* keys;
   const std::vector<std::vector<float>>* alphas;
@@ -177,13 +55,26 @@ struct KernelArgs {
   unsigned mu;
   bool use_dp;
   TilePlan plan;
+  const engine::BiqKernels* kernels;  // ISA plane resolved at construction
   BiqGemmProfile* profile;  // non-null only in single-thread runs
 };
+
+void build_tile(const engine::BiqKernels& kernels, const float* xt, float* lut,
+                std::size_t tcount, unsigned mu, std::size_t lanes,
+                bool use_dp) {
+  const std::size_t table_stride = (std::size_t{1} << mu) * lanes;
+  for (std::size_t g = 0; g < tcount; ++g) {
+    if (use_dp) {
+      kernels.build_dp(xt + g * mu * lanes, mu, lanes, lut + g * table_stride);
+    } else {
+      kernels.build_mm(xt + g * mu * lanes, mu, lanes, lut + g * table_stride);
+    }
+  }
+}
 
 template <typename KeyT>
 void run_one_batch_tile(const KernelArgs& a, std::size_t c0, std::size_t lanes,
                         Scratch& scratch, ThreadPool* pool) {
-  const std::size_t entries = std::size_t{1} << a.mu;
   float* ytile = scratch.ytile.data();
 
   {
@@ -191,6 +82,17 @@ void run_one_batch_tile(const KernelArgs& a, std::size_t c0, std::size_t lanes,
     std::fill(ytile, ytile + a.m * lanes, 0.0f);
     if (a.profile) a.profile->replace_seconds += w.elapsed_seconds();
   }
+
+  engine::QueryTileArgs q;
+  q.keys = a.keys->data();
+  q.num_planes = a.keys->size();
+  q.alphas = a.alphas->empty() ? nullptr : a.alphas->data();
+  q.mu = a.mu;
+  q.lut = scratch.lut.data();
+  q.ytile = ytile;
+  q.lanes = lanes;
+  const auto query_fn = sizeof(KeyT) == 1 ? a.kernels->query_tile_u8
+                                          : a.kernels->query_tile_u16;
 
   for (std::size_t t0 = 0; t0 < a.ntables; t0 += a.plan.tables_per_tile) {
     const std::size_t tcount = std::min(a.plan.tables_per_tile, a.ntables - t0);
@@ -202,37 +104,30 @@ void run_one_batch_tile(const KernelArgs& a, std::size_t c0, std::size_t lanes,
     }
     {
       Stopwatch w;
-      build_tile(scratch.xt.data(), scratch.lut.data(), tcount, a.mu, lanes,
-                 a.use_dp);
+      build_tile(*a.kernels, scratch.xt.data(), scratch.lut.data(), tcount,
+                 a.mu, lanes, a.use_dp);
       if (a.profile) a.profile->build_seconds += w.elapsed_seconds();
     }
     {
       Stopwatch w;
-      auto query_rows = [&](std::size_t i0, std::size_t i1) {
-        if (lanes == 16) {
-          query_tile_vec16<KeyT>(*a.keys, *a.alphas, t0, tcount, a.mu,
-                                 scratch.lut.data(), ytile, i0, i1);
-        } else if (lanes == 8) {
-          query_tile_vec<KeyT>(*a.keys, *a.alphas, t0, tcount, a.mu,
-                               scratch.lut.data(), ytile, i0, i1);
-        } else {
-          query_tile_any<KeyT>(*a.keys, *a.alphas, t0, tcount, a.mu,
-                               scratch.lut.data(), ytile, lanes, i0, i1);
-        }
-      };
+      q.t0 = t0;
+      q.tcount = tcount;
       if (pool != nullptr && pool->worker_count() > 1) {
         parallel_for(*pool, 0, static_cast<std::int64_t>(a.m),
                      static_cast<std::int64_t>(a.plan.row_block),
                      [&](std::int64_t lo, std::int64_t hi) {
-                       query_rows(static_cast<std::size_t>(lo),
-                                  static_cast<std::size_t>(hi));
+                       engine::QueryTileArgs part = q;
+                       part.i0 = static_cast<std::size_t>(lo);
+                       part.i1 = static_cast<std::size_t>(hi);
+                       query_fn(part);
                      });
       } else {
-        query_rows(0, a.m);
+        q.i0 = 0;
+        q.i1 = a.m;
+        query_fn(q);
       }
       if (a.profile) a.profile->query_seconds += w.elapsed_seconds();
     }
-    (void)entries;
   }
 
   {
@@ -250,20 +145,13 @@ struct BatchTile {
   std::size_t lanes;
 };
 
-/// Greedy batch tiling: widest vector tiles first, then an 8-lane tile,
-/// then a scalar-lane remainder.
+/// Greedy batch tiling: full vector-width tiles first, then a
+/// partial-lane remainder.
 std::vector<BatchTile> plan_batch_tiles(std::size_t b, std::size_t max_lanes) {
   std::vector<BatchTile> tiles;
   std::size_t c0 = 0;
   while (c0 < b) {
-    std::size_t lanes;
-    if (max_lanes >= 16 && b - c0 >= 16) {
-      lanes = 16;
-    } else if (b - c0 >= 8) {
-      lanes = 8;
-    } else {
-      lanes = b - c0;
-    }
+    const std::size_t lanes = std::min(max_lanes, b - c0);
     tiles.push_back({c0, lanes});
     c0 += lanes;
   }
@@ -306,7 +194,7 @@ void run_kernel(const KernelArgs& args, ThreadPool* pool) {
 
 BiqGemm::BiqGemm(const BinaryCodes& codes, const BiqGemmOptions& opt)
     : m_(codes.rows), n_(codes.cols), bits_(codes.bits), opt_(opt),
-      alphas_(codes.alphas) {
+      kernels_(&engine::select_kernels(opt.isa)), alphas_(codes.alphas) {
   if (bits_ == 0 || codes.planes.size() != bits_) {
     throw std::invalid_argument("BiqGemm: malformed BinaryCodes");
   }
@@ -320,12 +208,15 @@ BiqGemm::BiqGemm(const BinaryCodes& codes, const BiqGemmOptions& opt)
 }
 
 BiqGemm::BiqGemm(const BinaryMatrix& plane, const BiqGemmOptions& opt)
-    : m_(plane.rows()), n_(plane.cols()), bits_(1), opt_(opt) {
+    : m_(plane.rows()), n_(plane.cols()), bits_(1), opt_(opt),
+      kernels_(&engine::select_kernels(opt.isa)) {
   if (opt_.mu == 0 || opt_.mu > kMaxLutUnit) {
     throw std::invalid_argument("BiqGemm: mu must be in [1, 16]");
   }
   keys_.emplace_back(plane, opt_.mu);
 }
+
+std::string_view BiqGemm::isa() const noexcept { return kernels_->isa; }
 
 std::size_t BiqGemm::packed_weight_bytes() const noexcept {
   std::size_t bytes = 0;
@@ -341,7 +232,7 @@ void BiqGemm::run(const Matrix& x, Matrix& y) const {
   if (x.cols() == 0 || m_ == 0) return;
 
   if (x.cols() == 1) {
-    biqgemv_packed(keys_, alphas_, x.col(0), y.col(0), m_, n_, opt_);
+    biqgemv_packed(keys_, alphas_, x.col(0), y.col(0), m_, n_, opt_, kernels_);
     return;
   }
 
@@ -355,7 +246,8 @@ void BiqGemm::run(const Matrix& x, Matrix& y) const {
   args.ntables = table_count(n_, opt_.mu);
   args.mu = opt_.mu;
   args.use_dp = opt_.use_dp_builder;
-  args.plan = plan_tiles(m_, x.cols(), opt_);
+  args.plan = plan_tiles(m_, x.cols(), opt_, kernels_->query_lanes);
+  args.kernels = kernels_;
   const bool serial = opt_.pool == nullptr || opt_.pool->worker_count() == 1;
   args.profile = serial ? opt_.profile : nullptr;
 

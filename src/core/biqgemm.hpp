@@ -12,16 +12,22 @@
 // mu-fold reduction of Eq. 10 when 2^mu << m.
 #pragma once
 
+#include <string_view>
 #include <vector>
 
 #include "core/context.hpp"
 #include "core/key_matrix.hpp"
+#include "engine/gemm_engine.hpp"
 #include "matrix/matrix.hpp"
 #include "quant/binary_codes.hpp"
 
 namespace biq {
 
-class BiqGemm {
+namespace engine {
+struct BiqKernels;
+}
+
+class BiqGemm final : public GemmEngine {
  public:
   /// Packs all planes of a quantized weight matrix. The BinaryCodes can
   /// be discarded afterwards; inference needs only this object.
@@ -33,10 +39,19 @@ class BiqGemm {
 
   /// Y = quantized W . X. X is n x b col-major, Y m x b col-major
   /// (overwritten). b == 1 takes the GEMV fast path.
-  void run(const Matrix& x, Matrix& y) const;
+  void run(const Matrix& x, Matrix& y) const override;
 
-  [[nodiscard]] std::size_t rows() const noexcept { return m_; }
-  [[nodiscard]] std::size_t cols() const noexcept { return n_; }
+  [[nodiscard]] std::size_t rows() const noexcept override { return m_; }
+  [[nodiscard]] std::size_t cols() const noexcept override { return n_; }
+  [[nodiscard]] std::size_t weight_bytes() const noexcept override {
+    return packed_weight_bytes();
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "biqgemm";
+  }
+  /// Kernel plane this instance dispatched to ("scalar" / "avx2") —
+  /// resolved once, at construction, from cpu_features().
+  [[nodiscard]] std::string_view isa() const noexcept;
   [[nodiscard]] unsigned bits() const noexcept { return bits_; }
   [[nodiscard]] unsigned mu() const noexcept { return opt_.mu; }
   [[nodiscard]] const BiqGemmOptions& options() const noexcept { return opt_; }
@@ -52,6 +67,7 @@ class BiqGemm {
   std::size_t n_ = 0;
   unsigned bits_ = 0;
   BiqGemmOptions opt_;
+  const engine::BiqKernels* kernels_ = nullptr;  // selected at construction
   std::vector<KeyMatrix> keys_;
   std::vector<std::vector<float>> alphas_;  // empty => unit scales
 };

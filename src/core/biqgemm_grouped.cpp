@@ -3,14 +3,11 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "core/lut_builder.hpp"
-#include "simd/simd.hpp"
+#include "engine/dispatch.hpp"
 #include "util/aligned_buffer.hpp"
 
 namespace biq {
 namespace {
-
-using simd::F32x8;
 
 /// Stages x rows [t0*mu, (t0+tcount)*mu) x columns [c0, c0+lanes) into
 /// the interleaved layout, zero-padded past n.
@@ -34,7 +31,8 @@ BiqGemmGrouped::BiqGemmGrouped(const GroupedBinaryCodes& codes,
                                const BiqGemmOptions& opt)
     : m_(codes.rows), n_(codes.cols), bits_(codes.bits),
       group_size_(codes.group_size), num_groups_(codes.num_groups),
-      opt_(opt), alphas_(codes.alphas) {
+      opt_(opt), kernels_(&engine::select_kernels(opt.isa)),
+      alphas_(codes.alphas) {
   if (bits_ == 0 || codes.planes.size() != bits_) {
     throw std::invalid_argument("BiqGemmGrouped: malformed codes");
   }
@@ -51,6 +49,8 @@ BiqGemmGrouped::BiqGemmGrouped(const GroupedBinaryCodes& codes,
     keys_.emplace_back(codes.planes[q], opt_.mu);
   }
 }
+
+std::string_view BiqGemmGrouped::isa() const noexcept { return kernels_->isa; }
 
 std::size_t BiqGemmGrouped::packed_weight_bytes() const noexcept {
   std::size_t bytes = 0;
@@ -69,71 +69,49 @@ void BiqGemmGrouped::run(const Matrix& x, Matrix& y) const {
   const unsigned mu = opt_.mu;
   const std::size_t ntables = table_count(n_, mu);
   const std::size_t entries = std::size_t{1} << mu;
-  const bool wide = mu > 8;
+  const auto query_fn =
+      mu > 8 ? kernels_->query_tile_u16 : kernels_->query_tile_u8;
 
-  // One LUT tile per scale group: accumulate the group's tables, scale
-  // once, add into the output tile.
-  const std::size_t lanes_max = std::min<std::size_t>(8, b);
+  // One LUT tile per scale group: the group's tables are accumulated and
+  // scaled in a single query_tile invocation — the per-(row, group) scale
+  // rides in through QueryTileArgs::alpha_stride / alpha_offset.
+  const std::size_t lanes_max =
+      std::min<std::size_t>(kernels_->query_lanes, b);
   AlignedBuffer<float> xt(tables_per_group_ * mu * lanes_max);
   AlignedBuffer<float> lut(tables_per_group_ * entries * lanes_max);
   AlignedBuffer<float> ytile(m_ * lanes_max);
 
+  engine::QueryTileArgs q;
+  q.keys = keys_.data();
+  q.num_planes = bits_;
+  q.alphas = alphas_.data();
+  q.alpha_stride = num_groups_;
+  q.mu = mu;
+  q.lut = lut.data();
+  q.ytile = ytile.data();
+  q.i0 = 0;
+  q.i1 = m_;
+
   for (std::size_t c0 = 0; c0 < b; c0 += lanes_max) {
     const std::size_t lanes = std::min(lanes_max, b - c0);
     std::fill(ytile.data(), ytile.data() + m_ * lanes, 0.0f);
+    q.lanes = lanes;
 
     for (std::size_t group = 0; group < num_groups_; ++group) {
       const std::size_t t0 = group * tables_per_group_;
-      const std::size_t tcount = std::min(tables_per_group_, ntables - t0);
       if (t0 >= ntables) break;
+      const std::size_t tcount = std::min(tables_per_group_, ntables - t0);
 
       stage_x(x, c0, lanes, t0, tcount, mu, xt.data());
       for (std::size_t g = 0; g < tcount; ++g) {
-        build_lut_dp_interleaved(xt.data() + g * mu * lanes, mu, lanes,
-                                 lut.data() + g * entries * lanes);
+        kernels_->build_dp(xt.data() + g * mu * lanes, mu, lanes,
+                           lut.data() + g * entries * lanes);
       }
 
-      if (lanes == 8) {
-        for (std::size_t i = 0; i < m_; ++i) {
-          float* yrow = ytile.data() + i * 8;
-          F32x8 yv = F32x8::load(yrow);
-          for (unsigned q = 0; q < bits_; ++q) {
-            F32x8 acc = F32x8::zero();
-            if (wide) {
-              const std::uint16_t* krow = keys_[q].row16(i) + t0;
-              for (std::size_t g = 0; g < tcount; ++g) {
-                acc = acc + F32x8::load(lut.data() + ((g << mu) + krow[g]) * 8);
-              }
-            } else {
-              const std::uint8_t* krow = keys_[q].row8(i) + t0;
-              for (std::size_t g = 0; g < tcount; ++g) {
-                acc = acc + F32x8::load(lut.data() + ((g << mu) + krow[g]) * 8);
-              }
-            }
-            yv.fma(F32x8::set1(alphas_[q][i * num_groups_ + group]), acc);
-          }
-          yv.store(yrow);
-        }
-      } else {
-        float acc[8];
-        for (std::size_t i = 0; i < m_; ++i) {
-          float* yrow = ytile.data() + i * lanes;
-          for (unsigned q = 0; q < bits_; ++q) {
-            for (std::size_t lane = 0; lane < lanes; ++lane) acc[lane] = 0.0f;
-            for (std::size_t g = 0; g < tcount; ++g) {
-              const unsigned key = keys_[q].key(i, t0 + g);
-              const float* entry = lut.data() + ((g << mu) + key) * lanes;
-              for (std::size_t lane = 0; lane < lanes; ++lane) {
-                acc[lane] += entry[lane];
-              }
-            }
-            const float a = alphas_[q][i * num_groups_ + group];
-            for (std::size_t lane = 0; lane < lanes; ++lane) {
-              yrow[lane] += a * acc[lane];
-            }
-          }
-        }
-      }
+      q.t0 = t0;
+      q.tcount = tcount;
+      q.alpha_offset = group;
+      query_fn(q);
     }
 
     for (std::size_t lane = 0; lane < lanes; ++lane) {

@@ -6,16 +6,22 @@
 // straddle group boundaries.
 #pragma once
 
+#include <string_view>
 #include <vector>
 
 #include "core/context.hpp"
 #include "core/key_matrix.hpp"
+#include "engine/gemm_engine.hpp"
 #include "matrix/matrix.hpp"
 #include "quant/grouped.hpp"
 
 namespace biq {
 
-class BiqGemmGrouped {
+namespace engine {
+struct BiqKernels;
+}
+
+class BiqGemmGrouped final : public GemmEngine {
  public:
   /// Packs all planes. opt.mu must divide codes.group_size.
   explicit BiqGemmGrouped(const GroupedBinaryCodes& codes,
@@ -23,10 +29,18 @@ class BiqGemmGrouped {
 
   /// Y = dequant(codes) . X, computed via lookups (never materializes
   /// the dequantized weights).
-  void run(const Matrix& x, Matrix& y) const;
+  void run(const Matrix& x, Matrix& y) const override;
 
-  [[nodiscard]] std::size_t rows() const noexcept { return m_; }
-  [[nodiscard]] std::size_t cols() const noexcept { return n_; }
+  [[nodiscard]] std::size_t rows() const noexcept override { return m_; }
+  [[nodiscard]] std::size_t cols() const noexcept override { return n_; }
+  [[nodiscard]] std::size_t weight_bytes() const noexcept override {
+    return packed_weight_bytes();
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "biqgemm-grouped";
+  }
+  /// Kernel plane this instance dispatched to at construction.
+  [[nodiscard]] std::string_view isa() const noexcept;
   [[nodiscard]] unsigned bits() const noexcept { return bits_; }
   [[nodiscard]] std::size_t group_size() const noexcept { return group_size_; }
 
@@ -40,6 +54,7 @@ class BiqGemmGrouped {
   std::size_t num_groups_ = 0;
   std::size_t tables_per_group_ = 0;
   BiqGemmOptions opt_;
+  const engine::BiqKernels* kernels_ = nullptr;  // selected at construction
   std::vector<KeyMatrix> keys_;
   std::vector<std::vector<float>> alphas_;  // [q][row * num_groups + g]
 };

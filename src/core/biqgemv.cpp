@@ -4,82 +4,27 @@
 #include <vector>
 
 #include "core/lut_builder.hpp"
-#include "simd/simd.hpp"
+#include "engine/dispatch.hpp"
 #include "util/aligned_buffer.hpp"
 #include "util/timer.hpp"
 
 namespace biq {
 namespace {
 
-/// Sum of LUT entries selected by one key row over tables [0, tcount) of
-/// the current tile; lut is the tile base (tables stacked every 2^mu).
 template <typename KeyT>
-float query_row(const KeyT* krow, std::size_t tcount, unsigned mu,
-                const float* lut) {
-  std::size_t g = 0;
-  float acc = 0.0f;
-
-#if BIQ_HAVE_AVX2
-  if (tcount >= 8) {
-    const __m256i lane_off = _mm256_setr_epi32(
-        0, 1 << mu, 2 << mu, 3 << mu, 4 << mu, 5 << mu, 6 << mu, 7 << mu);
-    auto load_idx = [&](std::size_t at) {
-      __m256i keys32;
-      if constexpr (sizeof(KeyT) == 1) {
-        const __m128i raw = _mm_loadl_epi64(
-            reinterpret_cast<const __m128i*>(krow + at));
-        keys32 = _mm256_cvtepu8_epi32(raw);
-      } else {
-        const __m128i raw = _mm_loadu_si128(
-            reinterpret_cast<const __m128i*>(krow + at));
-        keys32 = _mm256_cvtepu16_epi32(raw);
-      }
-      return _mm256_add_epi32(
-          keys32, _mm256_add_epi32(
-                      lane_off, _mm256_set1_epi32(static_cast<int>(at << mu))));
-    };
-    // Two independent gather chains hide most of the gather latency.
-    __m256 acc0 = _mm256_setzero_ps();
-    __m256 acc1 = _mm256_setzero_ps();
-    for (; g + 16 <= tcount; g += 16) {
-      acc0 = _mm256_add_ps(acc0, _mm256_i32gather_ps(lut, load_idx(g), 4));
-      acc1 = _mm256_add_ps(acc1, _mm256_i32gather_ps(lut, load_idx(g + 8), 4));
-    }
-    if (g + 8 <= tcount) {
-      acc0 = _mm256_add_ps(acc0, _mm256_i32gather_ps(lut, load_idx(g), 4));
-      g += 8;
-    }
-    acc = simd::F32x8{_mm256_add_ps(acc0, acc1)}.reduce_add();
+const KeyT* key_row(const KeyMatrix& k, std::size_t i) noexcept {
+  if constexpr (sizeof(KeyT) == 1) {
+    return k.row8(i);
+  } else {
+    return k.row16(i);
   }
-#endif
-
-  float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
-  for (; g + 4 <= tcount; g += 4) {
-    a0 += lut[((g + 0) << mu) + krow[g + 0]];
-    a1 += lut[((g + 1) << mu) + krow[g + 1]];
-    a2 += lut[((g + 2) << mu) + krow[g + 2]];
-    a3 += lut[((g + 3) << mu) + krow[g + 3]];
-  }
-  for (; g < tcount; ++g) acc += lut[(g << mu) + krow[g]];
-  return acc + (a0 + a1) + (a2 + a3);
-}
-
-template <typename KeyT>
-const KeyT* key_row(const KeyMatrix& k, std::size_t i) noexcept;
-
-template <>
-const std::uint8_t* key_row<std::uint8_t>(const KeyMatrix& k, std::size_t i) noexcept {
-  return k.row8(i);
-}
-template <>
-const std::uint16_t* key_row<std::uint16_t>(const KeyMatrix& k, std::size_t i) noexcept {
-  return k.row16(i);
 }
 
 template <typename KeyT>
 void run(const std::vector<KeyMatrix>& keys,
          const std::vector<std::vector<float>>& alphas, const float* x,
-         float* y, std::size_t m, std::size_t n, const BiqGemmOptions& opt) {
+         float* y, std::size_t m, std::size_t n, const BiqGemmOptions& opt,
+         const engine::BiqKernels& kernels) {
   const unsigned mu = opt.mu;
   const std::size_t ntables = table_count(n, mu);
   const std::size_t entries = std::size_t{1} << mu;
@@ -91,6 +36,14 @@ void run(const std::vector<KeyMatrix>& keys,
 
   const bool serial = opt.pool == nullptr || opt.pool->worker_count() == 1;
   BiqGemmProfile* profile = serial ? opt.profile : nullptr;
+
+  const auto row_fn = [&kernels] {
+    if constexpr (sizeof(KeyT) == 1) {
+      return kernels.gemv_row_u8;
+    } else {
+      return kernels.gemv_row_u16;
+    }
+  }();
 
   AlignedBuffer<float> lut(tile_tables * entries);
   {
@@ -122,7 +75,7 @@ void run(const std::vector<KeyMatrix>& keys,
           float total = 0.0f;
           for (std::size_t q = 0; q < keys.size(); ++q) {
             const float acc =
-                query_row(key_row<KeyT>(keys[q], i) + t0, tcount, mu, lut.data());
+                row_fn(key_row<KeyT>(keys[q], i) + t0, tcount, mu, lut.data());
             total += scaled ? alphas[q][i] * acc : acc;
           }
           y[i] += total;
@@ -148,12 +101,15 @@ void run(const std::vector<KeyMatrix>& keys,
 void biqgemv_packed(const std::vector<KeyMatrix>& keys,
                     const std::vector<std::vector<float>>& alphas,
                     const float* x, float* y, std::size_t m, std::size_t n,
-                    const BiqGemmOptions& opt) {
+                    const BiqGemmOptions& opt,
+                    const engine::BiqKernels* kernels) {
   if (keys.empty()) return;
+  const engine::BiqKernels& k =
+      kernels != nullptr ? *kernels : engine::select_kernels(opt.isa);
   if (opt.mu > 8) {
-    run<std::uint16_t>(keys, alphas, x, y, m, n, opt);
+    run<std::uint16_t>(keys, alphas, x, y, m, n, opt, k);
   } else {
-    run<std::uint8_t>(keys, alphas, x, y, m, n, opt);
+    run<std::uint8_t>(keys, alphas, x, y, m, n, opt, k);
   }
 }
 

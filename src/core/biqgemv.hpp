@@ -1,7 +1,8 @@
 // Batch-1 fast path (GEMV): with a single activation column there is no
 // batch lane to vectorize over, so each LUT is a flat 2^mu array and the
-// query loop vectorizes across *tables* instead, using AVX2 gathers of 8
-// table entries per instruction (scalar fallback: 4-way unroll). This is
+// query loop vectorizes across *tables* instead — AVX2 gathers of 8
+// table entries per instruction on the avx2 plane, a 4-way unroll on the
+// scalar plane, chosen at runtime through engine/dispatch.hpp. This is
 // the regime where the paper reports its largest wins (Table IV, b = 1).
 #pragma once
 
@@ -13,12 +14,18 @@
 
 namespace biq {
 
+namespace engine {
+struct BiqKernels;
+}
+
 /// y = sum_q alpha_q o (B_q . x) computed from packed keys.
 /// x has length n, y length m (overwritten). `alphas` empty = unit scale.
 /// All KeyMatrix planes must share mu == opt.mu and shape m x ceil(n/mu).
+/// `kernels` is the dispatched ISA plane; nullptr resolves from opt.isa.
 void biqgemv_packed(const std::vector<KeyMatrix>& keys,
                     const std::vector<std::vector<float>>& alphas,
                     const float* x, float* y, std::size_t m, std::size_t n,
-                    const BiqGemmOptions& opt);
+                    const BiqGemmOptions& opt,
+                    const engine::BiqKernels* kernels = nullptr);
 
 }  // namespace biq

@@ -8,6 +8,13 @@
 
 namespace biq {
 
+/// Which compiled kernel plane the BiQGEMM hot loops run on. kAuto
+/// resolves against cpu_features() at engine construction (overridable
+/// with the BIQ_ISA environment variable, e.g. BIQ_ISA=scalar); an
+/// explicit plane throws at construction when it is not available in
+/// this binary / on this host. See engine/dispatch.hpp.
+enum class KernelIsa { kAuto, kScalar, kAvx2 };
+
 /// Wall-time attribution of a kernel invocation to the three operation
 /// classes of the paper's Fig. 8. Filled only for single-threaded runs
 /// (profiling a fork-join region per phase would perturb the hot loop).
@@ -43,6 +50,9 @@ struct BiqGemmOptions {
   /// false selects the GEMM-style LUT builder (Fig. 4a) instead of the
   /// dynamic-programming one — exists for the Tc,dp vs Tc,mm ablation.
   bool use_dp_builder = true;
+  /// Kernel plane for the build/query hot loops. Resolved to a function
+  /// table once, at engine construction (see engine/dispatch.hpp).
+  KernelIsa isa = KernelIsa::kAuto;
   /// Optional phase instrumentation (see BiqGemmProfile).
   BiqGemmProfile* profile = nullptr;
 };
@@ -54,9 +64,13 @@ struct TilePlan {
   std::size_t row_block = 128;      // rows per query work item
 };
 
-/// Derives the plan: lanes = SIMD width (clamped to b), tile height from
-/// the byte budget (at least 1), row_block clamped to [16, m].
+/// Derives the plan: lanes = the *runtime-dispatched* vector width of
+/// the selected kernel plane (clamped to b), tile height from the byte
+/// budget (at least 1), row_block clamped to [16, m]. Callers that
+/// already hold their resolved kernel table (BiqGemm) pass its
+/// query_lanes as `lanes_hint`; 0 resolves the plane from opt.isa.
 [[nodiscard]] TilePlan plan_tiles(std::size_t m, std::size_t b,
-                                  const BiqGemmOptions& opt);
+                                  const BiqGemmOptions& opt,
+                                  std::size_t lanes_hint = 0);
 
 }  // namespace biq

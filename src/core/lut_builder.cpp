@@ -2,12 +2,10 @@
 
 #include <cassert>
 
-#include "simd/simd.hpp"
+#include "engine/dispatch.hpp"
 
 namespace biq {
 namespace {
-
-using simd::F32x8;
 
 inline float padded(const float* x, std::size_t len, std::size_t j) noexcept {
   return j < len ? x[j] : 0.0f;
@@ -45,120 +43,21 @@ void build_lut_mm(const float* x, std::size_t len, unsigned mu, float* lut) {
   }
 }
 
+// The interleaved builders are the kernel hot path: their bodies live in
+// engine/biq_kernels_impl.hpp, compiled once per ISA plane, and these
+// entry points route through the runtime-dispatched table. Callers on
+// the hot path (BiqGemm) hold the table directly; these wrappers keep
+// the documented public contract for tests and ablations.
 void build_lut_dp_interleaved(const float* xt, unsigned mu, std::size_t lanes,
                               float* lut) {
   assert(mu >= 1 && mu <= 16 && lanes >= 1);
-  const std::size_t half = std::size_t{1} << (mu - 1);
-  const std::size_t full = half << 1;
-
-  if (lanes == static_cast<std::size_t>(simd::kFloatLanes)) {
-    F32x8 sum = F32x8::zero();
-    for (unsigned j = 0; j < mu; ++j) {
-      sum = sum + F32x8::loadu(xt + j * lanes);
-    }
-    sum.negate().storeu(lut);
-
-    for (unsigned s = 1; s < mu; ++s) {
-      const std::size_t base = std::size_t{1} << (s - 1);
-      const F32x8 twice =
-          F32x8::loadu(xt + (mu - s) * lanes) + F32x8::loadu(xt + (mu - s) * lanes);
-      for (std::size_t j = 0; j < base; ++j) {
-        (F32x8::loadu(lut + j * lanes) + twice).storeu(lut + (base + j) * lanes);
-      }
-    }
-    for (std::size_t k = half; k < full; ++k) {
-      F32x8::loadu(lut + (full - 1 - k) * lanes).negate().storeu(lut + k * lanes);
-    }
-    return;
-  }
-
-  if (lanes == 16) {
-    using simd::F32x16;
-    F32x16 sum = F32x16::zero();
-    for (unsigned j = 0; j < mu; ++j) {
-      sum = sum + F32x16::loadu(xt + j * lanes);
-    }
-    sum.negate().storeu(lut);
-
-    for (unsigned s = 1; s < mu; ++s) {
-      const std::size_t base = std::size_t{1} << (s - 1);
-      const F32x16 twice = F32x16::loadu(xt + (mu - s) * lanes) +
-                           F32x16::loadu(xt + (mu - s) * lanes);
-      for (std::size_t j = 0; j < base; ++j) {
-        (F32x16::loadu(lut + j * lanes) + twice).storeu(lut + (base + j) * lanes);
-      }
-    }
-    for (std::size_t k = half; k < full; ++k) {
-      F32x16::loadu(lut + (full - 1 - k) * lanes).negate().storeu(lut + k * lanes);
-    }
-    return;
-  }
-
-  // Generic lane count (partial batch tiles).
-  for (std::size_t lane = 0; lane < lanes; ++lane) {
-    float sum = 0.0f;
-    for (unsigned j = 0; j < mu; ++j) sum += xt[j * lanes + lane];
-    lut[lane] = -sum;
-  }
-  for (unsigned s = 1; s < mu; ++s) {
-    const std::size_t base = std::size_t{1} << (s - 1);
-    for (std::size_t j = 0; j < base; ++j) {
-      for (std::size_t lane = 0; lane < lanes; ++lane) {
-        lut[(base + j) * lanes + lane] =
-            lut[j * lanes + lane] + 2.0f * xt[(mu - s) * lanes + lane];
-      }
-    }
-  }
-  for (std::size_t k = half; k < full; ++k) {
-    for (std::size_t lane = 0; lane < lanes; ++lane) {
-      lut[k * lanes + lane] = -lut[(full - 1 - k) * lanes + lane];
-    }
-  }
+  engine::select_kernels(KernelIsa::kAuto).build_dp(xt, mu, lanes, lut);
 }
 
 void build_lut_mm_interleaved(const float* xt, unsigned mu, std::size_t lanes,
                               float* lut) {
   assert(mu >= 1 && mu <= 16 && lanes >= 1);
-  const std::size_t full = std::size_t{1} << mu;
-
-  if (lanes == static_cast<std::size_t>(simd::kFloatLanes)) {
-    for (std::size_t k = 0; k < full; ++k) {
-      F32x8 acc = F32x8::zero();
-      for (unsigned j = 0; j < mu; ++j) {
-        const F32x8 xv = F32x8::loadu(xt + j * lanes);
-        const bool plus = ((k >> (mu - 1 - j)) & 1u) != 0;
-        acc = plus ? acc + xv : acc - xv;
-      }
-      acc.storeu(lut + k * lanes);
-    }
-    return;
-  }
-
-  if (lanes == 16) {
-    using simd::F32x16;
-    for (std::size_t k = 0; k < full; ++k) {
-      F32x16 acc = F32x16::zero();
-      for (unsigned j = 0; j < mu; ++j) {
-        const F32x16 xv = F32x16::loadu(xt + j * lanes);
-        const bool plus = ((k >> (mu - 1 - j)) & 1u) != 0;
-        acc = plus ? acc + xv : acc - xv;
-      }
-      acc.storeu(lut + k * lanes);
-    }
-    return;
-  }
-
-  for (std::size_t k = 0; k < full; ++k) {
-    for (std::size_t lane = 0; lane < lanes; ++lane) {
-      float acc = 0.0f;
-      for (unsigned j = 0; j < mu; ++j) {
-        const bool plus = ((k >> (mu - 1 - j)) & 1u) != 0;
-        const float v = xt[j * lanes + lane];
-        acc += plus ? v : -v;
-      }
-      lut[k * lanes + lane] = acc;
-    }
-  }
+  engine::select_kernels(KernelIsa::kAuto).build_mm(xt, mu, lanes, lut);
 }
 
 }  // namespace biq

@@ -1,0 +1,334 @@
+// Generic source of the BiQGEMM hot loops (interleaved LUT builders,
+// batched query tile, GEMV query row). This header is included exactly
+// once per ISA translation unit with BIQ_KERNELS_NS set to that unit's
+// namespace (kern_scalar / kern_avx2); the TU's compile flags decide
+// whether the V8 vector type below lowers to AVX2 intrinsics or to the
+// portable 8-float loop. Both planes therefore run the same arithmetic
+// in the same order — only the instruction encoding differs — which is
+// what makes the cross-plane consistency tests possible.
+//
+// Everything here lives behind the BiqKernels function-pointer table
+// (engine/dispatch.hpp); nothing outside the engine layer includes this.
+
+#ifndef BIQ_KERNELS_NS
+#error "biq_kernels_impl.hpp must be included with BIQ_KERNELS_NS defined"
+#endif
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#include "core/key_matrix.hpp"
+#include "engine/dispatch.hpp"
+
+namespace biq::engine {
+namespace BIQ_KERNELS_NS {
+namespace {
+
+// ------------------------------------------------------------------ V8
+// 8-lane fp32 vector with identical semantics on both planes.
+#if defined(__AVX2__)
+
+struct V8 {
+  __m256 v;
+
+  static V8 zero() noexcept { return {_mm256_setzero_ps()}; }
+  static V8 set1(float x) noexcept { return {_mm256_set1_ps(x)}; }
+  static V8 load(const float* p) noexcept { return {_mm256_load_ps(p)}; }
+  static V8 loadu(const float* p) noexcept { return {_mm256_loadu_ps(p)}; }
+  void store(float* p) const noexcept { _mm256_store_ps(p, v); }
+  void storeu(float* p) const noexcept { _mm256_storeu_ps(p, v); }
+
+  friend V8 operator+(V8 a, V8 b) noexcept { return {_mm256_add_ps(a.v, b.v)}; }
+
+  /// this += a * b
+  void fma(V8 a, V8 b) noexcept { v = _mm256_fmadd_ps(a.v, b.v, v); }
+
+  [[nodiscard]] V8 negate() const noexcept {
+    return {_mm256_xor_ps(v, _mm256_set1_ps(-0.0f))};
+  }
+};
+
+#else  // portable plane
+
+struct V8 {
+  float v[8];
+
+  static V8 zero() noexcept { return V8{}; }
+  static V8 set1(float x) noexcept {
+    V8 r;
+    for (float& lane : r.v) lane = x;
+    return r;
+  }
+  static V8 load(const float* p) noexcept { return loadu(p); }
+  static V8 loadu(const float* p) noexcept {
+    V8 r;
+    for (int i = 0; i < 8; ++i) r.v[i] = p[i];
+    return r;
+  }
+  void store(float* p) const noexcept { storeu(p); }
+  void storeu(float* p) const noexcept {
+    for (int i = 0; i < 8; ++i) p[i] = v[i];
+  }
+
+  friend V8 operator+(V8 a, V8 b) noexcept {
+    V8 r;
+    for (int i = 0; i < 8; ++i) r.v[i] = a.v[i] + b.v[i];
+    return r;
+  }
+
+  void fma(V8 a, V8 b) noexcept {
+    for (int i = 0; i < 8; ++i) v[i] += a.v[i] * b.v[i];
+  }
+
+  [[nodiscard]] V8 negate() const noexcept {
+    V8 r;
+    for (int i = 0; i < 8; ++i) r.v[i] = -v[i];
+    return r;
+  }
+};
+
+#endif  // __AVX2__
+
+// --------------------------------------------------- LUT builders (Fig. 4)
+// Interleaved DP builder (Algorithm 1): entry layout lut[k*lanes + lane].
+void build_dp(const float* xt, unsigned mu, std::size_t lanes, float* lut) {
+  const std::size_t half = std::size_t{1} << (mu - 1);
+  const std::size_t full = half << 1;
+
+  if (lanes == 8) {
+    V8 sum = V8::zero();
+    for (unsigned j = 0; j < mu; ++j) sum = sum + V8::loadu(xt + j * lanes);
+    sum.negate().storeu(lut);
+
+    for (unsigned s = 1; s < mu; ++s) {
+      const std::size_t base = std::size_t{1} << (s - 1);
+      const V8 twice =
+          V8::loadu(xt + (mu - s) * lanes) + V8::loadu(xt + (mu - s) * lanes);
+      for (std::size_t j = 0; j < base; ++j) {
+        (V8::loadu(lut + j * lanes) + twice).storeu(lut + (base + j) * lanes);
+      }
+    }
+    for (std::size_t k = half; k < full; ++k) {
+      V8::loadu(lut + (full - 1 - k) * lanes).negate().storeu(lut + k * lanes);
+    }
+    return;
+  }
+
+  // Generic lane count (partial batch tiles).
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    float sum = 0.0f;
+    for (unsigned j = 0; j < mu; ++j) sum += xt[j * lanes + lane];
+    lut[lane] = -sum;
+  }
+  for (unsigned s = 1; s < mu; ++s) {
+    const std::size_t base = std::size_t{1} << (s - 1);
+    for (std::size_t j = 0; j < base; ++j) {
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        lut[(base + j) * lanes + lane] =
+            lut[j * lanes + lane] + 2.0f * xt[(mu - s) * lanes + lane];
+      }
+    }
+  }
+  for (std::size_t k = half; k < full; ++k) {
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      lut[k * lanes + lane] = -lut[(full - 1 - k) * lanes + lane];
+    }
+  }
+}
+
+/// Interleaved brute-force builder (the Tc,mm ablation comparison).
+void build_mm(const float* xt, unsigned mu, std::size_t lanes, float* lut) {
+  const std::size_t full = std::size_t{1} << mu;
+
+  if (lanes == 8) {
+    for (std::size_t k = 0; k < full; ++k) {
+      V8 acc = V8::zero();
+      for (unsigned j = 0; j < mu; ++j) {
+        const V8 xv = V8::loadu(xt + j * lanes);
+        const bool plus = ((k >> (mu - 1 - j)) & 1u) != 0;
+        acc = plus ? acc + xv : acc + xv.negate();
+      }
+      acc.storeu(lut + k * lanes);
+    }
+    return;
+  }
+
+  for (std::size_t k = 0; k < full; ++k) {
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      float acc = 0.0f;
+      for (unsigned j = 0; j < mu; ++j) {
+        const bool plus = ((k >> (mu - 1 - j)) & 1u) != 0;
+        const float v = xt[j * lanes + lane];
+        acc += plus ? v : -v;
+      }
+      lut[k * lanes + lane] = acc;
+    }
+  }
+}
+
+// --------------------------------------------------- batched query (Alg. 2)
+template <typename KeyT>
+const KeyT* key_row(const KeyMatrix& k, std::size_t i) noexcept {
+  if constexpr (sizeof(KeyT) == 1) {
+    return k.row8(i);
+  } else {
+    return k.row16(i);
+  }
+}
+
+/// 8-lane vector query: LUT entries 32-byte aligned, two independent
+/// accumulator chains hide load latency.
+template <typename KeyT>
+void query_tile_vec(const QueryTileArgs& a) {
+  const bool scaled = a.alphas != nullptr;
+  for (std::size_t i = a.i0; i < a.i1; ++i) {
+    float* yrow = a.ytile + i * 8;
+    V8 yv = V8::load(yrow);
+    for (std::size_t q = 0; q < a.num_planes; ++q) {
+      const KeyT* krow = key_row<KeyT>(a.keys[q], i) + a.t0;
+      V8 acc0 = V8::zero();
+      V8 acc1 = V8::zero();
+      std::size_t g = 0;
+      for (; g + 2 <= a.tcount; g += 2) {
+        acc0 = acc0 + V8::load(a.lut + (((g) << a.mu) + krow[g]) * 8);
+        acc1 = acc1 + V8::load(a.lut + (((g + 1) << a.mu) + krow[g + 1]) * 8);
+      }
+      if (g < a.tcount) {
+        acc0 = acc0 + V8::load(a.lut + ((g << a.mu) + krow[g]) * 8);
+      }
+      acc0 = acc0 + acc1;
+      if (scaled) {
+        yv.fma(V8::set1(a.alphas[q][i * a.alpha_stride + a.alpha_offset]),
+               acc0);
+      } else {
+        yv = yv + acc0;
+      }
+    }
+    yv.store(yrow);
+  }
+}
+
+/// Generic-lane query for partial batch tiles (lanes in [1, 7]).
+template <typename KeyT>
+void query_tile_any(const QueryTileArgs& a) {
+  const bool scaled = a.alphas != nullptr;
+  float acc[8];
+  for (std::size_t i = a.i0; i < a.i1; ++i) {
+    float* yrow = a.ytile + i * a.lanes;
+    for (std::size_t q = 0; q < a.num_planes; ++q) {
+      const KeyT* krow = key_row<KeyT>(a.keys[q], i) + a.t0;
+      for (std::size_t lane = 0; lane < a.lanes; ++lane) acc[lane] = 0.0f;
+      for (std::size_t g = 0; g < a.tcount; ++g) {
+        const float* entry = a.lut + ((g << a.mu) + krow[g]) * a.lanes;
+        for (std::size_t lane = 0; lane < a.lanes; ++lane) {
+          acc[lane] += entry[lane];
+        }
+      }
+      const float s =
+          scaled ? a.alphas[q][i * a.alpha_stride + a.alpha_offset] : 1.0f;
+      for (std::size_t lane = 0; lane < a.lanes; ++lane) {
+        yrow[lane] += s * acc[lane];
+      }
+    }
+  }
+}
+
+template <typename KeyT>
+void query_tile(const QueryTileArgs& a) {
+  if (a.lanes == 8) {
+    query_tile_vec<KeyT>(a);
+  } else {
+    query_tile_any<KeyT>(a);
+  }
+}
+
+// --------------------------------------------------------- GEMV query row
+/// Sum of LUT entries selected by one key row over tables [0, tcount);
+/// lut is the tile base (flat tables stacked every 2^mu entries). The
+/// AVX2 plane vectorizes across *tables* with 8-entry gathers; both
+/// planes share the scalar 4-way-unrolled tail.
+template <typename KeyT>
+float gemv_row(const KeyT* krow, std::size_t tcount, unsigned mu,
+               const float* lut) {
+  std::size_t g = 0;
+  float acc = 0.0f;
+
+#if defined(__AVX2__)
+  if (tcount >= 8) {
+    const __m256i lane_off = _mm256_setr_epi32(
+        0, 1 << mu, 2 << mu, 3 << mu, 4 << mu, 5 << mu, 6 << mu, 7 << mu);
+    auto load_idx = [&](std::size_t at) {
+      __m256i keys32;
+      if constexpr (sizeof(KeyT) == 1) {
+        const __m128i raw =
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(krow + at));
+        keys32 = _mm256_cvtepu8_epi32(raw);
+      } else {
+        const __m128i raw =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(krow + at));
+        keys32 = _mm256_cvtepu16_epi32(raw);
+      }
+      return _mm256_add_epi32(
+          keys32, _mm256_add_epi32(
+                      lane_off, _mm256_set1_epi32(static_cast<int>(at << mu))));
+    };
+    // Two independent gather chains hide most of the gather latency.
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    for (; g + 16 <= tcount; g += 16) {
+      acc0 = _mm256_add_ps(acc0, _mm256_i32gather_ps(lut, load_idx(g), 4));
+      acc1 = _mm256_add_ps(acc1, _mm256_i32gather_ps(lut, load_idx(g + 8), 4));
+    }
+    if (g + 8 <= tcount) {
+      acc0 = _mm256_add_ps(acc0, _mm256_i32gather_ps(lut, load_idx(g), 4));
+      g += 8;
+    }
+    const __m256 s8 = _mm256_add_ps(acc0, acc1);
+    const __m128 lo = _mm256_castps256_ps128(s8);
+    const __m128 hi = _mm256_extractf128_ps(s8, 1);
+    __m128 s = _mm_add_ps(lo, hi);
+    s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+    acc = _mm_cvtss_f32(s);
+  }
+#endif
+
+  float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
+  for (; g + 4 <= tcount; g += 4) {
+    a0 += lut[((g + 0) << mu) + krow[g + 0]];
+    a1 += lut[((g + 1) << mu) + krow[g + 1]];
+    a2 += lut[((g + 2) << mu) + krow[g + 2]];
+    a3 += lut[((g + 3) << mu) + krow[g + 3]];
+  }
+  for (; g < tcount; ++g) acc += lut[(g << mu) + krow[g]];
+  return acc + (a0 + a1) + (a2 + a3);
+}
+
+}  // namespace
+
+const BiqKernels& kernels() noexcept {
+  static const BiqKernels k = [] {
+    BiqKernels t;
+#if defined(__AVX2__)
+    t.isa = "avx2";
+#else
+    t.isa = "scalar";
+#endif
+    t.query_lanes = 8;
+    t.build_dp = &build_dp;
+    t.build_mm = &build_mm;
+    t.query_tile_u8 = &query_tile<std::uint8_t>;
+    t.query_tile_u16 = &query_tile<std::uint16_t>;
+    t.gemv_row_u8 = &gemv_row<std::uint8_t>;
+    t.gemv_row_u16 = &gemv_row<std::uint16_t>;
+    return t;
+  }();
+  return k;
+}
+
+}  // namespace BIQ_KERNELS_NS
+}  // namespace biq::engine

@@ -1,0 +1,68 @@
+#include "engine/dispatch.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "util/cpu_features.hpp"
+
+namespace biq::engine {
+namespace {
+
+const BiqKernels* avx2_plane() noexcept {
+#if BIQ_HAVE_AVX2_TU
+  return &kern_avx2::kernels();
+#else
+  return nullptr;
+#endif
+}
+
+/// BIQ_ISA override, parsed once (empty = no override).
+KernelIsa env_override() {
+  static const KernelIsa cached = [] {
+    const char* v = std::getenv("BIQ_ISA");
+    if (v == nullptr || *v == '\0') return KernelIsa::kAuto;
+    if (std::strcmp(v, "scalar") == 0) return KernelIsa::kScalar;
+    if (std::strcmp(v, "avx2") == 0) return KernelIsa::kAvx2;
+    throw std::runtime_error(std::string("BIQ_ISA: unknown plane '") + v +
+                             "' (expected 'scalar' or 'avx2')");
+  }();
+  return cached;
+}
+
+}  // namespace
+
+bool isa_compiled(KernelIsa isa) noexcept {
+  switch (isa) {
+    case KernelIsa::kAuto:
+    case KernelIsa::kScalar: return true;
+    case KernelIsa::kAvx2: return avx2_plane() != nullptr;
+  }
+  return false;
+}
+
+bool isa_available(KernelIsa isa) noexcept {
+  if (!isa_compiled(isa)) return false;
+  if (isa == KernelIsa::kAvx2) return cpu_features().avx2;
+  return true;
+}
+
+const BiqKernels& select_kernels(KernelIsa isa) {
+  if (isa == KernelIsa::kAuto) {
+    const KernelIsa forced = env_override();
+    if (forced != KernelIsa::kAuto) return select_kernels(forced);
+    if (isa_available(KernelIsa::kAvx2)) return *avx2_plane();
+    return kern_scalar::kernels();
+  }
+  if (!isa_available(isa)) {
+    const char* want = isa == KernelIsa::kAvx2 ? "avx2" : "scalar";
+    throw std::runtime_error(
+        std::string("select_kernels: ISA plane '") + want +
+        (isa_compiled(isa) ? "' not supported by this CPU"
+                           : "' not compiled into this binary"));
+  }
+  return isa == KernelIsa::kAvx2 ? *avx2_plane() : kern_scalar::kernels();
+}
+
+}  // namespace biq::engine

@@ -1,0 +1,97 @@
+// Runtime ISA dispatch for the BiQGEMM build/query hot loops.
+//
+// The hot loops are compiled twice, in per-ISA translation units:
+//   biq_kernels_scalar.cpp — portable baseline, always present
+//   biq_kernels_avx2.cpp   — same source, compiled with -mavx2 -mfma
+//                            (present when CMake's BIQ_ENABLE_AVX2 is ON
+//                            and the toolchain supports the flag)
+// Both TUs include biq_kernels_impl.hpp, so the scalar and vector planes
+// execute the *same* arithmetic in the same order — LUT keys and table
+// layouts are bitwise identical across planes, and outputs agree to
+// rounding (FMA contraction differs).
+//
+// Selection happens once, at BiqGemm/BiqGemmGrouped construction, by
+// probing cpu_features() — never with preprocessor guards — so one
+// binary serves both scalar CI runners and AVX2 hosts. The BIQ_ISA
+// environment variable ("scalar" / "avx2") overrides auto-selection,
+// which is how CI exercises the fallback plane on AVX2 machines.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/context.hpp"
+
+namespace biq {
+class KeyMatrix;
+}
+
+namespace biq::engine {
+
+/// One batched query-tile invocation (Algorithm 2 over a LUT tile).
+struct QueryTileArgs {
+  const KeyMatrix* keys = nullptr;  // planes[0 .. num_planes)
+  std::size_t num_planes = 0;
+  /// Per-plane scale vectors; nullptr = unit scales. Scale of plane q at
+  /// output row i is alphas[q][i * alpha_stride + alpha_offset] — the
+  /// stride/offset generalization serves the group-wise kernel, which
+  /// stores one scale per (row, group).
+  const std::vector<float>* alphas = nullptr;
+  std::size_t alpha_stride = 1;
+  std::size_t alpha_offset = 0;
+  std::size_t t0 = 0;      // first table of the tile (key-column offset)
+  std::size_t tcount = 0;  // tables in the tile
+  unsigned mu = 0;
+  const float* lut = nullptr;  // tile base; entry k of table g at
+                               // lut[((g << mu) + k) * lanes]
+  float* ytile = nullptr;      // rows x lanes accumulator, row-major
+  std::size_t lanes = 0;
+  std::size_t i0 = 0, i1 = 0;  // output-row range [i0, i1)
+};
+
+/// Function-pointer plane for one compiled ISA. BiqGemm resolves one of
+/// these at construction and calls through it — no #if in the hot path.
+struct BiqKernels {
+  const char* isa = "";
+  /// Batch-tile width the query loop vectorizes over.
+  std::size_t query_lanes = 8;
+  /// Interleaved LUT builders (contract of core/lut_builder.hpp):
+  /// xt is [mu x lanes] row-major, lut receives 2^mu * lanes floats.
+  void (*build_dp)(const float* xt, unsigned mu, std::size_t lanes,
+                   float* lut) = nullptr;
+  void (*build_mm)(const float* xt, unsigned mu, std::size_t lanes,
+                   float* lut) = nullptr;
+  /// Batched query over one LUT tile, 8-bit / 16-bit key storage.
+  void (*query_tile_u8)(const QueryTileArgs&) = nullptr;
+  void (*query_tile_u16)(const QueryTileArgs&) = nullptr;
+  /// GEMV query: sum of LUT hits of one key row over tables [0, tcount),
+  /// lut holding tcount stacked flat tables of 2^mu entries.
+  float (*gemv_row_u8)(const std::uint8_t* krow, std::size_t tcount,
+                       unsigned mu, const float* lut) = nullptr;
+  float (*gemv_row_u16)(const std::uint16_t* krow, std::size_t tcount,
+                        unsigned mu, const float* lut) = nullptr;
+};
+
+/// True when the plane is linked into this binary.
+[[nodiscard]] bool isa_compiled(KernelIsa isa) noexcept;
+
+/// True when the plane is compiled AND the host CPU can execute it.
+[[nodiscard]] bool isa_available(KernelIsa isa) noexcept;
+
+/// Resolves a plane. kAuto returns the fastest available plane for this
+/// host (honouring BIQ_ISA); explicit requests throw std::runtime_error
+/// when isa_available() is false.
+[[nodiscard]] const BiqKernels& select_kernels(KernelIsa isa);
+
+// Per-TU entry points (used by dispatch.cpp and the dispatch tests).
+namespace kern_scalar {
+[[nodiscard]] const BiqKernels& kernels() noexcept;
+}
+#if BIQ_HAVE_AVX2_TU
+namespace kern_avx2 {
+[[nodiscard]] const BiqKernels& kernels() noexcept;
+}
+#endif
+
+}  // namespace biq::engine

@@ -1,0 +1,40 @@
+// The pluggable kernel interface. Every weight-stationary GEMM in the
+// library — the paper's BiQGEMM (plain and group-scaled) and all its
+// baselines (blocked dense, naive dense, int8, unpack, xnor) — computes
+// the same thing: Y ~= W . X with weights fixed at construction. This
+// interface is that contract; `nn` layers, the benches and the examples
+// consume kernels exclusively through it (obtained from the
+// EngineRegistry), so a new backend plugs into every integration surface
+// with one registration.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace biq {
+
+class Matrix;
+
+class GemmEngine {
+ public:
+  virtual ~GemmEngine() = default;
+
+  /// Y = W . X (or its quantized approximation). X is cols() x b
+  /// col-major, Y rows() x b col-major (overwritten). b == 1 may take a
+  /// kernel-specific GEMV fast path.
+  virtual void run(const Matrix& x, Matrix& y) const = 0;
+
+  /// Output features m / input features n of the packed weight matrix.
+  [[nodiscard]] virtual std::size_t rows() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t cols() const noexcept = 0;
+
+  /// Bytes of weight data inference reads per run (packed form for
+  /// quantized engines — the Table II accounting).
+  [[nodiscard]] virtual std::size_t weight_bytes() const noexcept = 0;
+
+  /// Stable registry name ("biqgemm", "blocked", ...), used by the bench
+  /// tables and the examples for uniform reporting.
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+}  // namespace biq

@@ -92,8 +92,8 @@ void run_panel_range(const AlignedBuffer<float>& packed, std::size_t n,
 
 }  // namespace
 
-BlockedGemm::BlockedGemm(const Matrix& w)
-    : m_(w.rows()), n_(w.cols()),
+BlockedGemm::BlockedGemm(const Matrix& w, ThreadPool* pool)
+    : m_(w.rows()), n_(w.cols()), pool_(pool),
       panels_((w.rows() + kPanelRows - 1) / kPanelRows),
       packed_(panels_ * kPanelRows * w.cols(), /*zero_fill=*/true) {
   for (std::size_t p = 0; p < panels_; ++p) {

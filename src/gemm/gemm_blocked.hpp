@@ -5,6 +5,9 @@
 // run at exactly this speed, which is the paper's sGEMM scenario.
 #pragma once
 
+#include <string_view>
+
+#include "engine/gemm_engine.hpp"
 #include "matrix/matrix.hpp"
 #include "threading/thread_pool.hpp"
 
@@ -17,15 +20,28 @@ void gemm_blocked(const Matrix& w, const Matrix& x, Matrix& y,
 
 /// Weight-stationary form for repeated multiplications against the same
 /// W (inference): packs W once into microkernel panels.
-class BlockedGemm {
+class BlockedGemm final : public GemmEngine {
  public:
-  explicit BlockedGemm(const Matrix& w);
+  /// `pool` is used by the GemmEngine run(x, y) overload; the three-arg
+  /// run() can still override it per call.
+  explicit BlockedGemm(const Matrix& w, ThreadPool* pool = nullptr);
 
   /// Y = W . X using the pre-packed panels.
-  void run(const Matrix& x, Matrix& y, ThreadPool* pool = nullptr) const;
+  void run(const Matrix& x, Matrix& y, ThreadPool* pool) const;
+  void run(const Matrix& x, Matrix& y) const override {
+    run(x, y, pool_);
+  }
 
-  [[nodiscard]] std::size_t rows() const noexcept { return m_; }
-  [[nodiscard]] std::size_t cols() const noexcept { return n_; }
+  [[nodiscard]] std::size_t rows() const noexcept override { return m_; }
+  [[nodiscard]] std::size_t cols() const noexcept override { return n_; }
+  /// Logical fp32 weight traffic (the padded panel storage is
+  /// packed_bytes()).
+  [[nodiscard]] std::size_t weight_bytes() const noexcept override {
+    return m_ * n_ * sizeof(float);
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "blocked";
+  }
   [[nodiscard]] std::size_t packed_bytes() const noexcept {
     return packed_.size_bytes();
   }
@@ -33,6 +49,7 @@ class BlockedGemm {
  private:
   std::size_t m_ = 0;
   std::size_t n_ = 0;
+  ThreadPool* pool_ = nullptr;
   std::size_t panels_ = 0;  // ceil(m / 8)
   // Panel-major packed weights: panel p holds 8*n floats, layout
   // packed[p*8*n + k*8 + r] = W(8p + r, k), zero-padded past row m.

@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
+#include "engine/gemm_engine.hpp"
 #include "matrix/matrix.hpp"
 #include "quant/uniform.hpp"
 #include "util/aligned_buffer.hpp"
@@ -19,14 +21,14 @@ namespace biq {
 /// construction (symmetric per-tensor, like the paper's INT8 baseline);
 /// activations are quantized per run() call — the dynamic-quantization
 /// cost the paper charges against fixed-point inference.
-class Int8Gemm {
+class Int8Gemm final : public GemmEngine {
  public:
   /// Quantizes w (m x n fp32) to int8 with a single symmetric scale.
   explicit Int8Gemm(const Matrix& w);
 
   /// Y = dequant(int8(W) . int8(X)): quantizes X column-wise to int8,
   /// multiplies in int32, dequantizes into fp32 Y.
-  void run(const Matrix& x, Matrix& y) const;
+  void run(const Matrix& x, Matrix& y) const override;
 
   /// The three phases separately, for the conversion-overhead ablation:
   /// quantize_input -> multiply_integer -> dequantize_output.
@@ -37,11 +39,14 @@ class Int8Gemm {
   };
   void run_profiled(const Matrix& x, Matrix& y, Phases& phases) const;
 
-  [[nodiscard]] std::size_t rows() const noexcept { return m_; }
-  [[nodiscard]] std::size_t cols() const noexcept { return n_; }
+  [[nodiscard]] std::size_t rows() const noexcept override { return m_; }
+  [[nodiscard]] std::size_t cols() const noexcept override { return n_; }
   [[nodiscard]] float weight_scale() const noexcept { return wscale_; }
-  [[nodiscard]] std::size_t weight_bytes() const noexcept {
+  [[nodiscard]] std::size_t weight_bytes() const noexcept override {
     return weights_.size_bytes();
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "int8";
   }
 
  private:

@@ -3,6 +3,9 @@
 // (straightforward triple loop, one thread).
 #pragma once
 
+#include <string_view>
+
+#include "engine/gemm_engine.hpp"
 #include "matrix/binary_matrix.hpp"
 #include "matrix/matrix.hpp"
 #include "quant/binary_codes.hpp"
@@ -29,5 +32,32 @@ void gemm_binary_ref(const BinaryMatrix& b, const Matrix& x, Matrix& y);
 /// Y = sum_q alpha_q o (B_q . X)  — paper Eq. 2, the exact result
 /// BiQGEMM must reproduce.
 void gemm_codes_ref(const BinaryCodes& codes, const Matrix& x, Matrix& y);
+
+/// Weight-stationary wrapper over gemm_naive — the paper's kCpu baseline
+/// as a registry engine (Table IV's "kGpu role-equivalent" on CPU).
+class NaiveGemm final : public GemmEngine {
+ public:
+  explicit NaiveGemm(Matrix w) : w_(std::move(w)) {}
+
+  void run(const Matrix& x, Matrix& y) const override {
+    gemm_naive(w_, x, y);
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept override {
+    return w_.rows();
+  }
+  [[nodiscard]] std::size_t cols() const noexcept override {
+    return w_.cols();
+  }
+  [[nodiscard]] std::size_t weight_bytes() const noexcept override {
+    return w_.size() * sizeof(float);
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "naive";
+  }
+
+ private:
+  Matrix w_;
+};
 
 }  // namespace biq

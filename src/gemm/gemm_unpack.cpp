@@ -141,6 +141,25 @@ void gemm_packed_no_unpack(const PackedBits32& packed, const Matrix& x,
   }
 }
 
+UnpackGemm::UnpackGemm(const BinaryCodes& codes)
+    : m_(codes.rows), n_(codes.cols), planes_(pack_code_planes(codes)),
+      alphas_(codes.alphas) {
+  if (codes.bits == 0 || codes.planes.size() != codes.bits) {
+    throw std::invalid_argument("UnpackGemm: malformed BinaryCodes");
+  }
+}
+
+void UnpackGemm::run(const Matrix& x, Matrix& y) const {
+  gemm_unpack_codes(planes_, alphas_, x, y);
+}
+
+std::size_t UnpackGemm::weight_bytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const PackedBits32& p : planes_) bytes += p.storage_bytes();
+  for (const auto& a : alphas_) bytes += a.size() * sizeof(float);
+  return bytes;
+}
+
 RowMajorGemm::RowMajorGemm(const Matrix& w)
     : m_(w.rows()), n_(w.cols()), padded_cols_(pad32(w.cols())),
       w_(w.rows() * padded_cols_, /*zero_fill=*/true) {

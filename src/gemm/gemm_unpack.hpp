@@ -12,6 +12,10 @@
 // only in the data path, as in the paper's experiment.
 #pragma once
 
+#include <string_view>
+#include <vector>
+
+#include "engine/gemm_engine.hpp"
 #include "matrix/matrix.hpp"
 #include "matrix/packing.hpp"
 #include "quant/binary_codes.hpp"
@@ -39,6 +43,31 @@ void gemm_unpack_codes(const std::vector<PackedBits32>& planes,
 /// CPUs by orders of magnitude, which would corrupt the measurement.
 void gemm_packed_no_unpack(const PackedBits32& packed, const Matrix& x,
                            Matrix& y);
+
+/// Weight-stationary engine over the "w/ unpack" scenario: packs every
+/// plane of a BinaryCodes at construction and runs gemm_unpack_codes —
+/// the correct-but-slow way to serve packed quantized weights, kept as a
+/// registry baseline against BiQGEMM's lookup path.
+class UnpackGemm final : public GemmEngine {
+ public:
+  explicit UnpackGemm(const BinaryCodes& codes);
+
+  void run(const Matrix& x, Matrix& y) const override;
+
+  [[nodiscard]] std::size_t rows() const noexcept override { return m_; }
+  [[nodiscard]] std::size_t cols() const noexcept override { return n_; }
+  /// Packed planes + per-row scales.
+  [[nodiscard]] std::size_t weight_bytes() const noexcept override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "unpack";
+  }
+
+ private:
+  std::size_t m_ = 0;
+  std::size_t n_ = 0;
+  std::vector<PackedBits32> planes_;
+  std::vector<std::vector<float>> alphas_;
+};
 
 /// The Fig. 9 "sGEMM" scenario kernel: identical loop structure to
 /// gemm_unpack, but weights are pre-materialized fp32 (one value per

@@ -43,13 +43,24 @@ QuantizedActivations quantize_activations(const Matrix& x, unsigned bits) {
   return qa;
 }
 
-XnorGemm::XnorGemm(const BinaryCodes& weight_codes)
+XnorGemm::XnorGemm(const BinaryCodes& weight_codes, unsigned activation_bits)
     : m_(weight_codes.rows), n_(weight_codes.cols),
-      weight_bits_(weight_codes.bits), alphas_(weight_codes.alphas) {
+      weight_bits_(weight_codes.bits), activation_bits_(activation_bits),
+      alphas_(weight_codes.alphas) {
+  if (activation_bits_ == 0) {
+    throw std::invalid_argument("XnorGemm: activation_bits must be >= 1");
+  }
   planes_.reserve(weight_bits_);
   for (unsigned q = 0; q < weight_bits_; ++q) {
     planes_.push_back(pack_rows_u64(weight_codes.planes[q]));
   }
+}
+
+std::size_t XnorGemm::weight_bytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const PackedBits64& p : planes_) bytes += p.storage_bytes();
+  for (const auto& a : alphas_) bytes += a.size() * sizeof(float);
+  return bytes;
 }
 
 void XnorGemm::run_prequantized(const QuantizedActivations& qx, Matrix& y) const {

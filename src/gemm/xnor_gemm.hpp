@@ -7,8 +7,10 @@
 // computed on 64-bit packed words. Complexity O(bw * ba * m * n/64 * b).
 #pragma once
 
+#include <string_view>
 #include <vector>
 
+#include "engine/gemm_engine.hpp"
 #include "matrix/matrix.hpp"
 #include "matrix/packing.hpp"
 #include "quant/binary_codes.hpp"
@@ -29,27 +31,39 @@ struct QuantizedActivations {
 [[nodiscard]] QuantizedActivations quantize_activations(const Matrix& x,
                                                         unsigned bits);
 
-class XnorGemm {
+class XnorGemm final : public GemmEngine {
  public:
   /// Packs the weight planes once (weights are fixed at inference time).
-  explicit XnorGemm(const BinaryCodes& weight_codes);
+  /// `activation_bits` is the on-the-fly activation quantization depth
+  /// used by the GemmEngine run(x, y) overload.
+  explicit XnorGemm(const BinaryCodes& weight_codes,
+                    unsigned activation_bits = 1);
 
   /// Quantizes X on the fly into `activation_bits` planes and runs the
   /// popcount GEMM. Results approximate W.X with both-sides quantization
   /// error, matching what the paper's xnor kernel computes.
-  void run(const Matrix& x, Matrix& y, unsigned activation_bits = 1) const;
+  void run(const Matrix& x, Matrix& y, unsigned activation_bits) const;
+  void run(const Matrix& x, Matrix& y) const override {
+    run(x, y, activation_bits_);
+  }
 
   /// Popcount GEMM against pre-quantized activations (separates the
   /// quantization cost from the multiply cost in the benches).
   void run_prequantized(const QuantizedActivations& qx, Matrix& y) const;
 
-  [[nodiscard]] std::size_t rows() const noexcept { return m_; }
-  [[nodiscard]] std::size_t cols() const noexcept { return n_; }
+  [[nodiscard]] std::size_t rows() const noexcept override { return m_; }
+  [[nodiscard]] std::size_t cols() const noexcept override { return n_; }
+  /// Packed weight planes + per-row scales.
+  [[nodiscard]] std::size_t weight_bytes() const noexcept override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "xnor";
+  }
 
  private:
   std::size_t m_ = 0;
   std::size_t n_ = 0;
   unsigned weight_bits_ = 0;
+  unsigned activation_bits_ = 1;
   std::vector<PackedBits64> planes_;
   std::vector<std::vector<float>> alphas_;
 };

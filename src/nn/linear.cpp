@@ -1,57 +1,83 @@
 #include "nn/linear.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "nn/tensor.hpp"
-#include "quant/alternating.hpp"
-#include "quant/greedy.hpp"
+#include "quant/quantize.hpp"
 
 namespace biq::nn {
 namespace {
 
-BinaryCodes quantize(const Matrix& w, unsigned bits, QuantMethod method) {
-  switch (method) {
-    case QuantMethod::kGreedy: return quantize_greedy(w, bits);
-    case QuantMethod::kAlternating: return quantize_alternating(w, bits);
+void check_bias(const std::vector<float>& bias, std::size_t m,
+                const char* who) {
+  if (!bias.empty() && bias.size() != m) {
+    throw std::invalid_argument(std::string(who) + ": bias size mismatch");
   }
-  throw std::logic_error("unknown QuantMethod");
 }
+
+/// Any registered engine + bias behind the LinearLayer interface.
+class EngineLinear final : public LinearLayer {
+ public:
+  EngineLinear(std::unique_ptr<GemmEngine> engine, std::vector<float> bias)
+      : engine_(std::move(engine)), bias_(std::move(bias)) {
+    check_bias(bias_, engine_->rows(), "EngineLinear");
+  }
+
+  void forward(const Matrix& x, Matrix& y) const override {
+    engine_->run(x, y);
+    if (!bias_.empty()) add_bias(y, bias_);
+  }
+  [[nodiscard]] std::size_t in_features() const noexcept override {
+    return engine_->cols();
+  }
+  [[nodiscard]] std::size_t out_features() const noexcept override {
+    return engine_->rows();
+  }
+  [[nodiscard]] std::size_t weight_bytes() const noexcept override {
+    return engine_->weight_bytes();
+  }
+  [[nodiscard]] const GemmEngine& engine() const noexcept override {
+    return *engine_;
+  }
+
+ private:
+  std::unique_ptr<GemmEngine> engine_;
+  std::vector<float> bias_;
+};
 
 }  // namespace
 
 Linear::Linear(const Matrix& w, std::vector<float> bias, ThreadPool* pool)
-    : m_(w.rows()), n_(w.cols()), engine_(w), bias_(std::move(bias)),
-      pool_(pool) {
-  if (!bias_.empty() && bias_.size() != m_) {
-    throw std::invalid_argument("Linear: bias size mismatch");
-  }
+    : m_(w.rows()), n_(w.cols()), bias_(std::move(bias)) {
+  check_bias(bias_, m_, "Linear");
+  EngineConfig cfg;
+  cfg.kernel.pool = pool;
+  engine_ = make_engine("blocked", w, cfg);
 }
 
 void Linear::forward(const Matrix& x, Matrix& y) const {
-  engine_.run(x, y, pool_);
+  engine_->run(x, y);
   if (!bias_.empty()) add_bias(y, bias_);
 }
 
 QuantLinear::QuantLinear(const Matrix& w, std::vector<float> bias,
                          unsigned bits, QuantMethod method,
                          const BiqGemmOptions& opt)
-    : m_(w.rows()), n_(w.cols()),
-      engine_([&] {
-        const BinaryCodes codes = quantize(w, bits, method);
-        return BiqGemm(codes, opt);
-      }()),
-      bias_(std::move(bias)) {
-  if (!bias_.empty() && bias_.size() != m_) {
-    throw std::invalid_argument("QuantLinear: bias size mismatch");
-  }
-  // Record reconstruction quality while the codes are still cheap to
-  // recompute (construction-only cost; the engine keeps packed keys).
+    : m_(w.rows()), n_(w.cols()), bits_(bits), bias_(std::move(bias)) {
+  check_bias(bias_, m_, "QuantLinear");
+  // Quantize once; the factory packs from these codes and the same
+  // codes yield the reconstruction-quality record (Table I proxy).
   const BinaryCodes codes = quantize(w, bits, method);
+  EngineConfig cfg;
+  cfg.codes = &codes;
+  cfg.kernel = opt;
+  engine_ = make_engine("biqgemm", w, cfg);
   quant_error_ = rel_fro_error(codes.dequantize(), w);
 }
 
 void QuantLinear::forward(const Matrix& x, Matrix& y) const {
-  engine_.run(x, y);
+  engine_->run(x, y);
   if (!bias_.empty()) add_bias(y, bias_);
 }
 
@@ -64,6 +90,14 @@ std::unique_ptr<LinearLayer> make_linear(const Matrix& w,
     return std::make_unique<Linear>(w, std::move(bias), pool);
   }
   return std::make_unique<QuantLinear>(w, std::move(bias), bits, method, opt);
+}
+
+std::unique_ptr<LinearLayer> make_linear_engine(std::string_view engine_name,
+                                                const Matrix& w,
+                                                std::vector<float> bias,
+                                                const EngineConfig& cfg) {
+  return std::make_unique<EngineLinear>(make_engine(engine_name, w, cfg),
+                                        std::move(bias));
 }
 
 }  // namespace biq::nn

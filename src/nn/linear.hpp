@@ -1,18 +1,23 @@
-// Fully-connected layers: the float reference (`Linear`, backed by the
-// blocked GEMM) and the quantized layer (`QuantLinear`, backed by
-// BiQGEMM). Both implement `LinearLayer`, so attention / feed-forward /
-// LSTM blocks are written once and run with either engine — this is the
-// integration surface a downstream user adopts.
+// Fully-connected layers over the pluggable GemmEngine interface. Both
+// the float reference (`Linear`) and the quantized layer (`QuantLinear`)
+// obtain their kernel from the EngineRegistry — "blocked" and "biqgemm"
+// respectively — instead of baking in concrete types, so attention /
+// feed-forward / LSTM blocks written against `LinearLayer` run with any
+// registered backend, present or future. `make_linear` is the factory a
+// downstream user adopts; `make_linear_engine` exposes the full registry
+// (any engine name) behind the same LinearLayer surface.
 #pragma once
 
 #include <memory>
+#include <string_view>
 #include <vector>
 
-#include "core/biqgemm.hpp"
-#include "gemm/gemm_blocked.hpp"
+#include "engine/registry.hpp"
 #include "matrix/matrix.hpp"
 
 namespace biq::nn {
+
+using biq::QuantMethod;  // canonical definition lives in quant/quantize.hpp
 
 class LinearLayer {
  public:
@@ -26,9 +31,12 @@ class LinearLayer {
 
   /// Bytes of weight storage inference reads (packed form for quantized).
   [[nodiscard]] virtual std::size_t weight_bytes() const noexcept = 0;
+
+  /// The GemmEngine the layer forwards through.
+  [[nodiscard]] virtual const GemmEngine& engine() const noexcept = 0;
 };
 
-/// fp32 layer over the pre-packed blocked GEMM.
+/// fp32 layer; kernel = registry "blocked" (pre-packed blocked GEMM).
 class Linear final : public LinearLayer {
  public:
   Linear(const Matrix& w, std::vector<float> bias,
@@ -38,17 +46,17 @@ class Linear final : public LinearLayer {
   [[nodiscard]] std::size_t in_features() const noexcept override { return n_; }
   [[nodiscard]] std::size_t out_features() const noexcept override { return m_; }
   [[nodiscard]] std::size_t weight_bytes() const noexcept override {
-    return m_ * n_ * sizeof(float);
+    return engine_->weight_bytes();
+  }
+  [[nodiscard]] const GemmEngine& engine() const noexcept override {
+    return *engine_;
   }
 
  private:
   std::size_t m_, n_;
-  BlockedGemm engine_;
+  std::unique_ptr<GemmEngine> engine_;
   std::vector<float> bias_;
-  ThreadPool* pool_;
 };
-
-enum class QuantMethod { kGreedy, kAlternating };
 
 /// Quantization policy for every weight matrix of a model build.
 /// weight_bits == 0 means fp32 (the reference build).
@@ -58,9 +66,9 @@ struct QuantSpec {
   BiqGemmOptions kernel;
 };
 
-/// Binary-coding quantized layer over BiQGEMM. Quantizes at construction
-/// (weights are fixed during inference — Sec. II-A); keeps only packed
-/// keys + scales + bias.
+/// Binary-coding quantized layer; kernel = registry "biqgemm". Quantizes
+/// at construction (weights are fixed during inference — Sec. II-A);
+/// keeps only packed keys + scales + bias.
 class QuantLinear final : public LinearLayer {
  public:
   QuantLinear(const Matrix& w, std::vector<float> bias, unsigned bits,
@@ -71,11 +79,13 @@ class QuantLinear final : public LinearLayer {
   [[nodiscard]] std::size_t in_features() const noexcept override { return n_; }
   [[nodiscard]] std::size_t out_features() const noexcept override { return m_; }
   [[nodiscard]] std::size_t weight_bytes() const noexcept override {
-    return engine_.packed_weight_bytes();
+    return engine_->weight_bytes();
   }
 
-  [[nodiscard]] const BiqGemm& engine() const noexcept { return engine_; }
-  [[nodiscard]] unsigned bits() const noexcept { return engine_.bits(); }
+  [[nodiscard]] const GemmEngine& engine() const noexcept override {
+    return *engine_;
+  }
+  [[nodiscard]] unsigned bits() const noexcept { return bits_; }
 
   /// Relative Frobenius error of the dequantized weights vs the
   /// originals, recorded at construction (Table I quality proxy).
@@ -83,7 +93,8 @@ class QuantLinear final : public LinearLayer {
 
  private:
   std::size_t m_, n_;
-  BiqGemm engine_;
+  unsigned bits_;
+  std::unique_ptr<GemmEngine> engine_;
   std::vector<float> bias_;
   double quant_error_ = 0.0;
 };
@@ -93,5 +104,12 @@ class QuantLinear final : public LinearLayer {
     const Matrix& w, std::vector<float> bias, unsigned bits,
     QuantMethod method = QuantMethod::kGreedy, const BiqGemmOptions& opt = {},
     ThreadPool* pool = nullptr);
+
+/// Registry-generic layer: wraps ANY registered engine (by name) plus a
+/// bias behind the LinearLayer interface — how a new backend reaches the
+/// model zoo without new layer classes.
+[[nodiscard]] std::unique_ptr<LinearLayer> make_linear_engine(
+    std::string_view engine_name, const Matrix& w, std::vector<float> bias,
+    const EngineConfig& cfg = {});
 
 }  // namespace biq::nn

@@ -1,0 +1,22 @@
+#include "quant/quantize.hpp"
+
+#include <stdexcept>
+
+#include "quant/alternating.hpp"
+#include "quant/greedy.hpp"
+
+namespace biq {
+
+BinaryCodes quantize(const Matrix& w, unsigned bits, QuantMethod method) {
+  switch (method) {
+    case QuantMethod::kGreedy: return quantize_greedy(w, bits);
+    case QuantMethod::kAlternating: return quantize_alternating(w, bits);
+  }
+  throw std::logic_error("quantize: unknown QuantMethod");
+}
+
+const char* quant_method_name(QuantMethod method) noexcept {
+  return method == QuantMethod::kAlternating ? "alternating" : "greedy";
+}
+
+}  // namespace biq

@@ -1,0 +1,22 @@
+// Method-dispatched entry point over the binary-coding quantizers.
+// Lives at the quant layer (not nn) so the EngineRegistry and the nn
+// layers share one QuantMethod vocabulary.
+#pragma once
+
+#include "quant/binary_codes.hpp"
+
+namespace biq {
+
+class Matrix;
+
+enum class QuantMethod { kGreedy, kAlternating };
+
+/// Quantizes w into `bits` binary planes with the chosen method
+/// (quant/greedy.hpp or quant/alternating.hpp).
+[[nodiscard]] BinaryCodes quantize(const Matrix& w, unsigned bits,
+                                   QuantMethod method);
+
+/// Stable lower-case method name for reports ("greedy" / "alternating").
+[[nodiscard]] const char* quant_method_name(QuantMethod method) noexcept;
+
+}  // namespace biq

@@ -1,7 +1,10 @@
-// Thin SIMD abstraction: an 8-lane fp32 vector with identical semantics
-// on AVX2 and on the scalar fallback, plus popcount helpers for the
-// XNOR-GEMM baseline. Kernels are written once against this type; the
-// fallback keeps every configuration testable on non-AVX2 hosts.
+// Thin SIMD abstraction for the *baseline* kernels (blocked / unpack /
+// xnor): an 8-lane fp32 vector with identical semantics on AVX2 and on
+// the scalar fallback, plus popcount helpers. Resolved at compile time —
+// which is fine for baselines compiled at the portable default. The
+// BiQGEMM hot loops do NOT use this header: they are compiled per-ISA in
+// src/engine/biq_kernels_*.cpp and selected at runtime via
+// engine/dispatch.hpp.
 #pragma once
 
 #include <cstdint>
@@ -13,19 +16,9 @@
 #define BIQ_HAVE_AVX2 0
 #endif
 
-#if defined(__AVX512F__)
-#define BIQ_HAVE_AVX512 1
-#else
-#define BIQ_HAVE_AVX512 0
-#endif
-
 namespace biq::simd {
 
 inline constexpr int kFloatLanes = 8;
-
-/// Widest fp32 vector the build can use; the batched BiQGEMM kernel
-/// prefers this lane count for its batch tiles.
-inline constexpr int kMaxFloatLanes = BIQ_HAVE_AVX512 ? 16 : 8;
 
 #if BIQ_HAVE_AVX2
 
@@ -135,94 +128,8 @@ struct F32x8 {
 
 #endif  // BIQ_HAVE_AVX2
 
-#if BIQ_HAVE_AVX512
-
-/// 16-lane fp32 vector (AVX-512). Only the operations the 16-lane
-/// BiQGEMM batch tile needs; everything else stays on F32x8.
-struct F32x16 {
-  __m512 v;
-
-  static F32x16 zero() noexcept { return {_mm512_setzero_ps()}; }
-  static F32x16 set1(float x) noexcept { return {_mm512_set1_ps(x)}; }
-  static F32x16 load(const float* p) noexcept { return {_mm512_load_ps(p)}; }
-  static F32x16 loadu(const float* p) noexcept { return {_mm512_loadu_ps(p)}; }
-
-  void store(float* p) const noexcept { _mm512_store_ps(p, v); }
-  void storeu(float* p) const noexcept { _mm512_storeu_ps(p, v); }
-
-  friend F32x16 operator+(F32x16 a, F32x16 b) noexcept {
-    return {_mm512_add_ps(a.v, b.v)};
-  }
-  friend F32x16 operator-(F32x16 a, F32x16 b) noexcept {
-    return {_mm512_sub_ps(a.v, b.v)};
-  }
-
-  void fma(F32x16 a, F32x16 b) noexcept { v = _mm512_fmadd_ps(a.v, b.v, v); }
-
-  [[nodiscard]] F32x16 negate() const noexcept {
-    return {_mm512_sub_ps(_mm512_setzero_ps(), v)};
-  }
-};
-
-#else
-
-/// Scalar stand-in so lane-generic code compiles everywhere; the kernel
-/// never selects 16-lane tiles unless BIQ_HAVE_AVX512 is set.
-struct F32x16 {
-  float v[16];
-
-  static F32x16 zero() noexcept {
-    F32x16 r{};
-    return r;
-  }
-  static F32x16 set1(float x) noexcept {
-    F32x16 r;
-    for (float& lane : r.v) lane = x;
-    return r;
-  }
-  static F32x16 load(const float* p) noexcept { return loadu(p); }
-  static F32x16 loadu(const float* p) noexcept {
-    F32x16 r;
-    for (int i = 0; i < 16; ++i) r.v[i] = p[i];
-    return r;
-  }
-
-  void store(float* p) const noexcept { storeu(p); }
-  void storeu(float* p) const noexcept {
-    for (int i = 0; i < 16; ++i) p[i] = v[i];
-  }
-
-  friend F32x16 operator+(F32x16 a, F32x16 b) noexcept {
-    F32x16 r;
-    for (int i = 0; i < 16; ++i) r.v[i] = a.v[i] + b.v[i];
-    return r;
-  }
-  friend F32x16 operator-(F32x16 a, F32x16 b) noexcept {
-    F32x16 r;
-    for (int i = 0; i < 16; ++i) r.v[i] = a.v[i] - b.v[i];
-    return r;
-  }
-
-  void fma(F32x16 a, F32x16 b) noexcept {
-    for (int i = 0; i < 16; ++i) v[i] += a.v[i] * b.v[i];
-  }
-
-  [[nodiscard]] F32x16 negate() const noexcept {
-    F32x16 r;
-    for (int i = 0; i < 16; ++i) r.v[i] = -v[i];
-    return r;
-  }
-};
-
-#endif  // BIQ_HAVE_AVX512
-
-/// True when the vectorized code paths are compiled in.
+/// True when the vectorized baseline paths are compiled in this TU.
 [[nodiscard]] constexpr bool have_avx2() noexcept { return BIQ_HAVE_AVX2 != 0; }
-
-/// True when the 16-lane AVX-512 paths are compiled in.
-[[nodiscard]] constexpr bool have_avx512() noexcept {
-  return BIQ_HAVE_AVX512 != 0;
-}
 
 [[nodiscard]] inline int popcount64(std::uint64_t x) noexcept {
 #if defined(__GNUC__) || defined(__clang__)
