@@ -1,7 +1,13 @@
 // Ablation — LUT-stationary tiling and threading (paper Sec. III-B/III-C
 // design discussion): how the tables-per-tile choice (LUT tile height,
-// Fig. 7) and the worker count affect kernel time.
+// Fig. 7) affects the BiQGEMM kernel, and how EVERY registered engine
+// scales across worker counts now that call-time ExecContexts route all
+// backends through the shared tile partitioner. Run with --json to emit
+// BENCH_ablation_tile_threads.json for the perf trajectory.
+#include <algorithm>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/biqgemm.hpp"
@@ -10,24 +16,26 @@
 
 namespace {
 
-void tile_sweep() {
+void tile_sweep(biq::bench::BenchJson& json) {
   std::printf("-- tables per LUT tile (m=2048, n=2048, b=32, mu=8; LUT tile "
-              "bytes = tables * 256 entries * 8 lanes * 4) --\n");
+              "bytes = tables * 256 entries * lanes * 4) --\n");
   biq::Rng rng(1);
   biq::Matrix w = biq::Matrix::random_normal(2048, 2048, rng);
   const biq::BinaryCodes codes = biq::quantize_greedy(w, 1);
   biq::Matrix x = biq::Matrix::random_normal(2048, 32, rng);
   biq::Matrix y(2048, 32);
 
-  biq::TablePrinter table({"tables/tile", "LUT tile KB", "us"});
+  biq::TablePrinter table({"tables/tile", "us"});
   for (std::size_t tiles : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
     biq::BiqGemmOptions opt;
     opt.tables_per_tile = tiles;
     const biq::BiqGemm engine(codes, opt);
     const double t = biq::bench::median_seconds([&] { engine.run(x, y); });
-    table.add_row({std::to_string(tiles),
-                   std::to_string(tiles * 256 * 8 * 4 / 1024),
-                   biq::bench::us(t, 1)});
+    table.add_row({std::to_string(tiles), biq::bench::us(t, 1)});
+    json.record({biq::bench::jstr("sweep", "tables_per_tile"),
+                 biq::bench::jint("tables_per_tile",
+                                  static_cast<long long>(tiles)),
+                 biq::bench::jnum("us", t * 1e6)});
   }
   std::printf("%s\n", table.to_markdown().c_str());
   std::printf("Expectation: flat once the tile covers a few KB, degrading\n"
@@ -35,25 +43,45 @@ void tile_sweep() {
               "tile size is highly constrained' point of Sec. III-C.\n\n");
 }
 
-void thread_sweep() {
-  std::printf("-- thread scaling (m=4096, n=2048, b=64, mu=8) --\n");
+void engine_thread_sweep(biq::bench::BenchJson& json) {
+  constexpr std::size_t m = 1024, n = 1024, b = 32;
+  std::printf("-- engine x threads (m=%zu, n=%zu, b=%zu, 2-bit weights; "
+              "call-time ExecContext, shared partitioner) --\n", m, n, b);
   biq::Rng rng(2);
-  biq::Matrix w = biq::Matrix::random_normal(4096, 2048, rng);
-  const biq::BinaryCodes codes = biq::quantize_greedy(w, 1);
-  biq::Matrix x = biq::Matrix::random_normal(2048, 64, rng);
-  biq::Matrix y(4096, 64);
+  biq::Matrix w = biq::Matrix::random_normal(m, n, rng);
+  biq::Matrix x = biq::Matrix::random_normal(n, b, rng);
+  biq::Matrix y(m, b);
 
-  biq::TablePrinter table({"threads", "us", "speedup"});
-  double serial = 0.0;
-  for (unsigned threads : {1u, 2u, 4u}) {
-    biq::ThreadPool pool(threads);
-    biq::BiqGemmOptions opt;
-    if (threads > 1) opt.pool = &pool;
-    const biq::BiqGemm engine(codes, opt);
-    const double t = biq::bench::median_seconds([&] { engine.run(x, y); });
-    if (threads == 1) serial = t;
-    table.add_row({std::to_string(threads), biq::bench::us(t, 1),
-                   biq::TablePrinter::fmt(serial / t, 2) + "x"});
+  biq::EngineConfig cfg;
+  cfg.weight_bits = 2;
+
+  const std::vector<unsigned> thread_counts = {1u, 2u, 4u};
+  std::vector<std::string> header = {"engine"};
+  for (unsigned t : thread_counts) {
+    header.push_back(std::to_string(t) + "T us");
+  }
+  header.push_back("best speedup");
+  biq::TablePrinter table(header);
+
+  for (const std::string& name : biq::EngineRegistry::instance().names()) {
+    const auto engine = biq::make_engine(name, w, cfg);
+    std::vector<std::string> row = {name};
+    double serial = 0.0, best = 0.0;
+    for (unsigned threads : thread_counts) {
+      biq::ThreadPool pool(threads);
+      biq::ExecContext ctx(&pool);
+      const double t =
+          biq::bench::median_seconds([&] { engine->run(x, y, ctx); });
+      if (threads == 1) serial = t;
+      best = best == 0.0 ? t : std::min(best, t);
+      row.push_back(biq::bench::us(t, 1));
+      json.record({biq::bench::jstr("sweep", "engine_threads"),
+                   biq::bench::jstr("engine", name),
+                   biq::bench::jint("threads", threads),
+                   biq::bench::jnum("us", t * 1e6)});
+    }
+    row.push_back(biq::TablePrinter::fmt(serial / best, 2) + "x");
+    table.add_row(row);
   }
   std::printf("%s\n", table.to_markdown().c_str());
   std::printf("Note: this host exposes %u hardware thread(s); oversubscribed\n"
@@ -65,12 +93,13 @@ void thread_sweep() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   biq::bench::print_header(
-      "ablation_tile_threads — LUT-stationary tile size and threading",
+      "ablation_tile_threads — LUT tile size and engine x threads scaling",
       "paper Sec. III-B tiling (Fig. 7) and Sec. III-C / IV-D threading "
       "remarks");
-  tile_sweep();
-  thread_sweep();
+  biq::bench::BenchJson json(argc, argv, "ablation_tile_threads");
+  tile_sweep(json);
+  engine_thread_sweep(json);
   return 0;
 }

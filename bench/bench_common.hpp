@@ -1,10 +1,15 @@
 // Shared helpers for the figure/table reproduction binaries. All benches
 // report through these so machine description (describe_machine) and
-// kernel naming (EngineRegistry names) stay uniform across tables.
+// kernel naming (EngineRegistry names) stay uniform across tables, and
+// benches invoked with --json additionally emit machine-readable
+// BENCH_<name>.json records for the perf trajectory.
 #pragma once
 
 #include <cstdio>
+#include <initializer_list>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "engine/gemm_engine.hpp"
 #include "engine/registry.hpp"
@@ -56,5 +61,92 @@ inline std::string ms(double seconds, int precision = 2) {
   std::snprintf(buf, sizeof(buf), "%.*f", precision, seconds * 1e3);
   return buf;
 }
+
+// ------------------------------------------------------- --json records
+
+/// One key/value of a JSON record; build with jstr / jnum / jint.
+struct JsonField {
+  std::string key;
+  std::string rendered;  // value, already JSON-encoded
+};
+
+inline JsonField jstr(std::string_view key, std::string_view value) {
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return {std::string(key), std::move(out)};
+}
+
+inline JsonField jnum(std::string_view key, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return {std::string(key), buf};
+}
+
+inline JsonField jint(std::string_view key, long long value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", value);
+  return {std::string(key), buf};
+}
+
+/// Machine-readable bench output, enabled by a --json argv flag: each
+/// record() appends one object, and the destructor writes
+/// BENCH_<name>.json ({bench, machine, records: [...]}) into the
+/// working directory. Without --json, calls are no-ops, so benches wire
+/// records in unconditionally next to their table rows.
+class BenchJson {
+ public:
+  BenchJson(int argc, char** argv, std::string name)
+      : name_(std::move(name)) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string_view(argv[i]) == "--json") enabled_ = true;
+    }
+  }
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  void record(std::initializer_list<JsonField> fields) {
+    if (!enabled_) return;
+    std::string obj = "{";
+    bool first = true;
+    for (const JsonField& f : fields) {
+      if (!first) obj += ", ";
+      first = false;
+      obj += "\"" + f.key + "\": " + f.rendered;
+    }
+    obj += "}";
+    records_.push_back(std::move(obj));
+  }
+
+  ~BenchJson() {
+    if (!enabled_) return;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": %s,\n  \"machine\": %s,\n  \"records\": [",
+                 jstr("", name_).rendered.c_str(),
+                 jstr("", describe_machine()).rendered.c_str());
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      std::fprintf(f, "%s\n    %s", i == 0 ? "" : ",", records_[i].c_str());
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu records)\n", path.c_str(), records_.size());
+  }
+
+ private:
+  std::string name_;
+  bool enabled_ = false;
+  std::vector<std::string> records_;
+};
 
 }  // namespace biq::bench

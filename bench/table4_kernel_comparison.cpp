@@ -25,12 +25,13 @@
 #include "quant/quantize.hpp"
 #include "util/table_printer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   biq::bench::print_header(
       "table4_kernel_comparison — BiQGEMM vs baseline kernels (1-bit)",
       "paper Table IV on CPU stand-ins: naive=kGpu, blocked=cublas, "
       "xnor=xnor; runtimes in microseconds");
   biq::bench::print_engine_lineup();
+  biq::bench::BenchJson json(argc, argv, "table4_kernel_comparison");
 
   const std::vector<std::string> contenders = {"biqgemm", "naive", "blocked",
                                                "xnor"};
@@ -86,6 +87,10 @@ int main() {
             engine->name() == "naive" && n * n * b > (std::size_t{1} << 28);
         times.push_back(biq::bench::median_seconds(
             [&] { engine->run(x, y); }, big ? 1 : 3, big ? 0.0 : 0.05));
+        json.record({biq::bench::jstr("engine", std::string(engine->name())),
+                     biq::bench::jint("n", static_cast<long long>(n)),
+                     biq::bench::jint("batch", static_cast<long long>(b)),
+                     biq::bench::jnum("us", times.back() * 1e6)});
       }
 
       std::vector<std::string> row = {std::to_string(n), std::to_string(b)};

@@ -1,28 +1,31 @@
 #include "core/biqgemm.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <stdexcept>
 
 #include "core/biqgemv.hpp"
 #include "core/lut_builder.hpp"
 #include "engine/dispatch.hpp"
-#include "util/aligned_buffer.hpp"
+#include "engine/partition.hpp"
 #include "util/timer.hpp"
 
 namespace biq {
 namespace {
 
-/// Per-worker scratch for one batch tile.
+/// Per-worker scratch for one batch tile, carved from the worker's
+/// ExecContext arena — pointers are valid until that arena's next
+/// reset(), and a warm arena serves them without touching the heap.
 struct Scratch {
-  Scratch(const TilePlan& plan, std::size_t m, unsigned mu)
-      : xt(plan.tables_per_tile * mu * plan.lanes),
-        lut(plan.tables_per_tile * (std::size_t{1} << mu) * plan.lanes),
-        ytile(m * plan.lanes) {}
+  Scratch(ScratchArena& arena, const TilePlan& plan, std::size_t m,
+          unsigned mu)
+      : xt(arena.alloc<float>(plan.tables_per_tile * mu * plan.lanes)),
+        lut(arena.alloc<float>(plan.tables_per_tile *
+                               (std::size_t{1} << mu) * plan.lanes)),
+        ytile(arena.alloc<float>(m * plan.lanes)) {}
 
-  AlignedBuffer<float> xt;
-  AlignedBuffer<float> lut;
-  AlignedBuffer<float> ytile;
+  float* xt;
+  float* lut;
+  float* ytile;
 };
 
 /// Stages x sub-vectors for tables [t0, t0+tcount) x columns
@@ -72,10 +75,13 @@ void build_tile(const engine::BiqKernels& kernels, const float* xt, float* lut,
   }
 }
 
+/// `row_ctx` non-null parallelizes the query phase over output-row
+/// blocks through the shared partitioner (the small-batch regime);
+/// null keeps the tile on one worker (the tile-parallel regime).
 template <typename KeyT>
 void run_one_batch_tile(const KernelArgs& a, std::size_t c0, std::size_t lanes,
-                        Scratch& scratch, ThreadPool* pool) {
-  float* ytile = scratch.ytile.data();
+                        Scratch& scratch, ExecContext* row_ctx) {
+  float* ytile = scratch.ytile;
 
   {
     Stopwatch w;
@@ -88,7 +94,7 @@ void run_one_batch_tile(const KernelArgs& a, std::size_t c0, std::size_t lanes,
   q.num_planes = a.keys->size();
   q.alphas = a.alphas->empty() ? nullptr : a.alphas->data();
   q.mu = a.mu;
-  q.lut = scratch.lut.data();
+  q.lut = scratch.lut;
   q.ytile = ytile;
   q.lanes = lanes;
   const auto query_fn = sizeof(KeyT) == 1 ? a.kernels->query_tile_u8
@@ -99,28 +105,28 @@ void run_one_batch_tile(const KernelArgs& a, std::size_t c0, std::size_t lanes,
 
     {
       Stopwatch w;
-      stage_x_tile(*a.x, c0, lanes, t0, tcount, a.mu, scratch.xt.data());
+      stage_x_tile(*a.x, c0, lanes, t0, tcount, a.mu, scratch.xt);
       if (a.profile) a.profile->replace_seconds += w.elapsed_seconds();
     }
     {
       Stopwatch w;
-      build_tile(*a.kernels, scratch.xt.data(), scratch.lut.data(), tcount,
-                 a.mu, lanes, a.use_dp);
+      build_tile(*a.kernels, scratch.xt, scratch.lut, tcount, a.mu, lanes,
+                 a.use_dp);
       if (a.profile) a.profile->build_seconds += w.elapsed_seconds();
     }
     {
       Stopwatch w;
       q.t0 = t0;
       q.tcount = tcount;
-      if (pool != nullptr && pool->worker_count() > 1) {
-        parallel_for(*pool, 0, static_cast<std::int64_t>(a.m),
-                     static_cast<std::int64_t>(a.plan.row_block),
-                     [&](std::int64_t lo, std::int64_t hi) {
-                       engine::QueryTileArgs part = q;
-                       part.i0 = static_cast<std::size_t>(lo);
-                       part.i1 = static_cast<std::size_t>(hi);
-                       query_fn(part);
-                     });
+      if (row_ctx != nullptr && row_ctx->worker_count() > 1) {
+        engine::for_each_tile(*row_ctx, a.m, a.plan.row_block,
+                              [&](unsigned /*worker*/, std::size_t lo,
+                                  std::size_t hi) {
+                                engine::QueryTileArgs part = q;
+                                part.i0 = lo;
+                                part.i1 = hi;
+                                query_fn(part);
+                              });
       } else {
         q.i0 = 0;
         q.i1 = a.m;
@@ -140,53 +146,51 @@ void run_one_batch_tile(const KernelArgs& a, std::size_t c0, std::size_t lanes,
   }
 }
 
-struct BatchTile {
-  std::size_t c0;
-  std::size_t lanes;
-};
-
-/// Greedy batch tiling: full vector-width tiles first, then a
-/// partial-lane remainder.
-std::vector<BatchTile> plan_batch_tiles(std::size_t b, std::size_t max_lanes) {
-  std::vector<BatchTile> tiles;
-  std::size_t c0 = 0;
-  while (c0 < b) {
-    const std::size_t lanes = std::min(max_lanes, b - c0);
-    tiles.push_back({c0, lanes});
-    c0 += lanes;
-  }
-  return tiles;
-}
-
 template <typename KeyT>
-void run_kernel(const KernelArgs& args, ThreadPool* pool) {
+void run_kernel(const KernelArgs& args, ExecContext& ctx) {
   const std::size_t b = args.x->cols();
-  const std::vector<BatchTile> tiles = plan_batch_tiles(b, args.plan.lanes);
+  const std::size_t lanes_max = args.plan.lanes;
+  const std::size_t ntiles = (b + lanes_max - 1) / lanes_max;
 
-  const bool tile_parallel = pool != nullptr && pool->worker_count() > 1 &&
-                             tiles.size() >= pool->worker_count();
+  const bool tile_parallel =
+      ctx.worker_count() > 1 && ntiles >= ctx.worker_count();
 
   if (tile_parallel) {
     // Batch tiles write disjoint output columns: embarrassingly parallel,
-    // one scratch per worker, dynamic tile queue.
-    std::atomic<std::size_t> next{0};
-    pool->run([&](unsigned /*worker*/) {
-      Scratch scratch(args.plan, args.m, args.mu);
-      for (;;) {
-        const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
-        if (t >= tiles.size()) break;
-        run_one_batch_tile<KeyT>(args, tiles[t].c0, tiles[t].lanes, scratch,
-                                 nullptr);
-      }
-    });
+    // one arena-backed scratch per worker, dynamic tile queue. Pre-warm
+    // every worker's arena from the calling thread (no region is active
+    // yet) so the zero-allocation steady state is reached after one run
+    // even for workers the dynamic queue happened to starve.
+    for (unsigned w = 0; w < ctx.worker_count(); ++w) {
+      ScratchArena& arena = ctx.scratch(w);
+      arena.reset();
+      Scratch prewarm(arena, args.plan, args.m, args.mu);
+      (void)prewarm;
+    }
+    engine::for_each_tile(
+        ctx, ntiles, 1,
+        [&](unsigned worker, std::size_t t0, std::size_t t1) {
+          ScratchArena& arena = ctx.scratch(worker);
+          arena.reset();
+          Scratch scratch(arena, args.plan, args.m, args.mu);
+          for (std::size_t t = t0; t < t1; ++t) {
+            const std::size_t c0 = t * lanes_max;
+            run_one_batch_tile<KeyT>(args, c0, std::min(lanes_max, b - c0),
+                                     scratch, nullptr);
+          }
+        });
     return;
   }
 
   // Few batch tiles: process them in order, parallelizing the query
-  // phase over output rows inside each tile (pool may still be null).
-  Scratch scratch(args.plan, args.m, args.mu);
-  for (const BatchTile& tile : tiles) {
-    run_one_batch_tile<KeyT>(args, tile.c0, tile.lanes, scratch, pool);
+  // phase over output rows inside each tile (ctx may still be serial).
+  ScratchArena& arena = ctx.scratch(0);
+  arena.reset();
+  Scratch scratch(arena, args.plan, args.m, args.mu);
+  for (std::size_t t = 0; t < ntiles; ++t) {
+    const std::size_t c0 = t * lanes_max;
+    run_one_batch_tile<KeyT>(args, c0, std::min(lanes_max, b - c0), scratch,
+                             &ctx);
   }
 }
 
@@ -225,14 +229,19 @@ std::size_t BiqGemm::packed_weight_bytes() const noexcept {
   return bytes;
 }
 
-void BiqGemm::run(const Matrix& x, Matrix& y) const {
+void BiqGemm::run(const Matrix& x, Matrix& y, ExecContext& ctx) const {
   if (x.rows() != n_ || y.rows() != m_ || y.cols() != x.cols()) {
     throw std::invalid_argument("BiqGemm::run: shape mismatch");
   }
   if (x.cols() == 0 || m_ == 0) return;
 
+  const engine::BiqKernels* kernels =
+      ctx.isa() == KernelIsa::kAuto ? kernels_
+                                    : &engine::select_kernels(ctx.isa());
+
   if (x.cols() == 1) {
-    biqgemv_packed(keys_, alphas_, x.col(0), y.col(0), m_, n_, opt_, kernels_);
+    biqgemv_packed(keys_, alphas_, x.col(0), y.col(0), m_, n_, opt_, ctx,
+                   kernels);
     return;
   }
 
@@ -246,21 +255,25 @@ void BiqGemm::run(const Matrix& x, Matrix& y) const {
   args.ntables = table_count(n_, opt_.mu);
   args.mu = opt_.mu;
   args.use_dp = opt_.use_dp_builder;
-  args.plan = plan_tiles(m_, x.cols(), opt_, kernels_->query_lanes);
-  args.kernels = kernels_;
-  const bool serial = opt_.pool == nullptr || opt_.pool->worker_count() == 1;
-  args.profile = serial ? opt_.profile : nullptr;
+  args.plan = plan_tiles(m_, x.cols(), opt_, kernels->query_lanes);
+  args.kernels = kernels;
+  args.profile = ctx.worker_count() == 1 ? opt_.profile : nullptr;
 
   if (opt_.mu > 8) {
-    run_kernel<std::uint16_t>(args, opt_.pool);
+    run_kernel<std::uint16_t>(args, ctx);
   } else {
-    run_kernel<std::uint8_t>(args, opt_.pool);
+    run_kernel<std::uint8_t>(args, ctx);
   }
 }
 
 void biqgemm(const BinaryCodes& codes, const Matrix& x, Matrix& y,
              const BiqGemmOptions& opt) {
   BiqGemm(codes, opt).run(x, y);
+}
+
+void biqgemm(const BinaryCodes& codes, const Matrix& x, Matrix& y,
+             const BiqGemmOptions& opt, ExecContext& ctx) {
+  BiqGemm(codes, opt).run(x, y, ctx);
 }
 
 void biqgemm_basic(const BinaryCodes& codes, const Matrix& x, Matrix& y,

@@ -38,8 +38,12 @@ class BiqGemm final : public GemmEngine {
   explicit BiqGemm(const BinaryMatrix& plane, const BiqGemmOptions& opt = {});
 
   /// Y = quantized W . X. X is n x b col-major, Y m x b col-major
-  /// (overwritten). b == 1 takes the GEMV fast path.
-  void run(const Matrix& x, Matrix& y) const override;
+  /// (overwritten). b == 1 takes the GEMV fast path. Batch tiles (or
+  /// query rows, for small batches) are partitioned across ctx's pool;
+  /// all scratch is served from ctx's per-worker arenas, so repeated
+  /// calls on a warm context never touch the heap.
+  void run(const Matrix& x, Matrix& y, ExecContext& ctx) const override;
+  using GemmEngine::run;
 
   [[nodiscard]] std::size_t rows() const noexcept override { return m_; }
   [[nodiscard]] std::size_t cols() const noexcept override { return n_; }
@@ -75,6 +79,10 @@ class BiqGemm final : public GemmEngine {
 /// One-shot convenience wrapper (packs keys, runs, discards).
 void biqgemm(const BinaryCodes& codes, const Matrix& x, Matrix& y,
              const BiqGemmOptions& opt = {});
+
+/// One-shot form with call-time execution state (pool / ISA override).
+void biqgemm(const BinaryCodes& codes, const Matrix& x, Matrix& y,
+             const BiqGemmOptions& opt, ExecContext& ctx);
 
 /// Untiled, unvectorized two-phase reference implementation of the same
 /// algorithm — the clarity oracle the optimized kernel is tested against

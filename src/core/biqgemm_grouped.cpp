@@ -4,7 +4,7 @@
 #include <stdexcept>
 
 #include "engine/dispatch.hpp"
-#include "util/aligned_buffer.hpp"
+#include "engine/partition.hpp"
 
 namespace biq {
 namespace {
@@ -59,42 +59,59 @@ std::size_t BiqGemmGrouped::packed_weight_bytes() const noexcept {
   return bytes;
 }
 
-void BiqGemmGrouped::run(const Matrix& x, Matrix& y) const {
+void BiqGemmGrouped::run(const Matrix& x, Matrix& y, ExecContext& ctx) const {
   if (x.rows() != n_ || y.rows() != m_ || y.cols() != x.cols()) {
     throw std::invalid_argument("BiqGemmGrouped::run: shape mismatch");
   }
   const std::size_t b = x.cols();
   if (b == 0 || m_ == 0) return;
 
+  const engine::BiqKernels& kernels =
+      ctx.isa() == KernelIsa::kAuto ? *kernels_
+                                    : engine::select_kernels(ctx.isa());
   const unsigned mu = opt_.mu;
   const std::size_t ntables = table_count(n_, mu);
   const std::size_t entries = std::size_t{1} << mu;
   const auto query_fn =
-      mu > 8 ? kernels_->query_tile_u16 : kernels_->query_tile_u8;
+      mu > 8 ? kernels.query_tile_u16 : kernels.query_tile_u8;
 
   // One LUT tile per scale group: the group's tables are accumulated and
   // scaled in a single query_tile invocation — the per-(row, group) scale
   // rides in through QueryTileArgs::alpha_stride / alpha_offset.
-  const std::size_t lanes_max =
-      std::min<std::size_t>(kernels_->query_lanes, b);
-  AlignedBuffer<float> xt(tables_per_group_ * mu * lanes_max);
-  AlignedBuffer<float> lut(tables_per_group_ * entries * lanes_max);
-  AlignedBuffer<float> ytile(m_ * lanes_max);
+  const std::size_t lanes_max = std::min<std::size_t>(kernels.query_lanes, b);
+  const std::size_t ntiles = (b + lanes_max - 1) / lanes_max;
 
-  engine::QueryTileArgs q;
-  q.keys = keys_.data();
-  q.num_planes = bits_;
-  q.alphas = alphas_.data();
-  q.alpha_stride = num_groups_;
-  q.mu = mu;
-  q.lut = lut.data();
-  q.ytile = ytile.data();
-  q.i0 = 0;
-  q.i1 = m_;
+  // One scratch layout shared by the real tiles and the arena pre-warm,
+  // so the warm-path guarantee can't drift out of sync with the sizes.
+  struct Scratch {
+    float* xt;
+    float* lut;
+    float* ytile;
+  };
+  const auto alloc_scratch = [&](ScratchArena& arena) {
+    return Scratch{arena.alloc<float>(tables_per_group_ * mu * lanes_max),
+                   arena.alloc<float>(tables_per_group_ * entries * lanes_max),
+                   arena.alloc<float>(m_ * lanes_max)};
+  };
 
-  for (std::size_t c0 = 0; c0 < b; c0 += lanes_max) {
+  // One batch tile, end to end, on one worker's arena-backed scratch.
+  const auto run_tile = [&](ScratchArena& arena, std::size_t c0,
+                            ExecContext* row_ctx) {
+    const Scratch s = alloc_scratch(arena);
+    float* xt = s.xt;
+    float* lut = s.lut;
+    float* ytile = s.ytile;
     const std::size_t lanes = std::min(lanes_max, b - c0);
-    std::fill(ytile.data(), ytile.data() + m_ * lanes, 0.0f);
+    std::fill(ytile, ytile + m_ * lanes, 0.0f);
+
+    engine::QueryTileArgs q;
+    q.keys = keys_.data();
+    q.num_planes = bits_;
+    q.alphas = alphas_.data();
+    q.alpha_stride = num_groups_;
+    q.mu = mu;
+    q.lut = lut;
+    q.ytile = ytile;
     q.lanes = lanes;
 
     for (std::size_t group = 0; group < num_groups_; ++group) {
@@ -102,22 +119,63 @@ void BiqGemmGrouped::run(const Matrix& x, Matrix& y) const {
       if (t0 >= ntables) break;
       const std::size_t tcount = std::min(tables_per_group_, ntables - t0);
 
-      stage_x(x, c0, lanes, t0, tcount, mu, xt.data());
+      stage_x(x, c0, lanes, t0, tcount, mu, xt);
       for (std::size_t g = 0; g < tcount; ++g) {
-        kernels_->build_dp(xt.data() + g * mu * lanes, mu, lanes,
-                           lut.data() + g * entries * lanes);
+        kernels.build_dp(xt + g * mu * lanes, mu, lanes,
+                         lut + g * entries * lanes);
       }
 
       q.t0 = t0;
       q.tcount = tcount;
       q.alpha_offset = group;
-      query_fn(q);
+      if (row_ctx != nullptr && row_ctx->worker_count() > 1) {
+        engine::for_each_tile(*row_ctx, m_, opt_.row_block,
+                              [&](unsigned /*worker*/, std::size_t lo,
+                                  std::size_t hi) {
+                                engine::QueryTileArgs part = q;
+                                part.i0 = lo;
+                                part.i1 = hi;
+                                query_fn(part);
+                              });
+      } else {
+        q.i0 = 0;
+        q.i1 = m_;
+        query_fn(q);
+      }
     }
 
     for (std::size_t lane = 0; lane < lanes; ++lane) {
       float* ycol = y.col(c0 + lane);
       for (std::size_t i = 0; i < m_; ++i) ycol[i] = ytile[i * lanes + lane];
     }
+  };
+
+  if (ctx.worker_count() > 1 && ntiles >= ctx.worker_count()) {
+    // Wide batch: tiles write disjoint output columns. Pre-warm every
+    // worker's arena (see BiqGemm::run) so warm-context runs stay
+    // allocation-free regardless of how the dynamic queue lands.
+    for (unsigned w = 0; w < ctx.worker_count(); ++w) {
+      ScratchArena& arena = ctx.scratch(w);
+      arena.reset();
+      (void)alloc_scratch(arena);
+    }
+    engine::for_each_tile(ctx, ntiles, 1,
+                          [&](unsigned worker, std::size_t t0,
+                              std::size_t t1) {
+                            for (std::size_t t = t0; t < t1; ++t) {
+                              ScratchArena& arena = ctx.scratch(worker);
+                              arena.reset();
+                              run_tile(arena, t * lanes_max, nullptr);
+                            }
+                          });
+    return;
+  }
+
+  // Narrow batch: tiles in order, query rows split across the pool.
+  for (std::size_t t = 0; t < ntiles; ++t) {
+    ScratchArena& arena = ctx.scratch(0);
+    arena.reset();
+    run_tile(arena, t * lanes_max, &ctx);
   }
 }
 

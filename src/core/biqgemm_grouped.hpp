@@ -28,8 +28,11 @@ class BiqGemmGrouped final : public GemmEngine {
                           const BiqGemmOptions& opt = {});
 
   /// Y = dequant(codes) . X, computed via lookups (never materializes
-  /// the dequantized weights).
-  void run(const Matrix& x, Matrix& y) const override;
+  /// the dequantized weights). Batch tiles — or query-row blocks when
+  /// the batch is narrow — are partitioned across ctx's pool; scratch
+  /// comes from ctx's per-worker arenas.
+  void run(const Matrix& x, Matrix& y, ExecContext& ctx) const override;
+  using GemmEngine::run;
 
   [[nodiscard]] std::size_t rows() const noexcept override { return m_; }
   [[nodiscard]] std::size_t cols() const noexcept override { return n_; }

@@ -5,7 +5,7 @@
 
 #include "core/lut_builder.hpp"
 #include "engine/dispatch.hpp"
-#include "util/aligned_buffer.hpp"
+#include "engine/partition.hpp"
 #include "util/timer.hpp"
 
 namespace biq {
@@ -24,7 +24,7 @@ template <typename KeyT>
 void run(const std::vector<KeyMatrix>& keys,
          const std::vector<std::vector<float>>& alphas, const float* x,
          float* y, std::size_t m, std::size_t n, const BiqGemmOptions& opt,
-         const engine::BiqKernels& kernels) {
+         ExecContext& ctx, const engine::BiqKernels& kernels) {
   const unsigned mu = opt.mu;
   const std::size_t ntables = table_count(n, mu);
   const std::size_t entries = std::size_t{1} << mu;
@@ -34,7 +34,7 @@ void run(const std::vector<KeyMatrix>& keys,
           : std::max<std::size_t>(
                 1, opt.lut_tile_bytes / (entries * sizeof(float)));
 
-  const bool serial = opt.pool == nullptr || opt.pool->worker_count() == 1;
+  const bool serial = ctx.worker_count() == 1;
   BiqGemmProfile* profile = serial ? opt.profile : nullptr;
 
   const auto row_fn = [&kernels] {
@@ -45,7 +45,12 @@ void run(const std::vector<KeyMatrix>& keys,
     }
   }();
 
-  AlignedBuffer<float> lut(tile_tables * entries);
+  // The flat LUT tile is shared read-only by every query worker, so it
+  // comes out of the calling thread's arena, allocated before the
+  // parallel region.
+  ScratchArena& arena = ctx.scratch(0);
+  arena.reset();
+  float* lut = arena.alloc<float>(tile_tables * entries);
   {
     Stopwatch w;
     std::fill(y, y + m, 0.0f);
@@ -61,36 +66,28 @@ void run(const std::vector<KeyMatrix>& keys,
         const std::size_t base = (t0 + g) * mu;
         const std::size_t len = std::min<std::size_t>(mu, n - base);
         if (opt.use_dp_builder) {
-          build_lut_dp(x + base, len, mu, lut.data() + (g << mu));
+          build_lut_dp(x + base, len, mu, lut + (g << mu));
         } else {
-          build_lut_mm(x + base, len, mu, lut.data() + (g << mu));
+          build_lut_mm(x + base, len, mu, lut + (g << mu));
         }
       }
       if (profile) profile->build_seconds += w.elapsed_seconds();
     }
     {
       Stopwatch w;
-      auto rows = [&](std::size_t i0, std::size_t i1) {
-        for (std::size_t i = i0; i < i1; ++i) {
-          float total = 0.0f;
-          for (std::size_t q = 0; q < keys.size(); ++q) {
-            const float acc =
-                row_fn(key_row<KeyT>(keys[q], i) + t0, tcount, mu, lut.data());
-            total += scaled ? alphas[q][i] * acc : acc;
-          }
-          y[i] += total;
-        }
-      };
-      if (!serial) {
-        parallel_for(*opt.pool, 0, static_cast<std::int64_t>(m),
-                     static_cast<std::int64_t>(opt.row_block),
-                     [&](std::int64_t lo, std::int64_t hi) {
-                       rows(static_cast<std::size_t>(lo),
-                            static_cast<std::size_t>(hi));
-                     });
-      } else {
-        rows(0, m);
-      }
+      engine::for_each_tile(
+          ctx, m, opt.row_block,
+          [&](unsigned /*worker*/, std::size_t i0, std::size_t i1) {
+            for (std::size_t i = i0; i < i1; ++i) {
+              float total = 0.0f;
+              for (std::size_t q = 0; q < keys.size(); ++q) {
+                const float acc =
+                    row_fn(key_row<KeyT>(keys[q], i) + t0, tcount, mu, lut);
+                total += scaled ? alphas[q][i] * acc : acc;
+              }
+              y[i] += total;
+            }
+          });
       if (profile) profile->query_seconds += w.elapsed_seconds();
     }
   }
@@ -101,16 +98,31 @@ void run(const std::vector<KeyMatrix>& keys,
 void biqgemv_packed(const std::vector<KeyMatrix>& keys,
                     const std::vector<std::vector<float>>& alphas,
                     const float* x, float* y, std::size_t m, std::size_t n,
-                    const BiqGemmOptions& opt,
+                    const BiqGemmOptions& opt, ExecContext& ctx,
                     const engine::BiqKernels* kernels) {
   if (keys.empty()) return;
+  // A caller-supplied plane is trusted verbatim (BiqGemm::run already
+  // applied the ctx-override precedence); only plane-less callers
+  // resolve here, keeping the ctx.isa > opt.isa rule in one spot per
+  // entry point.
   const engine::BiqKernels& k =
-      kernels != nullptr ? *kernels : engine::select_kernels(opt.isa);
+      kernels != nullptr
+          ? *kernels
+          : engine::select_kernels(
+                ctx.isa() != KernelIsa::kAuto ? ctx.isa() : opt.isa);
   if (opt.mu > 8) {
-    run<std::uint16_t>(keys, alphas, x, y, m, n, opt, k);
+    run<std::uint16_t>(keys, alphas, x, y, m, n, opt, ctx, k);
   } else {
-    run<std::uint8_t>(keys, alphas, x, y, m, n, opt, k);
+    run<std::uint8_t>(keys, alphas, x, y, m, n, opt, ctx, k);
   }
+}
+
+void biqgemv_packed(const std::vector<KeyMatrix>& keys,
+                    const std::vector<std::vector<float>>& alphas,
+                    const float* x, float* y, std::size_t m, std::size_t n,
+                    const BiqGemmOptions& opt) {
+  biqgemv_packed(keys, alphas, x, y, m, n, opt,
+                 ExecContext::thread_default());
 }
 
 }  // namespace biq

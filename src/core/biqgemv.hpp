@@ -1,9 +1,10 @@
 // Batch-1 fast path (GEMV): with a single activation column there is no
 // batch lane to vectorize over, so each LUT is a flat 2^mu array and the
 // query loop vectorizes across *tables* instead — AVX2 gathers of 8
-// table entries per instruction on the avx2 plane, a 4-way unroll on the
-// scalar plane, chosen at runtime through engine/dispatch.hpp. This is
-// the regime where the paper reports its largest wins (Table IV, b = 1).
+// table entries per instruction on the vector planes, a 4-way unroll on
+// the scalar plane, chosen at runtime through engine/dispatch.hpp. This
+// is the regime where the paper reports its largest wins (Table IV,
+// b = 1).
 #pragma once
 
 #include <cstddef>
@@ -11,6 +12,7 @@
 
 #include "core/context.hpp"
 #include "core/key_matrix.hpp"
+#include "engine/exec_context.hpp"
 
 namespace biq {
 
@@ -21,11 +23,20 @@ struct BiqKernels;
 /// y = sum_q alpha_q o (B_q . x) computed from packed keys.
 /// x has length n, y length m (overwritten). `alphas` empty = unit scale.
 /// All KeyMatrix planes must share mu == opt.mu and shape m x ceil(n/mu).
-/// `kernels` is the dispatched ISA plane; nullptr resolves from opt.isa.
+/// The LUT tile lives in ctx's worker-0 arena and the query rows are
+/// partitioned across ctx's pool. A non-null `kernels` is used verbatim
+/// (the caller already resolved any ctx override); nullptr resolves
+/// ctx.isa() when set, else opt.isa.
 void biqgemv_packed(const std::vector<KeyMatrix>& keys,
                     const std::vector<std::vector<float>>& alphas,
                     const float* x, float* y, std::size_t m, std::size_t n,
-                    const BiqGemmOptions& opt,
+                    const BiqGemmOptions& opt, ExecContext& ctx,
                     const engine::BiqKernels* kernels = nullptr);
+
+/// Serial convenience overload (per-thread default context).
+void biqgemv_packed(const std::vector<KeyMatrix>& keys,
+                    const std::vector<std::vector<float>>& alphas,
+                    const float* x, float* y, std::size_t m, std::size_t n,
+                    const BiqGemmOptions& opt);
 
 }  // namespace biq

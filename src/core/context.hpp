@@ -4,8 +4,6 @@
 
 #include <cstddef>
 
-#include "threading/thread_pool.hpp"
-
 namespace biq {
 
 /// Which compiled kernel plane the BiQGEMM hot loops run on. kAuto
@@ -13,7 +11,7 @@ namespace biq {
 /// with the BIQ_ISA environment variable, e.g. BIQ_ISA=scalar); an
 /// explicit plane throws at construction when it is not available in
 /// this binary / on this host. See engine/dispatch.hpp.
-enum class KernelIsa { kAuto, kScalar, kAvx2 };
+enum class KernelIsa { kAuto, kScalar, kAvx2, kAvx512 };
 
 /// Wall-time attribution of a kernel invocation to the three operation
 /// classes of the paper's Fig. 8. Filled only for single-threaded runs
@@ -43,10 +41,9 @@ struct BiqGemmOptions {
   /// bench/ablation_tile_threads for the measured curve.
   std::size_t lut_tile_bytes = 256 * 1024;
   /// Row-block size for the query phase when work is split across
-  /// threads.
+  /// threads. (Threading itself is a call-time choice: pass an
+  /// ExecContext with a pool to run(); options carry only geometry.)
   std::size_t row_block = 128;
-  /// Worker pool; nullptr runs single-threaded.
-  ThreadPool* pool = nullptr;
   /// false selects the GEMM-style LUT builder (Fig. 4a) instead of the
   /// dynamic-programming one — exists for the Tc,dp vs Tc,mm ablation.
   bool use_dp_builder = true;

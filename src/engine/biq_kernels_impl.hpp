@@ -1,11 +1,17 @@
 // Generic source of the BiQGEMM hot loops (interleaved LUT builders,
 // batched query tile, GEMV query row). This header is included exactly
 // once per ISA translation unit with BIQ_KERNELS_NS set to that unit's
-// namespace (kern_scalar / kern_avx2); the TU's compile flags decide
-// whether the V8 vector type below lowers to AVX2 intrinsics or to the
-// portable 8-float loop. Both planes therefore run the same arithmetic
-// in the same order — only the instruction encoding differs — which is
-// what makes the cross-plane consistency tests possible.
+// namespace (kern_scalar / kern_avx2 / kern_avx512); the TU's compile
+// flags decide whether the vector types below lower to AVX2/AVX-512
+// intrinsics or to portable per-lane loops, and fix the batch-tile
+// width (VBatch / kQueryLanes: 8 lanes, 16 on AVX-512). All planes run
+// the same arithmetic in the same per-lane order — only the instruction
+// encoding differs — which is what makes the cross-plane bitwise
+// consistency tests possible.
+//
+// blocked_kernels_impl.hpp (the dense microkernel plane) must be
+// included AFTER this header in the same TU: it reuses the V8 type
+// defined in this TU's anonymous namespace.
 //
 // Everything here lives behind the BiqKernels function-pointer table
 // (engine/dispatch.hpp); nothing outside the engine layer includes this.
@@ -17,7 +23,7 @@
 #include <cstddef>
 #include <cstdint>
 
-#if defined(__AVX2__)
+#if defined(__AVX2__) || defined(__AVX512F__)
 #include <immintrin.h>
 #endif
 
@@ -29,7 +35,7 @@ namespace BIQ_KERNELS_NS {
 namespace {
 
 // ------------------------------------------------------------------ V8
-// 8-lane fp32 vector with identical semantics on both planes.
+// 8-lane fp32 vector with identical semantics on every plane.
 #if defined(__AVX2__)
 
 struct V8 {
@@ -93,27 +99,75 @@ struct V8 {
 
 #endif  // __AVX2__
 
+// ----------------------------------------------------------------- V16
+// 16-lane fp32 vector for the AVX-512 plane's batched query/build. The
+// negate is a sign-bit xor (not 0 - x) so -0.0f round-trips and LUT
+// entries stay bitwise identical to the scalar per-lane recurrence.
+#if defined(__AVX512F__)
+
+struct V16 {
+  __m512 v;
+
+  static V16 zero() noexcept { return {_mm512_setzero_ps()}; }
+  static V16 set1(float x) noexcept { return {_mm512_set1_ps(x)}; }
+  static V16 load(const float* p) noexcept { return {_mm512_load_ps(p)}; }
+  static V16 loadu(const float* p) noexcept { return {_mm512_loadu_ps(p)}; }
+  void store(float* p) const noexcept { _mm512_store_ps(p, v); }
+  void storeu(float* p) const noexcept { _mm512_storeu_ps(p, v); }
+
+  friend V16 operator+(V16 a, V16 b) noexcept {
+    return {_mm512_add_ps(a.v, b.v)};
+  }
+
+  /// this += a * b
+  void fma(V16 a, V16 b) noexcept { v = _mm512_fmadd_ps(a.v, b.v, v); }
+
+  [[nodiscard]] V16 negate() const noexcept {
+    return {_mm512_castsi512_ps(_mm512_xor_si512(
+        _mm512_castps_si512(v), _mm512_set1_epi32(INT32_C(0x80000000))))};
+  }
+};
+
+using VBatch = V16;
+inline constexpr std::size_t kQueryLanes = 16;
+
+#else  // scalar / AVX2 planes
+
+using VBatch = V8;
+inline constexpr std::size_t kQueryLanes = 8;
+
+#endif  // __AVX512F__
+
+// Widest batch-tile lane count any plane uses; sizes the generic-lane
+// fallback's accumulator (partial tiles have lanes < kQueryLanes).
+inline constexpr std::size_t kMaxQueryLanes = 16;
+
 // --------------------------------------------------- LUT builders (Fig. 4)
 // Interleaved DP builder (Algorithm 1): entry layout lut[k*lanes + lane].
 void build_dp(const float* xt, unsigned mu, std::size_t lanes, float* lut) {
   const std::size_t half = std::size_t{1} << (mu - 1);
   const std::size_t full = half << 1;
 
-  if (lanes == 8) {
-    V8 sum = V8::zero();
-    for (unsigned j = 0; j < mu; ++j) sum = sum + V8::loadu(xt + j * lanes);
+  if (lanes == kQueryLanes) {
+    VBatch sum = VBatch::zero();
+    for (unsigned j = 0; j < mu; ++j) {
+      sum = sum + VBatch::loadu(xt + j * lanes);
+    }
     sum.negate().storeu(lut);
 
     for (unsigned s = 1; s < mu; ++s) {
       const std::size_t base = std::size_t{1} << (s - 1);
-      const V8 twice =
-          V8::loadu(xt + (mu - s) * lanes) + V8::loadu(xt + (mu - s) * lanes);
+      const VBatch twice = VBatch::loadu(xt + (mu - s) * lanes) +
+                           VBatch::loadu(xt + (mu - s) * lanes);
       for (std::size_t j = 0; j < base; ++j) {
-        (V8::loadu(lut + j * lanes) + twice).storeu(lut + (base + j) * lanes);
+        (VBatch::loadu(lut + j * lanes) + twice)
+            .storeu(lut + (base + j) * lanes);
       }
     }
     for (std::size_t k = half; k < full; ++k) {
-      V8::loadu(lut + (full - 1 - k) * lanes).negate().storeu(lut + k * lanes);
+      VBatch::loadu(lut + (full - 1 - k) * lanes)
+          .negate()
+          .storeu(lut + k * lanes);
     }
     return;
   }
@@ -144,11 +198,11 @@ void build_dp(const float* xt, unsigned mu, std::size_t lanes, float* lut) {
 void build_mm(const float* xt, unsigned mu, std::size_t lanes, float* lut) {
   const std::size_t full = std::size_t{1} << mu;
 
-  if (lanes == 8) {
+  if (lanes == kQueryLanes) {
     for (std::size_t k = 0; k < full; ++k) {
-      V8 acc = V8::zero();
+      VBatch acc = VBatch::zero();
       for (unsigned j = 0; j < mu; ++j) {
-        const V8 xv = V8::loadu(xt + j * lanes);
+        const VBatch xv = VBatch::loadu(xt + j * lanes);
         const bool plus = ((k >> (mu - 1 - j)) & 1u) != 0;
         acc = plus ? acc + xv : acc + xv.negate();
       }
@@ -180,29 +234,31 @@ const KeyT* key_row(const KeyMatrix& k, std::size_t i) noexcept {
   }
 }
 
-/// 8-lane vector query: LUT entries 32-byte aligned, two independent
-/// accumulator chains hide load latency.
+/// Full-width vector query (8 lanes, 16 on AVX-512): LUT entries are
+/// vector-aligned, two independent accumulator chains hide load latency.
 template <typename KeyT>
 void query_tile_vec(const QueryTileArgs& a) {
+  constexpr std::size_t W = kQueryLanes;
   const bool scaled = a.alphas != nullptr;
   for (std::size_t i = a.i0; i < a.i1; ++i) {
-    float* yrow = a.ytile + i * 8;
-    V8 yv = V8::load(yrow);
+    float* yrow = a.ytile + i * W;
+    VBatch yv = VBatch::load(yrow);
     for (std::size_t q = 0; q < a.num_planes; ++q) {
       const KeyT* krow = key_row<KeyT>(a.keys[q], i) + a.t0;
-      V8 acc0 = V8::zero();
-      V8 acc1 = V8::zero();
+      VBatch acc0 = VBatch::zero();
+      VBatch acc1 = VBatch::zero();
       std::size_t g = 0;
       for (; g + 2 <= a.tcount; g += 2) {
-        acc0 = acc0 + V8::load(a.lut + (((g) << a.mu) + krow[g]) * 8);
-        acc1 = acc1 + V8::load(a.lut + (((g + 1) << a.mu) + krow[g + 1]) * 8);
+        acc0 = acc0 + VBatch::load(a.lut + (((g) << a.mu) + krow[g]) * W);
+        acc1 =
+            acc1 + VBatch::load(a.lut + (((g + 1) << a.mu) + krow[g + 1]) * W);
       }
       if (g < a.tcount) {
-        acc0 = acc0 + V8::load(a.lut + ((g << a.mu) + krow[g]) * 8);
+        acc0 = acc0 + VBatch::load(a.lut + ((g << a.mu) + krow[g]) * W);
       }
       acc0 = acc0 + acc1;
       if (scaled) {
-        yv.fma(V8::set1(a.alphas[q][i * a.alpha_stride + a.alpha_offset]),
+        yv.fma(VBatch::set1(a.alphas[q][i * a.alpha_stride + a.alpha_offset]),
                acc0);
       } else {
         yv = yv + acc0;
@@ -212,11 +268,11 @@ void query_tile_vec(const QueryTileArgs& a) {
   }
 }
 
-/// Generic-lane query for partial batch tiles (lanes in [1, 7]).
+/// Generic-lane query for partial batch tiles (lanes < kQueryLanes).
 template <typename KeyT>
 void query_tile_any(const QueryTileArgs& a) {
   const bool scaled = a.alphas != nullptr;
-  float acc[8];
+  float acc[kMaxQueryLanes];
   for (std::size_t i = a.i0; i < a.i1; ++i) {
     float* yrow = a.ytile + i * a.lanes;
     for (std::size_t q = 0; q < a.num_planes; ++q) {
@@ -239,7 +295,7 @@ void query_tile_any(const QueryTileArgs& a) {
 
 template <typename KeyT>
 void query_tile(const QueryTileArgs& a) {
-  if (a.lanes == 8) {
+  if (a.lanes == kQueryLanes) {
     query_tile_vec<KeyT>(a);
   } else {
     query_tile_any<KeyT>(a);
@@ -313,12 +369,14 @@ float gemv_row(const KeyT* krow, std::size_t tcount, unsigned mu,
 const BiqKernels& kernels() noexcept {
   static const BiqKernels k = [] {
     BiqKernels t;
-#if defined(__AVX2__)
+#if defined(__AVX512F__)
+    t.isa = "avx512";
+#elif defined(__AVX2__)
     t.isa = "avx2";
 #else
     t.isa = "scalar";
 #endif
-    t.query_lanes = 8;
+    t.query_lanes = kQueryLanes;
     t.build_dp = &build_dp;
     t.build_mm = &build_mm;
     t.query_tile_u8 = &query_tile<std::uint8_t>;

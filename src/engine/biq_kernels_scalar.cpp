@@ -1,10 +1,12 @@
-// Portable-baseline plane of the BiQGEMM hot loops. Compiled WITHOUT
-// vector flags (whatever the toolchain's baseline is), so this plane runs
-// on every host the library builds for; dispatch falls back to it when
-// cpu_features() reports no AVX2 or when BIQ_ISA=scalar.
+// Portable-baseline plane of the compiled kernel hot loops (BiQGEMM
+// build/query/GEMV + the blocked dense microkernel). Compiled WITHOUT
+// vector flags (whatever the toolchain's baseline is), so this plane
+// runs on every host the library builds for; dispatch falls back to it
+// when cpu_features() reports no AVX2/AVX-512 or when BIQ_ISA=scalar.
 #if defined(__AVX2__)
 #error "biq_kernels_scalar.cpp must be compiled without -mavx2 (check CMakeLists)"
 #endif
 
 #define BIQ_KERNELS_NS kern_scalar
 #include "engine/biq_kernels_impl.hpp"
+#include "engine/blocked_kernels_impl.hpp"

@@ -1,20 +1,24 @@
-// Runtime ISA dispatch for the BiQGEMM build/query hot loops.
+// Runtime ISA dispatch for the library's compiled kernel planes.
 //
-// The hot loops are compiled twice, in per-ISA translation units:
+// The hot loops are compiled once per ISA, in per-ISA translation units:
 //   biq_kernels_scalar.cpp — portable baseline, always present
 //   biq_kernels_avx2.cpp   — same source, compiled with -mavx2 -mfma
-//                            (present when CMake's BIQ_ENABLE_AVX2 is ON
-//                            and the toolchain supports the flag)
-// Both TUs include biq_kernels_impl.hpp, so the scalar and vector planes
-// execute the *same* arithmetic in the same order — LUT keys and table
-// layouts are bitwise identical across planes, and outputs agree to
-// rounding (FMA contraction differs).
+//                            (when CMake's BIQ_ENABLE_AVX2 is ON and the
+//                            toolchain supports the flag)
+//   biq_kernels_avx512.cpp — same source again with -mavx512f, widening
+//                            the batched query to 16 lanes
+// Every TU includes biq_kernels_impl.hpp (the BiQGEMM build/query/GEMV
+// loops) followed by blocked_kernels_impl.hpp (the dense packed-panel
+// microkernel), so all planes execute the *same* arithmetic in the same
+// order — LUT keys and table layouts are bitwise identical across
+// planes, and outputs agree to rounding (FMA contraction differs).
 //
-// Selection happens once, at BiqGemm/BiqGemmGrouped construction, by
-// probing cpu_features() — never with preprocessor guards — so one
-// binary serves both scalar CI runners and AVX2 hosts. The BIQ_ISA
-// environment variable ("scalar" / "avx2") overrides auto-selection,
-// which is how CI exercises the fallback plane on AVX2 machines.
+// Selection happens once, at engine construction, by probing
+// cpu_features() — never with preprocessor guards — so one binary serves
+// scalar CI runners, AVX2 hosts and AVX-512 hosts. The BIQ_ISA
+// environment variable ("scalar" / "avx2" / "avx512") overrides
+// auto-selection, which is how CI exercises fallback planes; an
+// ExecContext ISA override re-routes a single call the same way.
 #pragma once
 
 #include <cstddef>
@@ -25,6 +29,7 @@
 
 namespace biq {
 class KeyMatrix;
+class Matrix;
 }
 
 namespace biq::engine {
@@ -54,7 +59,8 @@ struct QueryTileArgs {
 /// these at construction and calls through it — no #if in the hot path.
 struct BiqKernels {
   const char* isa = "";
-  /// Batch-tile width the query loop vectorizes over.
+  /// Batch-tile width the query loop vectorizes over (8 on the scalar
+  /// and AVX2 planes, 16 on AVX-512).
   std::size_t query_lanes = 8;
   /// Interleaved LUT builders (contract of core/lut_builder.hpp):
   /// xt is [mu x lanes] row-major, lut receives 2^mu * lanes floats.
@@ -73,6 +79,23 @@ struct BiqKernels {
                         unsigned mu, const float* lut) = nullptr;
 };
 
+/// Rows per packed panel of the blocked dense kernel (MR). Shared
+/// between the packing code in gemm_blocked.cpp and the per-ISA
+/// microkernel TUs — the panel layout is ISA-independent.
+inline constexpr std::size_t kBlockedPanelRows = 8;
+
+/// Per-ISA plane of the blocked dense GEMM microkernel (the
+/// vendor-library stand-in), dispatched exactly like BiqKernels.
+struct BlockedKernels {
+  const char* isa = "";
+  /// Y += packed panels [panel_begin, panel_end) times X. `packed` is
+  /// panel-major (kBlockedPanelRows rows per panel, zero-padded past m);
+  /// panels write disjoint Y rows, so ranges parallelize freely.
+  void (*run_panels)(const float* packed, std::size_t m, std::size_t n,
+                     const Matrix& x, Matrix& y, std::size_t panel_begin,
+                     std::size_t panel_end) = nullptr;
+};
+
 /// True when the plane is linked into this binary.
 [[nodiscard]] bool isa_compiled(KernelIsa isa) noexcept;
 
@@ -84,13 +107,24 @@ struct BiqKernels {
 /// when isa_available() is false.
 [[nodiscard]] const BiqKernels& select_kernels(KernelIsa isa);
 
+/// Same resolution rules for the blocked dense microkernel plane.
+[[nodiscard]] const BlockedKernels& select_blocked_kernels(KernelIsa isa);
+
 // Per-TU entry points (used by dispatch.cpp and the dispatch tests).
 namespace kern_scalar {
 [[nodiscard]] const BiqKernels& kernels() noexcept;
+[[nodiscard]] const BlockedKernels& blocked_kernels() noexcept;
 }
 #if BIQ_HAVE_AVX2_TU
 namespace kern_avx2 {
 [[nodiscard]] const BiqKernels& kernels() noexcept;
+[[nodiscard]] const BlockedKernels& blocked_kernels() noexcept;
+}
+#endif
+#if BIQ_HAVE_AVX512_TU
+namespace kern_avx512 {
+[[nodiscard]] const BiqKernels& kernels() noexcept;
+[[nodiscard]] const BlockedKernels& blocked_kernels() noexcept;
 }
 #endif
 

@@ -1,0 +1,10 @@
+#include "engine/exec_context.hpp"
+
+namespace biq {
+
+ExecContext& ExecContext::thread_default() {
+  static thread_local ExecContext ctx;
+  return ctx;
+}
+
+}  // namespace biq

@@ -6,10 +6,18 @@
 // consume kernels exclusively through it (obtained from the
 // EngineRegistry), so a new backend plugs into every integration surface
 // with one registration.
+//
+// Execution state is split from the engine: run() takes an ExecContext
+// carrying the worker pool, per-worker scratch arenas and an optional
+// ISA override. Engines stay immutable after construction, so one
+// instance serves concurrent run() calls as long as each call brings
+// its own context.
 #pragma once
 
 #include <cstddef>
 #include <string_view>
+
+#include "engine/exec_context.hpp"
 
 namespace biq {
 
@@ -21,8 +29,17 @@ class GemmEngine {
 
   /// Y = W . X (or its quantized approximation). X is cols() x b
   /// col-major, Y rows() x b col-major (overwritten). b == 1 may take a
-  /// kernel-specific GEMV fast path.
-  virtual void run(const Matrix& x, Matrix& y) const = 0;
+  /// kernel-specific GEMV fast path. `ctx` supplies the pool (engines
+  /// split work through engine/partition.hpp — 1-thread and N-thread
+  /// results are bitwise identical), scratch arenas, and optionally a
+  /// forced kernel plane.
+  virtual void run(const Matrix& x, Matrix& y, ExecContext& ctx) const = 0;
+
+  /// Serial convenience form: forwards to the calling thread's default
+  /// context (warm scratch, no pool). Safe from any thread.
+  void run(const Matrix& x, Matrix& y) const {
+    run(x, y, ExecContext::thread_default());
+  }
 
   /// Output features m / input features n of the packed weight matrix.
   [[nodiscard]] virtual std::size_t rows() const noexcept = 0;

@@ -1,0 +1,68 @@
+// The one tile partitioner every engine threads through. A kernel
+// expresses its parallelism as a range of interchangeable tiles — batch
+// columns, output-row blocks, packed panels — and for_each_tile splits
+// that range into grain-sized chunks served from a dynamic queue over
+// the context's pool. Centralizing this keeps three properties uniform
+// across backends:
+//   * determinism: tiles are units of identical arithmetic, so 1-thread
+//     and N-thread runs are bitwise equal (engine_registry_test pins
+//     this for every registered engine),
+//   * worker identity: fn receives the worker id, which is the key into
+//     the context's per-worker scratch arenas,
+//   * zero allocation: dispatch rides ThreadPool::run_raw with a stack
+//     job record — nothing on the steady-state path touches the heap.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <utility>
+
+#include "engine/exec_context.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace biq::engine {
+
+/// Chunks for_each_tile produces for (total, grain).
+[[nodiscard]] constexpr std::size_t tile_count(std::size_t total,
+                                               std::size_t grain) noexcept {
+  return grain == 0 ? total : (total + grain - 1) / grain;
+}
+
+/// Runs fn(worker, lo, hi) over a partition of [0, total) into chunks of
+/// at most `grain` (clamped to >= 1), dynamically load-balanced across
+/// the context's pool. Serial contexts — and ranges that fit one grain —
+/// run inline on the calling thread as worker 0.
+template <typename Fn>
+void for_each_tile(ExecContext& ctx, std::size_t total, std::size_t grain,
+                   Fn&& fn) {
+  if (total == 0) return;
+  if (grain == 0) grain = 1;
+  ThreadPool* pool = ctx.pool();
+  if (pool == nullptr || pool->worker_count() == 1 || total <= grain) {
+    fn(0u, std::size_t{0}, total);
+    return;
+  }
+
+  struct Job {
+    std::atomic<std::size_t> next{0};
+    std::size_t chunks;
+    std::size_t grain;
+    std::size_t total;
+    Fn* fn;
+  } job{{}, tile_count(total, grain), grain, total, &fn};
+
+  pool->run_raw(
+      [](void* p, unsigned worker) {
+        Job& j = *static_cast<Job*>(p);
+        for (;;) {
+          const std::size_t c = j.next.fetch_add(1, std::memory_order_relaxed);
+          if (c >= j.chunks) break;
+          const std::size_t lo = c * j.grain;
+          (*j.fn)(worker, lo, std::min(j.total, lo + j.grain));
+        }
+      },
+      &job);
+}
+
+}  // namespace biq::engine

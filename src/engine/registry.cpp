@@ -45,7 +45,7 @@ EngineRegistry::EngineRegistry() {
        "cache-blocked fp32 GEMM (the vendor-library stand-in)",
        /*quantized=*/false,
        [](const Matrix& w, const EngineConfig& cfg) {
-         return std::make_unique<BlockedGemm>(w, cfg.kernel.pool);
+         return std::make_unique<BlockedGemm>(w, cfg.kernel.isa);
        }});
   add({"naive",
        "unblocked fp32 triple loop (the paper's kCpu baseline)",

@@ -34,9 +34,9 @@ struct EngineConfig {
   /// it must describe the same weight matrix. Not owned; must outlive
   /// the make() call only (engines pack their own copies).
   const BinaryCodes* codes = nullptr;
-  /// Kernel options: mu / tiling / ISA plane for the LUT engines, and
-  /// kernel.pool is THE worker-pool knob for every engine that threads
-  /// (LUT engines and the blocked dense baseline alike).
+  /// Kernel options: mu / tiling for the LUT engines, kernel.isa the
+  /// construction-time ISA plane for every dispatched engine. Threading
+  /// is NOT configured here — pass an ExecContext with a pool to run().
   BiqGemmOptions kernel;
   /// On-the-fly activation quantization depth of the xnor engine.
   unsigned activation_bits = 1;

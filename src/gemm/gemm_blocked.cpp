@@ -3,133 +3,58 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "simd/simd.hpp"
+#include "engine/dispatch.hpp"
+#include "engine/partition.hpp"
 
 namespace biq {
-namespace {
 
-using simd::F32x8;
-
-constexpr std::size_t kPanelRows = 8;   // MR: one vector of output rows
-constexpr std::size_t kColTile = 4;     // NR: batch columns per microkernel
-constexpr std::size_t kKBlock = 512;    // KC: k-extent per pass (L1-friendly)
-
-/// 8 rows x (up to 4) columns, over k in [k0, k1), accumulating into Y.
-template <std::size_t NR>
-void microkernel(const float* panel, const float* const* xcols,
-                 float* const* ycols, std::size_t k0, std::size_t k1) {
-  F32x8 acc[NR];
-  for (std::size_t c = 0; c < NR; ++c) acc[c] = F32x8::zero();
-  const float* wp = panel + k0 * kPanelRows;
-  for (std::size_t k = k0; k < k1; ++k, wp += kPanelRows) {
-    const F32x8 wv = F32x8::load(wp);
-    for (std::size_t c = 0; c < NR; ++c) {
-      acc[c].fma(wv, F32x8::set1(xcols[c][k]));
-    }
-  }
-  for (std::size_t c = 0; c < NR; ++c) {
-    F32x8 prev = F32x8::loadu(ycols[c]);
-    (prev + acc[c]).storeu(ycols[c]);
-  }
-}
-
-/// Same as microkernel but writes only `valid_rows` (< 8) rows.
-template <std::size_t NR>
-void microkernel_tail(const float* panel, const float* const* xcols,
-                      float* const* ycols, std::size_t k0, std::size_t k1,
-                      std::size_t valid_rows) {
-  F32x8 acc[NR];
-  for (std::size_t c = 0; c < NR; ++c) acc[c] = F32x8::zero();
-  const float* wp = panel + k0 * kPanelRows;
-  for (std::size_t k = k0; k < k1; ++k, wp += kPanelRows) {
-    const F32x8 wv = F32x8::load(wp);
-    for (std::size_t c = 0; c < NR; ++c) {
-      acc[c].fma(wv, F32x8::set1(xcols[c][k]));
-    }
-  }
-  alignas(32) float lanes[kPanelRows];
-  for (std::size_t c = 0; c < NR; ++c) {
-    acc[c].store(lanes);
-    for (std::size_t r = 0; r < valid_rows; ++r) ycols[c][r] += lanes[r];
-  }
-}
-
-void run_panel_range(const AlignedBuffer<float>& packed, std::size_t n,
-                     std::size_t m, const Matrix& x, Matrix& y,
-                     std::size_t panel_begin, std::size_t panel_end) {
-  const std::size_t b = x.cols();
-  for (std::size_t p = panel_begin; p < panel_end; ++p) {
-    const float* panel = packed.data() + p * kPanelRows * n;
-    const std::size_t row0 = p * kPanelRows;
-    const std::size_t valid = std::min(kPanelRows, m - row0);
-
-    for (std::size_t k0 = 0; k0 < n; k0 += kKBlock) {
-      const std::size_t k1 = std::min(n, k0 + kKBlock);
-      std::size_t c = 0;
-      for (; c + kColTile <= b; c += kColTile) {
-        const float* xcols[kColTile] = {x.col(c), x.col(c + 1), x.col(c + 2),
-                                        x.col(c + 3)};
-        float* ycols[kColTile] = {y.col(c) + row0, y.col(c + 1) + row0,
-                                  y.col(c + 2) + row0, y.col(c + 3) + row0};
-        if (valid == kPanelRows) {
-          microkernel<kColTile>(panel, xcols, ycols, k0, k1);
-        } else {
-          microkernel_tail<kColTile>(panel, xcols, ycols, k0, k1, valid);
-        }
-      }
-      for (; c < b; ++c) {
-        const float* xcols[1] = {x.col(c)};
-        float* ycols[1] = {y.col(c) + row0};
-        if (valid == kPanelRows) {
-          microkernel<1>(panel, xcols, ycols, k0, k1);
-        } else {
-          microkernel_tail<1>(panel, xcols, ycols, k0, k1, valid);
-        }
-      }
-    }
-  }
-}
-
-}  // namespace
-
-BlockedGemm::BlockedGemm(const Matrix& w, ThreadPool* pool)
-    : m_(w.rows()), n_(w.cols()), pool_(pool),
-      panels_((w.rows() + kPanelRows - 1) / kPanelRows),
-      packed_(panels_ * kPanelRows * w.cols(), /*zero_fill=*/true) {
+BlockedGemm::BlockedGemm(const Matrix& w, KernelIsa isa)
+    : m_(w.rows()), n_(w.cols()),
+      kernels_(&engine::select_blocked_kernels(isa)),
+      panels_((w.rows() + engine::kBlockedPanelRows - 1) /
+              engine::kBlockedPanelRows),
+      packed_(panels_ * engine::kBlockedPanelRows * w.cols(),
+              /*zero_fill=*/true) {
+  constexpr std::size_t mr = engine::kBlockedPanelRows;
   for (std::size_t p = 0; p < panels_; ++p) {
-    float* panel = packed_.data() + p * kPanelRows * n_;
-    const std::size_t row0 = p * kPanelRows;
-    const std::size_t valid = std::min(kPanelRows, m_ - row0);
+    float* panel = packed_.data() + p * mr * n_;
+    const std::size_t row0 = p * mr;
+    const std::size_t valid = std::min(mr, m_ - row0);
     for (std::size_t k = 0; k < n_; ++k) {
       for (std::size_t r = 0; r < valid; ++r) {
-        panel[k * kPanelRows + r] = w(row0 + r, k);
+        panel[k * mr + r] = w(row0 + r, k);
       }
     }
   }
 }
 
-void BlockedGemm::run(const Matrix& x, Matrix& y, ThreadPool* pool) const {
+std::string_view BlockedGemm::isa() const noexcept { return kernels_->isa; }
+
+void BlockedGemm::run(const Matrix& x, Matrix& y, ExecContext& ctx) const {
   if (x.rows() != n_ || y.rows() != m_ || y.cols() != x.cols()) {
     throw std::invalid_argument("BlockedGemm::run: shape mismatch");
   }
+  const engine::BlockedKernels& kernels =
+      ctx.isa() == KernelIsa::kAuto ? *kernels_
+                                    : engine::select_blocked_kernels(ctx.isa());
   y.set_zero();
-  if (pool == nullptr || pool->worker_count() == 1) {
-    run_panel_range(packed_, n_, m_, x, y, 0, panels_);
-    return;
-  }
   // Panels write disjoint row ranges of Y, so they parallelize freely.
-  parallel_for(*pool, 0, static_cast<std::int64_t>(panels_), 1,
-               [&](std::int64_t lo, std::int64_t hi) {
-                 run_panel_range(packed_, n_, m_, x, y,
-                                 static_cast<std::size_t>(lo),
-                                 static_cast<std::size_t>(hi));
-               });
+  engine::for_each_tile(ctx, panels_, 1,
+                        [&](unsigned /*worker*/, std::size_t p0,
+                            std::size_t p1) {
+                          kernels.run_panels(packed_.data(), m_, n_, x, y, p0,
+                                             p1);
+                        });
+}
+
+void gemm_blocked(const Matrix& w, const Matrix& x, Matrix& y) {
+  gemm_blocked(w, x, y, ExecContext::thread_default());
 }
 
 void gemm_blocked(const Matrix& w, const Matrix& x, Matrix& y,
-                  ThreadPool* pool) {
+                  ExecContext& ctx) {
   const BlockedGemm packed(w);
-  packed.run(x, y, pool);
+  packed.run(x, y, ctx);
 }
 
 }  // namespace biq

@@ -3,34 +3,43 @@
 // with packed row panels and an 8x4 FMA microkernel. It never sees
 // quantized data; quantized weights stored one-bit-per-float-container
 // run at exactly this speed, which is the paper's sGEMM scenario.
+//
+// The microkernel itself lives in the per-ISA kernel TUs
+// (engine/blocked_kernels_impl.hpp — scalar always, AVX2/AVX-512 when
+// compiled) and is dispatched at construction from cpu_features(), the
+// same treatment as the BiQGEMM hot loops: panels packed here are
+// ISA-independent, and one binary serves every host.
 #pragma once
 
 #include <string_view>
 
 #include "engine/gemm_engine.hpp"
 #include "matrix/matrix.hpp"
-#include "threading/thread_pool.hpp"
 
 namespace biq {
 
-/// One-shot blocked GEMM: Y = W . X (shapes as gemm_ref). `pool`
-/// nullptr runs single-threaded (the Fig. 10 baseline configuration).
+namespace engine {
+struct BlockedKernels;
+}
+
+/// One-shot blocked GEMM: Y = W . X (shapes as gemm_ref), serial.
+void gemm_blocked(const Matrix& w, const Matrix& x, Matrix& y);
+
+/// One-shot form with call-time execution state (pool / ISA override).
 void gemm_blocked(const Matrix& w, const Matrix& x, Matrix& y,
-                  ThreadPool* pool = nullptr);
+                  ExecContext& ctx);
 
 /// Weight-stationary form for repeated multiplications against the same
 /// W (inference): packs W once into microkernel panels.
 class BlockedGemm final : public GemmEngine {
  public:
-  /// `pool` is used by the GemmEngine run(x, y) overload; the three-arg
-  /// run() can still override it per call.
-  explicit BlockedGemm(const Matrix& w, ThreadPool* pool = nullptr);
+  /// Packs W and resolves the microkernel plane (kAuto probes the CPU).
+  explicit BlockedGemm(const Matrix& w, KernelIsa isa = KernelIsa::kAuto);
 
-  /// Y = W . X using the pre-packed panels.
-  void run(const Matrix& x, Matrix& y, ThreadPool* pool) const;
-  void run(const Matrix& x, Matrix& y) const override {
-    run(x, y, pool_);
-  }
+  /// Y = W . X using the pre-packed panels; panels are partitioned
+  /// across ctx's pool through the shared tile partitioner.
+  void run(const Matrix& x, Matrix& y, ExecContext& ctx) const override;
+  using GemmEngine::run;
 
   [[nodiscard]] std::size_t rows() const noexcept override { return m_; }
   [[nodiscard]] std::size_t cols() const noexcept override { return n_; }
@@ -42,6 +51,8 @@ class BlockedGemm final : public GemmEngine {
   [[nodiscard]] std::string_view name() const noexcept override {
     return "blocked";
   }
+  /// Microkernel plane this instance dispatched to at construction.
+  [[nodiscard]] std::string_view isa() const noexcept;
   [[nodiscard]] std::size_t packed_bytes() const noexcept {
     return packed_.size_bytes();
   }
@@ -49,7 +60,7 @@ class BlockedGemm final : public GemmEngine {
  private:
   std::size_t m_ = 0;
   std::size_t n_ = 0;
-  ThreadPool* pool_ = nullptr;
+  const engine::BlockedKernels* kernels_ = nullptr;  // selected at construction
   std::size_t panels_ = 0;  // ceil(m / 8)
   // Panel-major packed weights: panel p holds 8*n floats, layout
   // packed[p*8*n + k*8 + r] = W(8p + r, k), zero-padded past row m.

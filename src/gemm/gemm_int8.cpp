@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <vector>
 
+#include "engine/partition.hpp"
 #include "util/timer.hpp"
 
 namespace biq {
@@ -35,60 +35,83 @@ float Int8Gemm::quantize_column(const float* src, std::size_t n,
   return scale;
 }
 
-void Int8Gemm::run_profiled(const Matrix& x, Matrix& y, Phases& phases) const {
+void Int8Gemm::run_profiled(const Matrix& x, Matrix& y, Phases& phases,
+                            ExecContext& ctx) const {
   if (x.rows() != n_ || y.rows() != m_ || y.cols() != x.cols()) {
     throw std::invalid_argument("Int8Gemm: shape mismatch");
   }
   const std::size_t b = x.cols();
 
+  // Transient buffers are shared read-only across the phase workers, so
+  // they come out of the calling thread's arena, allocated up front.
+  ScratchArena& arena = ctx.scratch(0);
+  arena.reset();
+  std::int8_t* xq = arena.alloc<std::int8_t>(n_ * b);
+  float* xscales = arena.alloc<float>(b);
+  std::int32_t* acc = arena.alloc<std::int32_t>(m_ * b);
+
   // Phase 1: dynamic activation quantization (fp32 -> int8 per column).
-  AlignedBuffer<std::int8_t> xq(n_ * b);
-  std::vector<float> xscales(b);
   {
     Stopwatch watch;
-    for (std::size_t c = 0; c < b; ++c) {
-      xscales[c] = quantize_column(x.col(c), n_, xq.data() + c * n_);
-    }
+    engine::for_each_tile(ctx, b, 1,
+                          [&](unsigned /*worker*/, std::size_t c0,
+                              std::size_t c1) {
+                            for (std::size_t c = c0; c < c1; ++c) {
+                              xscales[c] =
+                                  quantize_column(x.col(c), n_, xq + c * n_);
+                            }
+                          });
     phases.quantize_seconds += watch.elapsed_seconds();
   }
 
-  // Phase 2: integer GEMM with int32 accumulation.
-  AlignedBuffer<std::int32_t> acc(m_ * b);
+  // Phase 2: integer GEMM with int32 accumulation, split over output
+  // rows so b == 1 (GEMV) parallelizes too; each (row, column) dot
+  // product is independent integer arithmetic.
   {
     Stopwatch watch;
-    for (std::size_t c = 0; c < b; ++c) {
-      const std::int8_t* xc = xq.data() + c * n_;
-      std::int32_t* out = acc.data() + c * m_;
-      for (std::size_t i = 0; i < m_; ++i) {
-        const std::int8_t* wrow = weights_.data() + i * n_;
-        std::int32_t sum = 0;
-        for (std::size_t k = 0; k < n_; ++k) {
-          sum += static_cast<std::int32_t>(wrow[k]) * xc[k];
-        }
-        out[i] = sum;
-      }
-    }
+    engine::for_each_tile(
+        ctx, m_, 64, [&](unsigned /*worker*/, std::size_t i0, std::size_t i1) {
+          for (std::size_t i = i0; i < i1; ++i) {
+            const std::int8_t* wrow = weights_.data() + i * n_;
+            for (std::size_t c = 0; c < b; ++c) {
+              const std::int8_t* xc = xq + c * n_;
+              std::int32_t sum = 0;
+              for (std::size_t k = 0; k < n_; ++k) {
+                sum += static_cast<std::int32_t>(wrow[k]) * xc[k];
+              }
+              acc[c * m_ + i] = sum;
+            }
+          }
+        });
     phases.multiply_seconds += watch.elapsed_seconds();
   }
 
   // Phase 3: dequantize back to fp32 for the float operators downstream.
   {
     Stopwatch watch;
-    for (std::size_t c = 0; c < b; ++c) {
-      const float scale = wscale_ * xscales[c];
-      const std::int32_t* in = acc.data() + c * m_;
-      float* out = y.col(c);
-      for (std::size_t i = 0; i < m_; ++i) {
-        out[i] = scale * static_cast<float>(in[i]);
-      }
-    }
+    engine::for_each_tile(ctx, b, 1,
+                          [&](unsigned /*worker*/, std::size_t c0,
+                              std::size_t c1) {
+                            for (std::size_t c = c0; c < c1; ++c) {
+                              const float scale = wscale_ * xscales[c];
+                              const std::int32_t* in = acc + c * m_;
+                              float* out = y.col(c);
+                              for (std::size_t i = 0; i < m_; ++i) {
+                                out[i] = scale * static_cast<float>(in[i]);
+                              }
+                            }
+                          });
     phases.dequantize_seconds += watch.elapsed_seconds();
   }
 }
 
-void Int8Gemm::run(const Matrix& x, Matrix& y) const {
+void Int8Gemm::run_profiled(const Matrix& x, Matrix& y, Phases& phases) const {
+  run_profiled(x, y, phases, ExecContext::thread_default());
+}
+
+void Int8Gemm::run(const Matrix& x, Matrix& y, ExecContext& ctx) const {
   Phases phases;
-  run_profiled(x, y, phases);
+  run_profiled(x, y, phases, ctx);
 }
 
 }  // namespace biq

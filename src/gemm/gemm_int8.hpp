@@ -27,8 +27,11 @@ class Int8Gemm final : public GemmEngine {
   explicit Int8Gemm(const Matrix& w);
 
   /// Y = dequant(int8(W) . int8(X)): quantizes X column-wise to int8,
-  /// multiplies in int32, dequantizes into fp32 Y.
-  void run(const Matrix& x, Matrix& y) const override;
+  /// multiplies in int32, dequantizes into fp32 Y. All three phases
+  /// split across ctx's pool (integer arithmetic — bitwise identical at
+  /// any worker count); transient buffers live in ctx's arena.
+  void run(const Matrix& x, Matrix& y, ExecContext& ctx) const override;
+  using GemmEngine::run;
 
   /// The three phases separately, for the conversion-overhead ablation:
   /// quantize_input -> multiply_integer -> dequantize_output.
@@ -38,6 +41,8 @@ class Int8Gemm final : public GemmEngine {
     double dequantize_seconds = 0.0;
   };
   void run_profiled(const Matrix& x, Matrix& y, Phases& phases) const;
+  void run_profiled(const Matrix& x, Matrix& y, Phases& phases,
+                    ExecContext& ctx) const;
 
   [[nodiscard]] std::size_t rows() const noexcept override { return m_; }
   [[nodiscard]] std::size_t cols() const noexcept override { return n_; }

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "engine/partition.hpp"
+
 namespace biq {
 namespace {
 
@@ -13,7 +15,55 @@ void check_shapes(std::size_t wr, std::size_t wc, const Matrix& x,
   }
 }
 
+/// Columns [c0, c1) of the gemm_naive loop (columns are independent).
+void naive_columns(const Matrix& w, const Matrix& x, Matrix& y,
+                   std::size_t c0, std::size_t c1) {
+  const std::size_t m = w.rows(), n = w.cols();
+  const float* wdata = w.data();  // column k of W is contiguous (ld == m)
+  for (std::size_t c = c0; c < c1; ++c) {
+    const float* xc = x.col(c);
+    float* yc = y.col(c);
+    for (std::size_t i = 0; i < m; ++i) yc[i] = 0.0f;
+    for (std::size_t k = 0; k < n; ++k) {
+      const float xk = xc[k];
+      const float* wk = wdata + k * w.ld();
+      for (std::size_t i = 0; i < m; ++i) yc[i] += wk[i] * xk;
+    }
+  }
+}
+
+/// Rows [i0, i1) of a single-column gemm_naive (the b == 1 split: the
+/// per-row accumulation over k is unchanged, so ranges compose bitwise).
+void naive_rows_single_column(const Matrix& w, const Matrix& x, Matrix& y,
+                              std::size_t i0, std::size_t i1) {
+  const std::size_t n = w.cols();
+  const float* wdata = w.data();
+  const float* xc = x.col(0);
+  float* yc = y.col(0);
+  for (std::size_t i = i0; i < i1; ++i) yc[i] = 0.0f;
+  for (std::size_t k = 0; k < n; ++k) {
+    const float xk = xc[k];
+    const float* wk = wdata + k * w.ld();
+    for (std::size_t i = i0; i < i1; ++i) yc[i] += wk[i] * xk;
+  }
+}
+
 }  // namespace
+
+void NaiveGemm::run(const Matrix& x, Matrix& y, ExecContext& ctx) const {
+  check_shapes(w_.rows(), w_.cols(), x, y);
+  if (x.cols() == 1) {
+    engine::for_each_tile(ctx, w_.rows(), 256,
+                          [&](unsigned /*worker*/, std::size_t i0,
+                              std::size_t i1) {
+                            naive_rows_single_column(w_, x, y, i0, i1);
+                          });
+    return;
+  }
+  engine::for_each_tile(ctx, x.cols(), 1,
+                        [&](unsigned /*worker*/, std::size_t c0,
+                            std::size_t c1) { naive_columns(w_, x, y, c0, c1); });
+}
 
 void gemm_ref(const Matrix& w, const Matrix& x, Matrix& y) {
   check_shapes(w.rows(), w.cols(), x, y);
@@ -33,18 +83,7 @@ void gemm_ref(const Matrix& w, const Matrix& x, Matrix& y) {
 
 void gemm_naive(const Matrix& w, const Matrix& x, Matrix& y) {
   check_shapes(w.rows(), w.cols(), x, y);
-  const std::size_t m = w.rows(), n = w.cols(), b = x.cols();
-  const float* wdata = w.data();  // column k of W is contiguous (ld == m)
-  for (std::size_t c = 0; c < b; ++c) {
-    const float* xc = x.col(c);
-    float* yc = y.col(c);
-    for (std::size_t i = 0; i < m; ++i) yc[i] = 0.0f;
-    for (std::size_t k = 0; k < n; ++k) {
-      const float xk = xc[k];
-      const float* wk = wdata + k * w.ld();
-      for (std::size_t i = 0; i < m; ++i) yc[i] += wk[i] * xk;
-    }
-  }
+  naive_columns(w, x, y, 0, x.cols());
 }
 
 void gemv_ref(const Matrix& w, const float* x, float* y) {

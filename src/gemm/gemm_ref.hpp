@@ -34,14 +34,15 @@ void gemm_binary_ref(const BinaryMatrix& b, const Matrix& x, Matrix& y);
 void gemm_codes_ref(const BinaryCodes& codes, const Matrix& x, Matrix& y);
 
 /// Weight-stationary wrapper over gemm_naive — the paper's kCpu baseline
-/// as a registry engine (Table IV's "kGpu role-equivalent" on CPU).
+/// as a registry engine (Table IV's "kGpu role-equivalent" on CPU). The
+/// engine form partitions batch columns (output rows when b == 1)
+/// across ctx's pool; the free function stays single-threaded.
 class NaiveGemm final : public GemmEngine {
  public:
   explicit NaiveGemm(Matrix w) : w_(std::move(w)) {}
 
-  void run(const Matrix& x, Matrix& y) const override {
-    gemm_naive(w_, x, y);
-  }
+  void run(const Matrix& x, Matrix& y, ExecContext& ctx) const override;
+  using GemmEngine::run;
 
   [[nodiscard]] std::size_t rows() const noexcept override {
     return w_.rows();

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "engine/partition.hpp"
 #include "simd/simd.hpp"
 
 namespace biq {
@@ -28,31 +29,36 @@ float dot_unpacked(const float* weights, const float* x, std::size_t len) {
   return s;
 }
 
-/// Expands a whole packed plane into fp32 {-1,+1}, one row padded to a
-/// multiple of 32 columns. This is the paper's "unpacking is required to
-/// be performed prior to running GEMM" step — it runs per GEMM call,
-/// because the fp32 form is 32x larger than the packed form and caching
-/// it would forfeit the footprint reduction quantization bought.
-void unpack_plane(const PackedBits32& packed, AlignedBuffer<float>& out,
-                  std::size_t padded_cols) {
+/// Expands rows [row0, row1) of a packed plane into fp32 {-1,+1}, one
+/// row padded to a multiple of 32 columns. This is the paper's
+/// "unpacking is required to be performed prior to running GEMM" step —
+/// it runs per GEMM call, because the fp32 form is 32x larger than the
+/// packed form and caching it would forfeit the footprint reduction
+/// quantization bought. Rows are independent, so ranges parallelize.
+void unpack_plane_rows(const PackedBits32& packed, float* out,
+                       std::size_t padded_cols, std::size_t row0,
+                       std::size_t row1) {
   const std::size_t words = packed.words_per_row();
-  for (std::size_t i = 0; i < packed.rows(); ++i) {
+  for (std::size_t i = row0; i < row1; ++i) {
     const std::uint32_t* row = packed.row(i);
-    float* dst = out.data() + i * padded_cols;
+    float* dst = out + i * padded_cols;
     for (std::size_t wi = 0; wi < words; ++wi) {
       unpack_word_to_pm1(row[wi], dst + wi * 32);  // Algorithm 3
     }
   }
 }
 
+constexpr std::size_t kUnpackRowGrain = 32;
+
 /// The shared multiply loop of all three Fig. 9 scenarios: row-major
-/// fp32 weights (padded to 32-column groups) against col-major X.
-void multiply_rowmajor(const float* w, std::size_t m, std::size_t n,
-                       std::size_t padded_cols, const Matrix& x, Matrix& y) {
+/// fp32 weights (padded to 32-column groups) against col-major X. The
+/// caller zeroes Y; rows are independent, so ranges parallelize.
+void multiply_rowmajor_rows(const float* w, std::size_t n,
+                            std::size_t padded_cols, const Matrix& x,
+                            Matrix& y, std::size_t row0, std::size_t row1) {
   const std::size_t b = x.cols();
   const std::size_t words = padded_cols / 32;
-  y.set_zero();
-  for (std::size_t i = 0; i < m; ++i) {
+  for (std::size_t i = row0; i < row1; ++i) {
     const float* wrow = w + i * padded_cols;
     for (std::size_t wi = 0; wi < words; ++wi) {
       const std::size_t base = wi * 32;
@@ -64,23 +70,54 @@ void multiply_rowmajor(const float* w, std::size_t m, std::size_t n,
   }
 }
 
+void multiply_rowmajor(const float* w, std::size_t m, std::size_t n,
+                       std::size_t padded_cols, const Matrix& x, Matrix& y) {
+  y.set_zero();
+  multiply_rowmajor_rows(w, n, padded_cols, x, y, 0, m);
+}
+
 std::size_t pad32(std::size_t n) { return (n + 31) / 32 * 32; }
 
 }  // namespace
 
 void gemm_unpack(const PackedBits32& packed, const Matrix& x, Matrix& y) {
+  gemm_unpack(packed, x, y, ExecContext::thread_default());
+}
+
+void gemm_unpack(const PackedBits32& packed, const Matrix& x, Matrix& y,
+                 ExecContext& ctx) {
   check_shapes(packed, x, y);
   const std::size_t m = packed.rows(), n = packed.cols();
   const std::size_t padded = pad32(n);
 
-  AlignedBuffer<float> unpacked(m * padded);
-  unpack_plane(packed, unpacked, padded);
-  multiply_rowmajor(unpacked.data(), m, n, padded, x, y);
+  // The expanded plane is shared by the multiply workers: allocate from
+  // the calling thread's arena before the parallel phases.
+  ScratchArena& arena = ctx.scratch(0);
+  arena.reset();
+  float* unpacked = arena.alloc<float>(m * padded);
+  engine::for_each_tile(ctx, m, kUnpackRowGrain,
+                        [&](unsigned /*worker*/, std::size_t r0,
+                            std::size_t r1) {
+                          unpack_plane_rows(packed, unpacked, padded, r0, r1);
+                        });
+  y.set_zero();
+  engine::for_each_tile(ctx, m, kUnpackRowGrain,
+                        [&](unsigned /*worker*/, std::size_t r0,
+                            std::size_t r1) {
+                          multiply_rowmajor_rows(unpacked, n, padded, x, y, r0,
+                                                 r1);
+                        });
 }
 
 void gemm_unpack_codes(const std::vector<PackedBits32>& planes,
                        const std::vector<std::vector<float>>& alphas,
                        const Matrix& x, Matrix& y) {
+  gemm_unpack_codes(planes, alphas, x, y, ExecContext::thread_default());
+}
+
+void gemm_unpack_codes(const std::vector<PackedBits32>& planes,
+                       const std::vector<std::vector<float>>& alphas,
+                       const Matrix& x, Matrix& y, ExecContext& ctx) {
   if (planes.empty() || planes.size() != alphas.size()) {
     throw std::invalid_argument("gemm_unpack_codes: plane/alpha mismatch");
   }
@@ -89,22 +126,37 @@ void gemm_unpack_codes(const std::vector<PackedBits32>& planes,
   const std::size_t padded = pad32(n);
   const std::size_t words = padded / 32;
 
-  AlignedBuffer<float> unpacked(m * padded);
+  ScratchArena& arena = ctx.scratch(0);
+  arena.reset();
+  float* unpacked = arena.alloc<float>(m * padded);
   y.set_zero();
   for (std::size_t q = 0; q < planes.size(); ++q) {
-    unpack_plane(planes[q], unpacked, padded);
+    // Barrier between the phases: the multiply reads rows other workers
+    // unpacked. Rows are disjoint within each phase, and the per-element
+    // plane accumulation order (q ascending) is preserved, so output is
+    // bitwise identical at any worker count.
+    engine::for_each_tile(ctx, m, kUnpackRowGrain,
+                          [&](unsigned /*worker*/, std::size_t r0,
+                              std::size_t r1) {
+                            unpack_plane_rows(planes[q], unpacked, padded, r0,
+                                              r1);
+                          });
     const std::vector<float>& alpha = alphas[q];
-    for (std::size_t i = 0; i < m; ++i) {
-      const float* wrow = unpacked.data() + i * padded;
-      const float a = alpha[i];
-      for (std::size_t wi = 0; wi < words; ++wi) {
-        const std::size_t base = wi * 32;
-        const std::size_t len = std::min<std::size_t>(32, n - base);
-        for (std::size_t c = 0; c < b; ++c) {
-          y(i, c) += a * dot_unpacked(wrow + base, x.col(c) + base, len);
-        }
-      }
-    }
+    engine::for_each_tile(
+        ctx, m, kUnpackRowGrain,
+        [&](unsigned /*worker*/, std::size_t r0, std::size_t r1) {
+          for (std::size_t i = r0; i < r1; ++i) {
+            const float* wrow = unpacked + i * padded;
+            const float a = alpha[i];
+            for (std::size_t wi = 0; wi < words; ++wi) {
+              const std::size_t base = wi * 32;
+              const std::size_t len = std::min<std::size_t>(32, n - base);
+              for (std::size_t c = 0; c < b; ++c) {
+                y(i, c) += a * dot_unpacked(wrow + base, x.col(c) + base, len);
+              }
+            }
+          }
+        });
   }
 }
 
@@ -149,8 +201,8 @@ UnpackGemm::UnpackGemm(const BinaryCodes& codes)
   }
 }
 
-void UnpackGemm::run(const Matrix& x, Matrix& y) const {
-  gemm_unpack_codes(planes_, alphas_, x, y);
+void UnpackGemm::run(const Matrix& x, Matrix& y, ExecContext& ctx) const {
+  gemm_unpack_codes(planes_, alphas_, x, y, ctx);
 }
 
 std::size_t UnpackGemm::weight_bytes() const noexcept {

@@ -25,9 +25,12 @@ namespace biq {
 /// Correct GEMM over packed 1-bit weights: Y = B . X where B's bits are
 /// packed 32 per word (bit 1 = +1). Per the paper's description,
 /// unpacking runs *prior to* the GEMM: the whole plane is expanded with
-/// Algorithm 3 into a transient fp32 buffer, then multiplied with the
-/// same loop the sGEMM scenario uses.
+/// Algorithm 3 into a transient fp32 buffer (ctx's arena), then
+/// multiplied with the same loop the sGEMM scenario uses. Both phases
+/// split over rows across ctx's pool.
 void gemm_unpack(const PackedBits32& packed, const Matrix& x, Matrix& y);
+void gemm_unpack(const PackedBits32& packed, const Matrix& x, Matrix& y,
+                 ExecContext& ctx);
 
 /// Scaled multi-plane variant (Eq. 2): Y = sum_q alpha_q o (B_q . X)
 /// with every plane packed. This is "GEMM with quantized+packed weights"
@@ -35,6 +38,9 @@ void gemm_unpack(const PackedBits32& packed, const Matrix& x, Matrix& y);
 void gemm_unpack_codes(const std::vector<PackedBits32>& planes,
                        const std::vector<std::vector<float>>& alphas,
                        const Matrix& x, Matrix& y);
+void gemm_unpack_codes(const std::vector<PackedBits32>& planes,
+                       const std::vector<std::vector<float>>& alphas,
+                       const Matrix& x, Matrix& y, ExecContext& ctx);
 
 /// Bandwidth probe (intentionally incorrect results; see header comment).
 /// The packed word enters the arithmetic as float(word) — an integer
@@ -52,7 +58,8 @@ class UnpackGemm final : public GemmEngine {
  public:
   explicit UnpackGemm(const BinaryCodes& codes);
 
-  void run(const Matrix& x, Matrix& y) const override;
+  void run(const Matrix& x, Matrix& y, ExecContext& ctx) const override;
+  using GemmEngine::run;
 
   [[nodiscard]] std::size_t rows() const noexcept override { return m_; }
   [[nodiscard]] std::size_t cols() const noexcept override { return n_; }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "engine/partition.hpp"
 #include "simd/simd.hpp"
 
 namespace biq {
@@ -63,23 +64,26 @@ std::size_t XnorGemm::weight_bytes() const noexcept {
   return bytes;
 }
 
-void XnorGemm::run_prequantized(const QuantizedActivations& qx, Matrix& y) const {
+void XnorGemm::run_prequantized(const QuantizedActivations& qx, Matrix& y,
+                                ExecContext& ctx) const {
   if (qx.n != n_ || y.rows() != m_ || y.cols() != qx.batch) {
     throw std::invalid_argument("XnorGemm: shape mismatch");
   }
   const std::size_t words = planes_[0].words_per_row();
   const auto n_int = static_cast<long long>(n_);
 
-  y.set_zero();
-  for (unsigned qw = 0; qw < weight_bits_; ++qw) {
-    const PackedBits64& wplane = planes_[qw];
-    for (unsigned qa = 0; qa < qx.bits; ++qa) {
-      const PackedBits64& xplane = qx.planes[qa];
-      for (std::size_t c = 0; c < qx.batch; ++c) {
-        const std::uint64_t* xrow = xplane.row(c);
+  // One (column, row-range) cell, accumulating every (weight plane,
+  // activation plane) pair in ascending order — the per-element
+  // accumulation order is independent of how cells are partitioned, so
+  // any worker count produces bitwise-identical output.
+  const auto cell = [&](std::size_t c, std::size_t i0, std::size_t i1) {
+    float* yc = y.col(c);
+    for (unsigned qw = 0; qw < weight_bits_; ++qw) {
+      const PackedBits64& wplane = planes_[qw];
+      for (unsigned qa = 0; qa < qx.bits; ++qa) {
+        const std::uint64_t* xrow = qx.planes[qa].row(c);
         const float gamma = qx.gammas[qa][c];
-        float* yc = y.col(c);
-        for (std::size_t i = 0; i < m_; ++i) {
+        for (std::size_t i = i0; i < i1; ++i) {
           const std::uint64_t* wrow = wplane.row(i);
           long long diff = 0;
           for (std::size_t wi = 0; wi < words; ++wi) {
@@ -92,12 +96,37 @@ void XnorGemm::run_prequantized(const QuantizedActivations& qx, Matrix& y) const
         }
       }
     }
+  };
+
+  y.set_zero();
+  if (qx.batch > 1) {
+    engine::for_each_tile(ctx, qx.batch, 1,
+                          [&](unsigned /*worker*/, std::size_t c0,
+                              std::size_t c1) {
+                            for (std::size_t c = c0; c < c1; ++c) {
+                              cell(c, 0, m_);
+                            }
+                          });
+  } else if (qx.batch == 1) {
+    engine::for_each_tile(ctx, m_, 128,
+                          [&](unsigned /*worker*/, std::size_t i0,
+                              std::size_t i1) { cell(0, i0, i1); });
   }
+}
+
+void XnorGemm::run_prequantized(const QuantizedActivations& qx,
+                                Matrix& y) const {
+  run_prequantized(qx, y, ExecContext::thread_default());
 }
 
 void XnorGemm::run(const Matrix& x, Matrix& y, unsigned activation_bits) const {
   const QuantizedActivations qx = quantize_activations(x, activation_bits);
   run_prequantized(qx, y);
+}
+
+void XnorGemm::run(const Matrix& x, Matrix& y, ExecContext& ctx) const {
+  const QuantizedActivations qx = quantize_activations(x, activation_bits_);
+  run_prequantized(qx, y, ctx);
 }
 
 }  // namespace biq

@@ -43,13 +43,15 @@ class XnorGemm final : public GemmEngine {
   /// popcount GEMM. Results approximate W.X with both-sides quantization
   /// error, matching what the paper's xnor kernel computes.
   void run(const Matrix& x, Matrix& y, unsigned activation_bits) const;
-  void run(const Matrix& x, Matrix& y) const override {
-    run(x, y, activation_bits_);
-  }
+  void run(const Matrix& x, Matrix& y, ExecContext& ctx) const override;
+  using GemmEngine::run;
 
   /// Popcount GEMM against pre-quantized activations (separates the
-  /// quantization cost from the multiply cost in the benches).
+  /// quantization cost from the multiply cost in the benches). Work
+  /// splits over batch columns (rows when b == 1) across ctx's pool.
   void run_prequantized(const QuantizedActivations& qx, Matrix& y) const;
+  void run_prequantized(const QuantizedActivations& qx, Matrix& y,
+                        ExecContext& ctx) const;
 
   [[nodiscard]] std::size_t rows() const noexcept override { return m_; }
   [[nodiscard]] std::size_t cols() const noexcept override { return n_; }

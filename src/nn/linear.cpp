@@ -19,14 +19,19 @@ void check_bias(const std::vector<float>& bias, std::size_t m,
 /// Any registered engine + bias behind the LinearLayer interface.
 class EngineLinear final : public LinearLayer {
  public:
-  EngineLinear(std::unique_ptr<GemmEngine> engine, std::vector<float> bias)
-      : engine_(std::move(engine)), bias_(std::move(bias)) {
+  EngineLinear(std::unique_ptr<GemmEngine> engine, std::vector<float> bias,
+               ExecContext* ctx)
+      : ctx_(ctx), engine_(std::move(engine)), bias_(std::move(bias)) {
     check_bias(bias_, engine_->rows(), "EngineLinear");
   }
 
-  void forward(const Matrix& x, Matrix& y) const override {
-    engine_->run(x, y);
+  void forward(const Matrix& x, Matrix& y, ExecContext& ctx) const override {
+    engine_->run(x, y, ctx);
     if (!bias_.empty()) add_bias(y, bias_);
+  }
+  using LinearLayer::forward;
+  [[nodiscard]] ExecContext* bound_context() const noexcept override {
+    return ctx_;
   }
   [[nodiscard]] std::size_t in_features() const noexcept override {
     return engine_->cols();
@@ -42,29 +47,29 @@ class EngineLinear final : public LinearLayer {
   }
 
  private:
+  ExecContext* ctx_ = nullptr;
   std::unique_ptr<GemmEngine> engine_;
   std::vector<float> bias_;
 };
 
 }  // namespace
 
-Linear::Linear(const Matrix& w, std::vector<float> bias, ThreadPool* pool)
-    : m_(w.rows()), n_(w.cols()), bias_(std::move(bias)) {
+Linear::Linear(const Matrix& w, std::vector<float> bias, ExecContext* ctx)
+    : m_(w.rows()), n_(w.cols()), ctx_(ctx), bias_(std::move(bias)) {
   check_bias(bias_, m_, "Linear");
-  EngineConfig cfg;
-  cfg.kernel.pool = pool;
-  engine_ = make_engine("blocked", w, cfg);
+  engine_ = make_engine("blocked", w);
 }
 
-void Linear::forward(const Matrix& x, Matrix& y) const {
-  engine_->run(x, y);
+void Linear::forward(const Matrix& x, Matrix& y, ExecContext& ctx) const {
+  engine_->run(x, y, ctx);
   if (!bias_.empty()) add_bias(y, bias_);
 }
 
 QuantLinear::QuantLinear(const Matrix& w, std::vector<float> bias,
                          unsigned bits, QuantMethod method,
-                         const BiqGemmOptions& opt)
-    : m_(w.rows()), n_(w.cols()), bits_(bits), bias_(std::move(bias)) {
+                         const BiqGemmOptions& opt, ExecContext* ctx)
+    : m_(w.rows()), n_(w.cols()), bits_(bits), ctx_(ctx),
+      bias_(std::move(bias)) {
   check_bias(bias_, m_, "QuantLinear");
   // Quantize once; the factory packs from these codes and the same
   // codes yield the reconstruction-quality record (Table I proxy).
@@ -76,8 +81,8 @@ QuantLinear::QuantLinear(const Matrix& w, std::vector<float> bias,
   quant_error_ = rel_fro_error(codes.dequantize(), w);
 }
 
-void QuantLinear::forward(const Matrix& x, Matrix& y) const {
-  engine_->run(x, y);
+void QuantLinear::forward(const Matrix& x, Matrix& y, ExecContext& ctx) const {
+  engine_->run(x, y, ctx);
   if (!bias_.empty()) add_bias(y, bias_);
 }
 
@@ -85,19 +90,21 @@ std::unique_ptr<LinearLayer> make_linear(const Matrix& w,
                                          std::vector<float> bias,
                                          unsigned bits, QuantMethod method,
                                          const BiqGemmOptions& opt,
-                                         ThreadPool* pool) {
+                                         ExecContext* ctx) {
   if (bits == 0) {
-    return std::make_unique<Linear>(w, std::move(bias), pool);
+    return std::make_unique<Linear>(w, std::move(bias), ctx);
   }
-  return std::make_unique<QuantLinear>(w, std::move(bias), bits, method, opt);
+  return std::make_unique<QuantLinear>(w, std::move(bias), bits, method, opt,
+                                       ctx);
 }
 
 std::unique_ptr<LinearLayer> make_linear_engine(std::string_view engine_name,
                                                 const Matrix& w,
                                                 std::vector<float> bias,
-                                                const EngineConfig& cfg) {
+                                                const EngineConfig& cfg,
+                                                ExecContext* ctx) {
   return std::make_unique<EngineLinear>(make_engine(engine_name, w, cfg),
-                                        std::move(bias));
+                                        std::move(bias), ctx);
 }
 
 }  // namespace biq::nn

@@ -6,6 +6,12 @@
 // registered backend, present or future. `make_linear` is the factory a
 // downstream user adopts; `make_linear_engine` exposes the full registry
 // (any engine name) behind the same LinearLayer surface.
+//
+// Execution: layers can be bound to an ExecContext at construction (one
+// context shared by a whole model = one pool + warm scratch for every
+// projection — dense and quantized layers parallelize identically), or
+// given one per call via the 3-arg forward. Unbound layers fall back to
+// the calling thread's serial default context.
 #pragma once
 
 #include <memory>
@@ -24,7 +30,20 @@ class LinearLayer {
   virtual ~LinearLayer() = default;
 
   /// y = W.x + bias. x: in x batch, y: out x batch (overwritten).
-  virtual void forward(const Matrix& x, Matrix& y) const = 0;
+  virtual void forward(const Matrix& x, Matrix& y,
+                       ExecContext& ctx) const = 0;
+
+  /// Context-less form: uses the bound context when the layer has one,
+  /// else the calling thread's serial default.
+  void forward(const Matrix& x, Matrix& y) const {
+    ExecContext* bound = bound_context();
+    forward(x, y, bound != nullptr ? *bound : ExecContext::thread_default());
+  }
+
+  /// The ExecContext the layer was constructed with (nullptr = none).
+  [[nodiscard]] virtual ExecContext* bound_context() const noexcept {
+    return nullptr;
+  }
 
   [[nodiscard]] virtual std::size_t in_features() const noexcept = 0;
   [[nodiscard]] virtual std::size_t out_features() const noexcept = 0;
@@ -39,10 +58,16 @@ class LinearLayer {
 /// fp32 layer; kernel = registry "blocked" (pre-packed blocked GEMM).
 class Linear final : public LinearLayer {
  public:
+  /// `ctx` (not owned, may be nullptr) is the layer's default execution
+  /// context — it must outlive the layer.
   Linear(const Matrix& w, std::vector<float> bias,
-         ThreadPool* pool = nullptr);
+         ExecContext* ctx = nullptr);
 
-  void forward(const Matrix& x, Matrix& y) const override;
+  void forward(const Matrix& x, Matrix& y, ExecContext& ctx) const override;
+  using LinearLayer::forward;
+  [[nodiscard]] ExecContext* bound_context() const noexcept override {
+    return ctx_;
+  }
   [[nodiscard]] std::size_t in_features() const noexcept override { return n_; }
   [[nodiscard]] std::size_t out_features() const noexcept override { return m_; }
   [[nodiscard]] std::size_t weight_bytes() const noexcept override {
@@ -54,6 +79,7 @@ class Linear final : public LinearLayer {
 
  private:
   std::size_t m_, n_;
+  ExecContext* ctx_ = nullptr;
   std::unique_ptr<GemmEngine> engine_;
   std::vector<float> bias_;
 };
@@ -73,9 +99,13 @@ class QuantLinear final : public LinearLayer {
  public:
   QuantLinear(const Matrix& w, std::vector<float> bias, unsigned bits,
               QuantMethod method = QuantMethod::kGreedy,
-              const BiqGemmOptions& opt = {});
+              const BiqGemmOptions& opt = {}, ExecContext* ctx = nullptr);
 
-  void forward(const Matrix& x, Matrix& y) const override;
+  void forward(const Matrix& x, Matrix& y, ExecContext& ctx) const override;
+  using LinearLayer::forward;
+  [[nodiscard]] ExecContext* bound_context() const noexcept override {
+    return ctx_;
+  }
   [[nodiscard]] std::size_t in_features() const noexcept override { return n_; }
   [[nodiscard]] std::size_t out_features() const noexcept override { return m_; }
   [[nodiscard]] std::size_t weight_bytes() const noexcept override {
@@ -94,22 +124,25 @@ class QuantLinear final : public LinearLayer {
  private:
   std::size_t m_, n_;
   unsigned bits_;
+  ExecContext* ctx_ = nullptr;
   std::unique_ptr<GemmEngine> engine_;
   std::vector<float> bias_;
   double quant_error_ = 0.0;
 };
 
 /// Factory: bits == 0 returns the float layer, otherwise QuantLinear.
+/// `ctx` is threaded to BOTH paths, so dense and quantized models
+/// parallelize identically.
 [[nodiscard]] std::unique_ptr<LinearLayer> make_linear(
     const Matrix& w, std::vector<float> bias, unsigned bits,
     QuantMethod method = QuantMethod::kGreedy, const BiqGemmOptions& opt = {},
-    ThreadPool* pool = nullptr);
+    ExecContext* ctx = nullptr);
 
 /// Registry-generic layer: wraps ANY registered engine (by name) plus a
 /// bias behind the LinearLayer interface — how a new backend reaches the
 /// model zoo without new layer classes.
 [[nodiscard]] std::unique_ptr<LinearLayer> make_linear_engine(
     std::string_view engine_name, const Matrix& w, std::vector<float> bias,
-    const EngineConfig& cfg = {});
+    const EngineConfig& cfg = {}, ExecContext* ctx = nullptr);
 
 }  // namespace biq::nn

@@ -105,7 +105,7 @@ void BiLstm::forward(const Matrix& x, Matrix& h_out) const {
 
 LstmCell make_lstm_cell(std::size_t input, std::size_t hidden,
                         std::uint64_t seed, const QuantSpec& spec,
-                        ThreadPool* pool) {
+                        ExecContext* ctx) {
   Rng rng(seed);
   Matrix wx = xavier_uniform(4 * hidden, input, rng);
   Matrix wh = xavier_uniform(4 * hidden, hidden, rng);
@@ -115,9 +115,9 @@ LstmCell make_lstm_cell(std::size_t input, std::size_t hidden,
   for (std::size_t j = 0; j < hidden; ++j) bias[hidden + j] = 1.0f;
 
   auto wx_layer = make_linear(wx, std::vector<float>(), spec.weight_bits,
-                              spec.method, spec.kernel, pool);
+                              spec.method, spec.kernel, ctx);
   auto wh_layer = make_linear(wh, std::vector<float>(), spec.weight_bits,
-                              spec.method, spec.kernel, pool);
+                              spec.method, spec.kernel, ctx);
   return LstmCell(std::move(wx_layer), std::move(wh_layer), std::move(bias));
 }
 

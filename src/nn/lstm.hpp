@@ -76,9 +76,11 @@ class BiLstm {
 };
 
 /// Deterministic factory (same convention as make_encoder): identical
-/// fp32 weights for any spec with the same seed.
+/// fp32 weights for any spec with the same seed. `ctx` (not owned, may
+/// be nullptr) binds both projections' execution context, so the cell's
+/// GEMVs thread and reuse scratch through one shared context.
 [[nodiscard]] LstmCell make_lstm_cell(std::size_t input, std::size_t hidden,
                                       std::uint64_t seed, const QuantSpec& spec,
-                                      ThreadPool* pool = nullptr);
+                                      ExecContext* ctx = nullptr);
 
 }  // namespace biq::nn

@@ -40,13 +40,13 @@ void EncoderLayer::forward(Matrix& x) const {
 
 TransformerEncoder make_encoder(const TransformerConfig& config,
                                 std::uint64_t seed, const QuantSpec& spec,
-                                ThreadPool* pool) {
+                                ExecContext* ctx) {
   Rng rng(seed);
   auto project = [&](std::size_t out, std::size_t in) {
     Matrix w = xavier_uniform(out, in, rng);
     std::vector<float> bias(out, 0.0f);
     return make_linear(w, std::move(bias), spec.weight_bits, spec.method,
-                       spec.kernel, pool);
+                       spec.kernel, ctx);
   };
 
   std::vector<EncoderLayer> layers;

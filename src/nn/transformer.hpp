@@ -90,9 +90,12 @@ class TransformerEncoder {
 /// `seed`. Two calls with the same (config, seed) and different specs
 /// produce models with IDENTICAL underlying fp32 weights — one float,
 /// one quantized — enabling apples-to-apples accuracy/latency studies.
+/// `ctx` (not owned, may be nullptr) binds every projection's execution
+/// context: one pool + one set of warm scratch arenas for the whole
+/// stack.
 [[nodiscard]] TransformerEncoder make_encoder(const TransformerConfig& config,
                                               std::uint64_t seed,
                                               const QuantSpec& spec,
-                                              ThreadPool* pool = nullptr);
+                                              ExecContext* ctx = nullptr);
 
 }  // namespace biq::nn

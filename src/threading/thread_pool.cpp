@@ -38,7 +38,8 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::worker_loop(unsigned id) {
   std::uint64_t seen_generation = 0;
   for (;;) {
-    const std::function<void(unsigned)>* job = nullptr;
+    RawJob fn = nullptr;
+    void* ctx = nullptr;
     {
       std::unique_lock lock(mutex_);
       start_cv_.wait(lock, [&] {
@@ -46,10 +47,11 @@ void ThreadPool::worker_loop(unsigned id) {
       });
       if (stop_) return;
       seen_generation = generation_;
-      job = job_;
+      fn = job_fn_;
+      ctx = job_ctx_;
     }
     try {
-      (*job)(id);
+      fn(ctx, id);
     } catch (...) {
       std::lock_guard lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
@@ -62,13 +64,22 @@ void ThreadPool::worker_loop(unsigned id) {
 }
 
 void ThreadPool::run(const std::function<void(unsigned)>& job) {
+  run_raw(
+      [](void* ctx, unsigned id) {
+        (*static_cast<const std::function<void(unsigned)>*>(ctx))(id);
+      },
+      const_cast<std::function<void(unsigned)>*>(&job));
+}
+
+void ThreadPool::run_raw(RawJob fn, void* ctx) {
   if (workers_.empty()) {
-    job(0);
+    fn(ctx, 0);
     return;
   }
   {
     std::lock_guard lock(mutex_);
-    job_ = &job;
+    job_fn_ = fn;
+    job_ctx_ = ctx;
     pending_ = static_cast<unsigned>(workers_.size());
     first_error_ = nullptr;
     ++generation_;
@@ -77,7 +88,7 @@ void ThreadPool::run(const std::function<void(unsigned)>& job) {
 
   std::exception_ptr caller_error;
   try {
-    job(0);
+    fn(ctx, 0);
   } catch (...) {
     caller_error = std::current_exception();
   }
@@ -85,7 +96,8 @@ void ThreadPool::run(const std::function<void(unsigned)>& job) {
   {
     std::unique_lock lock(mutex_);
     done_cv_.wait(lock, [&] { return pending_ == 0; });
-    job_ = nullptr;
+    job_fn_ = nullptr;
+    job_ctx_ = nullptr;
     if (!caller_error && first_error_) caller_error = first_error_;
   }
   if (caller_error) std::rethrow_exception(caller_error);

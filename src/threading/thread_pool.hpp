@@ -34,6 +34,14 @@ class ThreadPool {
   /// worker is rethrown on the calling thread.
   void run(const std::function<void(unsigned)>& job);
 
+  /// Type-erased fork-join without std::function: fn(ctx, worker_id) on
+  /// every worker. This is the allocation-free path the engine-layer
+  /// tile partitioner dispatches through — a std::function constructed
+  /// from a capturing lambda may heap-allocate, which would break the
+  /// warm-ExecContext zero-allocation guarantee of the kernel hot path.
+  using RawJob = void (*)(void* ctx, unsigned worker);
+  void run_raw(RawJob fn, void* ctx);
+
   /// Process-wide default pool (size from BIQ_THREADS or the hardware).
   static ThreadPool& global();
 
@@ -44,7 +52,8 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
-  const std::function<void(unsigned)>* job_ = nullptr;
+  RawJob job_fn_ = nullptr;
+  void* job_ctx_ = nullptr;
   std::uint64_t generation_ = 0;
   unsigned pending_ = 0;
   bool stop_ = false;

@@ -37,6 +37,7 @@ class BiqGemmFuzz : public ::testing::TestWithParam<int> {};
 TEST_P(BiqGemmFuzz, RandomConfigsMatchReference) {
   Rng rng(0xF00D + static_cast<std::uint64_t>(GetParam()) * 7919);
   ThreadPool pool(3);
+  ExecContext pool_ctx(&pool);
   for (int trial = 0; trial < 12; ++trial) {
     const FuzzConfig c = draw_config(rng);
     Matrix w = Matrix::random_normal(c.m, c.n, rng);
@@ -50,9 +51,12 @@ TEST_P(BiqGemmFuzz, RandomConfigsMatchReference) {
     opt.mu = c.mu;
     opt.tables_per_tile = c.tables_per_tile;
     opt.use_dp_builder = c.use_dp;
-    if (c.threaded) opt.pool = &pool;
     actual.fill(-999.0f);
-    biqgemm(codes, x, actual, opt);
+    if (c.threaded) {
+      biqgemm(codes, x, actual, opt, pool_ctx);
+    } else {
+      biqgemm(codes, x, actual, opt);
+    }
 
     ASSERT_TRUE(allclose(actual, expected, 3e-3f, 3e-3f))
         << "m=" << c.m << " n=" << c.n << " b=" << c.b << " mu=" << c.mu
@@ -70,6 +74,7 @@ TEST(BiqGemmFuzz, DegenerateShapeGrid) {
   // (single row, single column, tail-only tables) concentrates.
   Rng rng(0xBEEF);
   ThreadPool pool(2);
+  ExecContext ctx(&pool);
   for (std::size_t m : {1u, 2u, 3u}) {
     for (std::size_t n : {1u, 2u, 7u, 8u, 9u}) {
       for (std::size_t b : {1u, 2u, 8u, 9u}) {
@@ -81,8 +86,7 @@ TEST(BiqGemmFuzz, DegenerateShapeGrid) {
           gemm_codes_ref(codes, x, expected);
           BiqGemmOptions opt;
           opt.mu = mu;
-          opt.pool = &pool;
-          biqgemm(codes, x, actual, opt);
+          biqgemm(codes, x, actual, opt, ctx);
           ASSERT_TRUE(allclose(actual, expected, 3e-3f, 3e-3f))
               << "m=" << m << " n=" << n << " b=" << b << " mu=" << mu;
         }

@@ -17,7 +17,7 @@ struct Case {
 };
 
 void expect_matches_reference(const Case& c, const BiqGemmOptions& opt_in,
-                              float tol = 2e-3f) {
+                              ExecContext* ctx = nullptr, float tol = 2e-3f) {
   Rng rng(static_cast<std::uint64_t>(c.m) * 1315423911u + c.n * 2654435761u +
           c.b * 97 + c.mu * 13 + c.bits);
   Matrix w = Matrix::random_normal(c.m, c.n, rng);
@@ -30,7 +30,11 @@ void expect_matches_reference(const Case& c, const BiqGemmOptions& opt_in,
   BiqGemmOptions opt = opt_in;
   opt.mu = c.mu;
   actual.fill(777.0f);  // stale data must be overwritten
-  biqgemm(codes, x, actual, opt);
+  if (ctx != nullptr) {
+    biqgemm(codes, x, actual, opt, *ctx);
+  } else {
+    biqgemm(codes, x, actual, opt);
+  }
   EXPECT_TRUE(allclose(actual, expected, tol, tol))
       << "m=" << c.m << " n=" << c.n << " b=" << c.b << " mu=" << c.mu
       << " bits=" << c.bits << " maxdiff=" << max_abs_diff(actual, expected);
@@ -44,9 +48,8 @@ TEST_P(BiqGemmSweep, MatchesReferenceSerial) {
 
 TEST_P(BiqGemmSweep, MatchesReferenceThreaded) {
   ThreadPool pool(4);
-  BiqGemmOptions opt;
-  opt.pool = &pool;
-  expect_matches_reference(GetParam(), opt);
+  ExecContext ctx(&pool);
+  expect_matches_reference(GetParam(), {}, &ctx);
 }
 
 TEST_P(BiqGemmSweep, MatchesReferenceWithMmBuilder) {

@@ -79,10 +79,10 @@ TEST(BiqGemv, ThreadedMatchesSerial) {
   BiqGemm(codes, {}).run(x, serial);
 
   ThreadPool pool(4);
+  ExecContext ctx(&pool);
   BiqGemmOptions opt;
-  opt.pool = &pool;
   opt.row_block = 64;
-  BiqGemm(codes, opt).run(x, threaded);
+  BiqGemm(codes, opt).run(x, threaded, ctx);
   EXPECT_LT(max_abs_diff(serial, threaded), 1e-5f);
 }
 

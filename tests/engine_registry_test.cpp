@@ -15,6 +15,7 @@
 #include "core/biqgemm.hpp"
 #include "engine/dispatch.hpp"
 #include "engine/registry.hpp"
+#include "gemm/gemm_blocked.hpp"
 #include "gemm/gemm_ref.hpp"
 #include "quant/quantize.hpp"
 
@@ -176,6 +177,42 @@ TEST(EngineRegistry, OneRegistrationAddsABackendEverywhere) {
                std::invalid_argument);
 }
 
+TEST(EngineRegistry, EveryEngineIsBitwiseDeterministicAcrossThreadCounts) {
+  // The tile partitioner hands every engine units of identical
+  // arithmetic, so output must not depend on the worker count — 1-thread
+  // and N-thread runs of the same engine instance are bitwise equal.
+  EngineConfig cfg;
+  cfg.weight_bits = 3;
+  cfg.activation_bits = 2;
+  Rng rng(41);
+  const Matrix w = Matrix::random_normal(97, 83, rng, 0.0f, 0.5f);
+
+  for (const std::string& name : EngineRegistry::instance().names()) {
+    const std::unique_ptr<GemmEngine> engine = make_engine(name, w, cfg);
+    // b == 1 exercises the GEMV/row-parallel splits, the larger batches
+    // the batch-tile splits.
+    for (const std::size_t b : {std::size_t{1}, std::size_t{7},
+                                std::size_t{33}}) {
+      Matrix x = Matrix::random_normal(83, b, rng);
+      Matrix y_one(97, b);
+      {
+        ThreadPool pool(1);
+        ExecContext ctx(&pool);
+        engine->run(x, y_one, ctx);
+      }
+      for (unsigned threads : {2u, 4u}) {
+        ThreadPool pool(threads);
+        ExecContext ctx(&pool);
+        Matrix y_n(97, b);
+        y_n.fill(-123.0f);
+        engine->run(x, y_n, ctx);
+        EXPECT_EQ(max_abs_diff(y_one, y_n), 0.0f)
+            << name << " b=" << b << " threads=" << threads;
+      }
+    }
+  }
+}
+
 // ------------------------------------------------------- runtime dispatch
 
 TEST(Dispatch, ScalarPlaneAlwaysAvailable) {
@@ -277,6 +314,81 @@ TEST(Dispatch, OneBinaryServesBothPlanesWithConsistentResults) {
     scalar_engine.run(x, y_scalar);
     avx2_engine.run(x, y_avx2);
     EXPECT_TRUE(allclose(y_scalar, y_avx2, 1e-5f, 1e-5f)) << "b=" << b;
+  }
+}
+
+TEST(Dispatch, ScalarAndAvx512PlanesAreBitwiseConsistent) {
+  if (!engine::isa_available(KernelIsa::kAvx512)) {
+    GTEST_SKIP() << "avx512 plane not available on this host/build";
+  }
+  const engine::BiqKernels& scalar = engine::select_kernels(KernelIsa::kScalar);
+  const engine::BiqKernels& avx512 =
+      engine::select_kernels(KernelIsa::kAvx512);
+  EXPECT_STREQ(avx512.isa, "avx512");
+  EXPECT_EQ(avx512.query_lanes, 16u);
+
+  // At 16 lanes the scalar plane runs its generic per-lane loops and the
+  // AVX-512 plane its V16 fast path; the DP recurrence (adds/negates
+  // only, same per-lane order) must produce bit-for-bit equal tables.
+  constexpr unsigned mu = 8;
+  const std::size_t lanes = avx512.query_lanes;
+  Rng rng(29);
+  std::vector<float> xt(mu * lanes);
+  fill_normal(rng, xt.data(), xt.size());
+  std::vector<float> lut_scalar((std::size_t{1} << mu) * lanes);
+  std::vector<float> lut_avx512(lut_scalar.size());
+  scalar.build_dp(xt.data(), mu, lanes, lut_scalar.data());
+  avx512.build_dp(xt.data(), mu, lanes, lut_avx512.data());
+  EXPECT_EQ(std::memcmp(lut_scalar.data(), lut_avx512.data(),
+                        lut_scalar.size() * sizeof(float)),
+            0);
+  scalar.build_mm(xt.data(), mu, lanes, lut_scalar.data());
+  avx512.build_mm(xt.data(), mu, lanes, lut_avx512.data());
+  EXPECT_EQ(std::memcmp(lut_scalar.data(), lut_avx512.data(),
+                        lut_scalar.size() * sizeof(float)),
+            0);
+
+  // Engine outputs across the 16-lane batched path, a partial tile and
+  // the GEMV path agree with the scalar plane to rounding.
+  const Matrix w = Matrix::random_normal(72, 64, rng);
+  const BinaryCodes codes = quantize(w, 2, QuantMethod::kGreedy);
+  BiqGemmOptions opt_scalar;
+  opt_scalar.isa = KernelIsa::kScalar;
+  BiqGemmOptions opt_avx512;
+  opt_avx512.isa = KernelIsa::kAvx512;
+  const BiqGemm scalar_engine(codes, opt_scalar);
+  const BiqGemm avx512_engine(codes, opt_avx512);
+  EXPECT_EQ(avx512_engine.isa(), "avx512");
+  for (const std::size_t b :
+       {std::size_t{1}, std::size_t{11}, std::size_t{32}}) {
+    Matrix x = Matrix::random_normal(64, b, rng);
+    Matrix y_scalar(72, b), y_avx512(72, b);
+    scalar_engine.run(x, y_scalar);
+    avx512_engine.run(x, y_avx512);
+    EXPECT_TRUE(allclose(y_scalar, y_avx512, 1e-5f, 1e-5f)) << "b=" << b;
+  }
+}
+
+TEST(Dispatch, BlockedMicrokernelPlanesAgreeAcrossIsas) {
+  Rng rng(37);
+  const Matrix w = Matrix::random_normal(61, 90, rng);
+  Matrix x = Matrix::random_normal(90, 6, rng);
+  Matrix y_scalar(61, 6), expected(61, 6);
+  gemm_ref(w, x, expected);
+
+  const BlockedGemm scalar_engine(w, KernelIsa::kScalar);
+  EXPECT_EQ(scalar_engine.isa(), "scalar");
+  scalar_engine.run(x, y_scalar);
+  EXPECT_LT(rel_fro_error(y_scalar, expected), 1e-5);
+
+  for (const KernelIsa isa : {KernelIsa::kAvx2, KernelIsa::kAvx512}) {
+    if (!engine::isa_available(isa)) continue;
+    const BlockedGemm vec_engine(w, isa);
+    Matrix y_vec(61, 6);
+    vec_engine.run(x, y_vec);
+    // FMA contraction differs from the scalar mul+add, so compare to
+    // rounding, not bitwise.
+    EXPECT_TRUE(allclose(y_scalar, y_vec, 1e-5f, 1e-5f));
   }
 }
 

@@ -106,8 +106,9 @@ TEST(BlockedGemm, MultithreadedMatchesSerial) {
   Matrix x = Matrix::random_normal(64, 9, rng);
   Matrix serial(100, 9), threaded(100, 9);
   ThreadPool pool(4);
-  gemm_blocked(w, x, serial, nullptr);
-  gemm_blocked(w, x, threaded, &pool);
+  ExecContext ctx(&pool);
+  gemm_blocked(w, x, serial);
+  gemm_blocked(w, x, threaded, ctx);
   EXPECT_LT(max_abs_diff(serial, threaded), 1e-5f);
 }
 

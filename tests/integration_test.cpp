@@ -167,12 +167,10 @@ TEST(Integration, ThreadedPipelineMatchesSerial) {
   Matrix x = Matrix::random_normal(304, 24, rng);
   const BinaryCodes codes = quantize_greedy(w, 3);
 
-  BiqGemmOptions serial_opt;
-  BiqGemmOptions pool_opt;
-  pool_opt.pool = &pool;
+  ExecContext pool_ctx(&pool);
   Matrix y_serial(200, 24), y_pool(200, 24);
-  biqgemm(codes, x, y_serial, serial_opt);
-  biqgemm(codes, x, y_pool, pool_opt);
+  biqgemm(codes, x, y_serial, {});
+  biqgemm(codes, x, y_pool, {}, pool_ctx);
   EXPECT_LT(max_abs_diff(y_serial, y_pool), 1e-5f);
 }
 

@@ -148,5 +148,36 @@ TEST(MakeLinear, DispatchesOnBits) {
   EXPECT_NE(dynamic_cast<QuantLinear*>(quant.get()), nullptr);
 }
 
+TEST(MakeLinear, ContextReachesBothDenseAndQuantizedPaths) {
+  // Regression: the pre-ExecContext factory dropped its pool argument on
+  // the quantized branch, so quantized layers silently ran serial while
+  // dense ones threaded. Both branches must now bind the caller's
+  // context AND actually execute through it.
+  Rng rng(11);
+  Matrix w = Matrix::random_normal(64, 96, rng);
+  Matrix x = Matrix::random_normal(96, 32, rng);
+
+  ThreadPool pool(4);
+  ExecContext ctx(&pool);
+  const auto fp = make_linear(w, {}, 0, QuantMethod::kGreedy, {}, &ctx);
+  const auto quant = make_linear(w, {}, 2, QuantMethod::kGreedy, {}, &ctx);
+  EXPECT_EQ(fp->bound_context(), &ctx);
+  EXPECT_EQ(quant->bound_context(), &ctx);
+
+  // The quantized forward must match its serial result bitwise (the
+  // partitioner guarantee) ...
+  Matrix serial(64, 32), threaded(64, 32);
+  const auto quant_serial = make_linear(w, {}, 2);
+  quant_serial->forward(x, serial);
+  quant->forward(x, threaded);
+  EXPECT_EQ(max_abs_diff(serial, threaded), 0.0f);
+
+  // ... and must have run through the bound context: biqgemm serves its
+  // scratch from the context's arenas, so a forward that actually used
+  // `ctx` leaves allocations behind. A context-dropping factory would
+  // fall back to the thread-default context and leave ctx untouched.
+  EXPECT_GT(ctx.scratch_heap_allocations(), 0u);
+}
+
 }  // namespace
 }  // namespace biq::nn
