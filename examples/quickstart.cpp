@@ -6,7 +6,8 @@
 // This is the 60-second tour of the public API:
 //   EngineRegistry / make_engine("biqgemm", w, cfg) -> packed LUT kernel
 //   make_engine("blocked", w)                       -> fp32 baseline
-//   engine->run(x, y)                               -> Y = W . X
+//   engine->run(x, y)                               -> one-shot Y = W . X
+//   engine->plan(batch, ctx) -> plan->run(x, y)     -> prepared hot path
 // Every kernel comes from the registry by name; the concrete classes
 // (BiqGemm, BlockedGemm, ...) never appear here. The BiQGEMM hot loops
 // pick their ISA plane (scalar / AVX2) at construction from the running
@@ -67,11 +68,17 @@ int main(int argc, char** argv) {
               static_cast<double>(m * n * 4) /
                   static_cast<double>(engine->weight_bytes()));
 
-  // 4. Quick timing comparison (median of repeated runs).
+  // 4. Quick timing comparison (median of repeated runs) through the
+  //    planned API: the batch is fixed, so plan once — kernel plane,
+  //    tile partition and scratch layout are frozen up front — and
+  //    plan->run() is the warm, allocation-free hot path.
+  biq::ExecContext ctx;
+  const std::unique_ptr<biq::GemmPlan> quant_plan = engine->plan(batch, ctx);
+  const std::unique_ptr<biq::GemmPlan> dense_plan = dense->plan(batch, ctx);
   const auto t_biq = biq::summarize(biq::measure_repetitions(
-      [&] { engine->run(x, y_quant); }, 5, 0.2));
+      [&] { quant_plan->run(x, y_quant); }, 5, 0.2));
   const auto t_gemm = biq::summarize(biq::measure_repetitions(
-      [&] { dense->run(x, y_float); }, 5, 0.2));
+      [&] { dense_plan->run(x, y_float); }, 5, 0.2));
   std::printf("%s:   %8.2f us/run (median)\n",
               std::string(engine->name()).c_str(), t_biq.median * 1e6);
   std::printf("%s: %8.2f us/run (median)\n",

@@ -30,7 +30,13 @@ int main(int argc, char** argv) {
               cfg.layers, cfg.hidden, cfg.ffn, tokens);
 
   constexpr std::uint64_t kSeed = 2020;
-  const biq::nn::TransformerEncoder fp = biq::nn::make_encoder(cfg, kSeed, {});
+  // One execution context bound to every projection of every encoder:
+  // each layer caches its engine's GemmPlan and replans only when the
+  // token count changes, so the repeated forwards below run the
+  // prepared, allocation-free hot path (the planned-API serving pattern).
+  biq::ExecContext ctx;
+  const biq::nn::TransformerEncoder fp =
+      biq::nn::make_encoder(cfg, kSeed, {}, &ctx);
 
   biq::Rng rng(7);
   const biq::Matrix input = biq::Matrix::random_normal(hidden, tokens, rng);
@@ -56,7 +62,7 @@ int main(int argc, char** argv) {
     spec.weight_bits = bits;
     spec.method = biq::nn::QuantMethod::kAlternating;
     const biq::nn::TransformerEncoder quant =
-        biq::nn::make_encoder(cfg, kSeed, spec);
+        biq::nn::make_encoder(cfg, kSeed, spec, &ctx);
 
     biq::Matrix x_q = input;
     quant.forward(x_q);

@@ -1,12 +1,14 @@
 #include "core/biqgemm.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 
 #include "core/biqgemv.hpp"
 #include "core/lut_builder.hpp"
 #include "engine/dispatch.hpp"
 #include "engine/partition.hpp"
+#include "engine/plan_driver.hpp"
 #include "util/timer.hpp"
 
 namespace biq {
@@ -31,7 +33,7 @@ struct Scratch {
 /// Stages x sub-vectors for tables [t0, t0+tcount) x columns
 /// [c0, c0+lanes) into the interleaved layout xt[(g*mu+j)*lanes + lane],
 /// zero-padding rows past n (the tail-group guarantee).
-void stage_x_tile(const Matrix& x, std::size_t c0, std::size_t lanes,
+void stage_x_tile(ConstMatrixView x, std::size_t c0, std::size_t lanes,
                   std::size_t t0, std::size_t tcount, unsigned mu, float* xt) {
   const std::size_t n = x.rows();
   for (std::size_t g = 0; g < tcount; ++g) {
@@ -52,8 +54,8 @@ void stage_x_tile(const Matrix& x, std::size_t c0, std::size_t lanes,
 struct KernelArgs {
   const std::vector<KeyMatrix>* keys;
   const std::vector<std::vector<float>>* alphas;
-  const Matrix* x;
-  Matrix* y;
+  ConstMatrixView x;
+  MatrixView y;
   std::size_t m, n, ntables;
   unsigned mu;
   bool use_dp;
@@ -105,7 +107,7 @@ void run_one_batch_tile(const KernelArgs& a, std::size_t c0, std::size_t lanes,
 
     {
       Stopwatch w;
-      stage_x_tile(*a.x, c0, lanes, t0, tcount, a.mu, scratch.xt);
+      stage_x_tile(a.x, c0, lanes, t0, tcount, a.mu, scratch.xt);
       if (a.profile) a.profile->replace_seconds += w.elapsed_seconds();
     }
     {
@@ -139,7 +141,7 @@ void run_one_batch_tile(const KernelArgs& a, std::size_t c0, std::size_t lanes,
   {
     Stopwatch w;
     for (std::size_t lane = 0; lane < lanes; ++lane) {
-      float* ycol = a.y->col(c0 + lane);
+      float* ycol = a.y.col(c0 + lane);
       for (std::size_t i = 0; i < a.m; ++i) ycol[i] = ytile[i * lanes + lane];
     }
     if (a.profile) a.profile->replace_seconds += w.elapsed_seconds();
@@ -148,51 +150,74 @@ void run_one_batch_tile(const KernelArgs& a, std::size_t c0, std::size_t lanes,
 
 template <typename KeyT>
 void run_kernel(const KernelArgs& args, ExecContext& ctx) {
-  const std::size_t b = args.x->cols();
+  const std::size_t b = args.x.cols();
   const std::size_t lanes_max = args.plan.lanes;
   const std::size_t ntiles = (b + lanes_max - 1) / lanes_max;
 
-  const bool tile_parallel =
-      ctx.worker_count() > 1 && ntiles >= ctx.worker_count();
-
-  if (tile_parallel) {
-    // Batch tiles write disjoint output columns: embarrassingly parallel,
-    // one arena-backed scratch per worker, dynamic tile queue. Pre-warm
-    // every worker's arena from the calling thread (no region is active
-    // yet) so the zero-allocation steady state is reached after one run
-    // even for workers the dynamic queue happened to starve.
-    for (unsigned w = 0; w < ctx.worker_count(); ++w) {
-      ScratchArena& arena = ctx.scratch(w);
-      arena.reset();
-      Scratch prewarm(arena, args.plan, args.m, args.mu);
-      (void)prewarm;
-    }
-    engine::for_each_tile(
-        ctx, ntiles, 1,
-        [&](unsigned worker, std::size_t t0, std::size_t t1) {
-          ScratchArena& arena = ctx.scratch(worker);
-          arena.reset();
-          Scratch scratch(arena, args.plan, args.m, args.mu);
-          for (std::size_t t = t0; t < t1; ++t) {
-            const std::size_t c0 = t * lanes_max;
-            run_one_batch_tile<KeyT>(args, c0, std::min(lanes_max, b - c0),
-                                     scratch, nullptr);
-          }
-        });
-    return;
-  }
-
-  // Few batch tiles: process them in order, parallelizing the query
-  // phase over output rows inside each tile (ctx may still be serial).
-  ScratchArena& arena = ctx.scratch(0);
-  arena.reset();
-  Scratch scratch(arena, args.plan, args.m, args.mu);
-  for (std::size_t t = 0; t < ntiles; ++t) {
-    const std::size_t c0 = t * lanes_max;
-    run_one_batch_tile<KeyT>(args, c0, std::min(lanes_max, b - c0), scratch,
-                             &ctx);
-  }
+  // Orchestration (prewarm -> dynamic batch-tile queue -> row-split
+  // fallback) lives in the shared driver; this kernel contributes only
+  // its scratch layout and per-tile body.
+  engine::drive_batch_tiles(
+      ctx, ntiles,
+      [&](ScratchArena& arena) {
+        return Scratch(arena, args.plan, args.m, args.mu);
+      },
+      [&](Scratch& scratch, std::size_t t, ExecContext* row_ctx) {
+        const std::size_t c0 = t * lanes_max;
+        run_one_batch_tile<KeyT>(args, c0, std::min(lanes_max, b - c0),
+                                 scratch, row_ctx);
+      });
 }
+
+/// The frozen (shape, options, context) recipe behind BiqGemm::plan.
+/// Everything derivable before the activations arrive is resolved here,
+/// once: the kernel plane (construction default or ctx override), the
+/// tile geometry, and — batch > 1 — the KernelArgs skeleton.
+class BiqGemmPlan final : public GemmPlan {
+ public:
+  BiqGemmPlan(const BiqGemm& engine, const std::vector<KeyMatrix>& keys,
+              const std::vector<std::vector<float>>& alphas,
+              const BiqGemmOptions& opt, const engine::BiqKernels& kernels,
+              std::size_t batch, ExecContext& ctx)
+      : GemmPlan(engine.name(), engine.rows(), engine.cols(), batch, ctx),
+        keys_(&keys), alphas_(&alphas), opt_(&opt), kernels_(&kernels),
+        tile_plan_(plan_tiles(engine.rows(), batch, opt, kernels.query_lanes)),
+        ntables_(table_count(engine.cols(), opt.mu)) {}
+
+ private:
+  void execute(ConstMatrixView x, MatrixView y) const override {
+    if (batch() == 1) {
+      biqgemv_packed(*keys_, *alphas_, x.col(0), y.col(0), rows(), cols(),
+                     *opt_, context(), kernels_);
+      return;
+    }
+    KernelArgs args;
+    args.keys = keys_;
+    args.alphas = alphas_;
+    args.x = x;
+    args.y = y;
+    args.m = rows();
+    args.n = cols();
+    args.ntables = ntables_;
+    args.mu = opt_->mu;
+    args.use_dp = opt_->use_dp_builder;
+    args.plan = tile_plan_;
+    args.kernels = kernels_;
+    args.profile = context().worker_count() == 1 ? opt_->profile : nullptr;
+    if (opt_->mu > 8) {
+      run_kernel<std::uint16_t>(args, context());
+    } else {
+      run_kernel<std::uint8_t>(args, context());
+    }
+  }
+
+  const std::vector<KeyMatrix>* keys_;
+  const std::vector<std::vector<float>>* alphas_;
+  const BiqGemmOptions* opt_;
+  const engine::BiqKernels* kernels_;
+  TilePlan tile_plan_;
+  std::size_t ntables_;
+};
 
 }  // namespace
 
@@ -229,41 +254,13 @@ std::size_t BiqGemm::packed_weight_bytes() const noexcept {
   return bytes;
 }
 
-void BiqGemm::run(const Matrix& x, Matrix& y, ExecContext& ctx) const {
-  if (x.rows() != n_ || y.rows() != m_ || y.cols() != x.cols()) {
-    throw std::invalid_argument("BiqGemm::run: shape mismatch");
-  }
-  if (x.cols() == 0 || m_ == 0) return;
-
-  const engine::BiqKernels* kernels =
-      ctx.isa() == KernelIsa::kAuto ? kernels_
-                                    : &engine::select_kernels(ctx.isa());
-
-  if (x.cols() == 1) {
-    biqgemv_packed(keys_, alphas_, x.col(0), y.col(0), m_, n_, opt_, ctx,
-                   kernels);
-    return;
-  }
-
-  KernelArgs args;
-  args.keys = &keys_;
-  args.alphas = &alphas_;
-  args.x = &x;
-  args.y = &y;
-  args.m = m_;
-  args.n = n_;
-  args.ntables = table_count(n_, opt_.mu);
-  args.mu = opt_.mu;
-  args.use_dp = opt_.use_dp_builder;
-  args.plan = plan_tiles(m_, x.cols(), opt_, kernels->query_lanes);
-  args.kernels = kernels;
-  args.profile = ctx.worker_count() == 1 ? opt_.profile : nullptr;
-
-  if (opt_.mu > 8) {
-    run_kernel<std::uint16_t>(args, ctx);
-  } else {
-    run_kernel<std::uint8_t>(args, ctx);
-  }
+std::unique_ptr<GemmPlan> BiqGemm::plan(std::size_t batch,
+                                        ExecContext& ctx) const {
+  const engine::BiqKernels& kernels =
+      ctx.isa() == KernelIsa::kAuto ? *kernels_
+                                    : engine::select_kernels(ctx.isa());
+  return std::make_unique<BiqGemmPlan>(*this, keys_, alphas_, opt_, kernels,
+                                       batch, ctx);
 }
 
 void biqgemm(const BinaryCodes& codes, const Matrix& x, Matrix& y,

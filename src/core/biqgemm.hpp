@@ -37,13 +37,14 @@ class BiqGemm final : public GemmEngine {
   /// used by the kernel-comparison benches.
   explicit BiqGemm(const BinaryMatrix& plane, const BiqGemmOptions& opt = {});
 
-  /// Y = quantized W . X. X is n x b col-major, Y m x b col-major
-  /// (overwritten). b == 1 takes the GEMV fast path. Batch tiles (or
-  /// query rows, for small batches) are partitioned across ctx's pool;
-  /// all scratch is served from ctx's per-worker arenas, so repeated
-  /// calls on a warm context never touch the heap.
-  void run(const Matrix& x, Matrix& y, ExecContext& ctx) const override;
-  using GemmEngine::run;
+  /// Freezes kernel plane (honouring ctx's ISA override), tile geometry
+  /// and scratch layout for `batch` columns. plan->run: batch == 1 takes
+  /// the GEMV fast path; otherwise batch tiles (or query rows, for small
+  /// batches) are partitioned across ctx's pool, and all scratch is
+  /// served from ctx's per-worker arenas — repeated runs on a warm
+  /// context never touch the heap.
+  [[nodiscard]] std::unique_ptr<GemmPlan> plan(
+      std::size_t batch, ExecContext& ctx) const override;
 
   [[nodiscard]] std::size_t rows() const noexcept override { return m_; }
   [[nodiscard]] std::size_t cols() const noexcept override { return n_; }

@@ -1,17 +1,19 @@
 #include "core/biqgemm_grouped.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 
 #include "engine/dispatch.hpp"
 #include "engine/partition.hpp"
+#include "engine/plan_driver.hpp"
 
 namespace biq {
 namespace {
 
 /// Stages x rows [t0*mu, (t0+tcount)*mu) x columns [c0, c0+lanes) into
 /// the interleaved layout, zero-padded past n.
-void stage_x(const Matrix& x, std::size_t c0, std::size_t lanes,
+void stage_x(ConstMatrixView x, std::size_t c0, std::size_t lanes,
              std::size_t t0, std::size_t tcount, unsigned mu, float* xt) {
   const std::size_t n = x.rows();
   for (std::size_t g = 0; g < tcount; ++g) {
@@ -59,28 +61,29 @@ std::size_t BiqGemmGrouped::packed_weight_bytes() const noexcept {
   return bytes;
 }
 
-void BiqGemmGrouped::run(const Matrix& x, Matrix& y, ExecContext& ctx) const {
-  if (x.rows() != n_ || y.rows() != m_ || y.cols() != x.cols()) {
-    throw std::invalid_argument("BiqGemmGrouped::run: shape mismatch");
-  }
-  const std::size_t b = x.cols();
-  if (b == 0 || m_ == 0) return;
+namespace {
 
-  const engine::BiqKernels& kernels =
-      ctx.isa() == KernelIsa::kAuto ? *kernels_
-                                    : engine::select_kernels(ctx.isa());
-  const unsigned mu = opt_.mu;
-  const std::size_t ntables = table_count(n_, mu);
-  const std::size_t entries = std::size_t{1} << mu;
-  const auto query_fn =
-      mu > 8 ? kernels.query_tile_u16 : kernels.query_tile_u8;
+/// Frozen geometry of one (batch, context) grouped execution. One LUT
+/// tile per scale group: the group's tables are accumulated and scaled
+/// in a single query_tile invocation — the per-(row, group) scale rides
+/// in through QueryTileArgs::alpha_stride / alpha_offset.
+class GroupedPlan final : public GemmPlan {
+ public:
+  GroupedPlan(const BiqGemmGrouped& engine, const std::vector<KeyMatrix>& keys,
+              const std::vector<std::vector<float>>& alphas, unsigned bits,
+              std::size_t num_groups, std::size_t tables_per_group,
+              const BiqGemmOptions& opt, const engine::BiqKernels& kernels,
+              std::size_t batch, ExecContext& ctx)
+      : GemmPlan(engine.name(), engine.rows(), engine.cols(), batch, ctx),
+        keys_(&keys), alphas_(&alphas), kernels_(&kernels), bits_(bits),
+        num_groups_(num_groups), tables_per_group_(tables_per_group),
+        mu_(opt.mu), row_block_(opt.row_block),
+        ntables_(table_count(engine.cols(), opt.mu)),
+        entries_(std::size_t{1} << opt.mu),
+        lanes_max_(std::min<std::size_t>(kernels.query_lanes,
+                                         std::max<std::size_t>(batch, 1))) {}
 
-  // One LUT tile per scale group: the group's tables are accumulated and
-  // scaled in a single query_tile invocation — the per-(row, group) scale
-  // rides in through QueryTileArgs::alpha_stride / alpha_offset.
-  const std::size_t lanes_max = std::min<std::size_t>(kernels.query_lanes, b);
-  const std::size_t ntiles = (b + lanes_max - 1) / lanes_max;
-
+ private:
   // One scratch layout shared by the real tiles and the arena pre-warm,
   // so the warm-path guarantee can't drift out of sync with the sizes.
   struct Scratch {
@@ -88,95 +91,100 @@ void BiqGemmGrouped::run(const Matrix& x, Matrix& y, ExecContext& ctx) const {
     float* lut;
     float* ytile;
   };
-  const auto alloc_scratch = [&](ScratchArena& arena) {
-    return Scratch{arena.alloc<float>(tables_per_group_ * mu * lanes_max),
-                   arena.alloc<float>(tables_per_group_ * entries * lanes_max),
-                   arena.alloc<float>(m_ * lanes_max)};
-  };
 
-  // One batch tile, end to end, on one worker's arena-backed scratch.
-  const auto run_tile = [&](ScratchArena& arena, std::size_t c0,
-                            ExecContext* row_ctx) {
-    const Scratch s = alloc_scratch(arena);
-    float* xt = s.xt;
-    float* lut = s.lut;
-    float* ytile = s.ytile;
-    const std::size_t lanes = std::min(lanes_max, b - c0);
-    std::fill(ytile, ytile + m_ * lanes, 0.0f);
+  void execute(ConstMatrixView x, MatrixView y) const override {
+    const std::size_t b = batch();
+    const std::size_t m = rows();
+    const std::size_t ntiles = (b + lanes_max_ - 1) / lanes_max_;
+    const auto query_fn =
+        mu_ > 8 ? kernels_->query_tile_u16 : kernels_->query_tile_u8;
 
-    engine::QueryTileArgs q;
-    q.keys = keys_.data();
-    q.num_planes = bits_;
-    q.alphas = alphas_.data();
-    q.alpha_stride = num_groups_;
-    q.mu = mu;
-    q.lut = lut;
-    q.ytile = ytile;
-    q.lanes = lanes;
+    engine::drive_batch_tiles(
+        context(), ntiles,
+        [&](ScratchArena& arena) {
+          return Scratch{
+              arena.alloc<float>(tables_per_group_ * mu_ * lanes_max_),
+              arena.alloc<float>(tables_per_group_ * entries_ * lanes_max_),
+              arena.alloc<float>(m * lanes_max_)};
+        },
+        [&](Scratch& s, std::size_t t, ExecContext* row_ctx) {
+          const std::size_t c0 = t * lanes_max_;
+          const std::size_t lanes = std::min(lanes_max_, b - c0);
+          std::fill(s.ytile, s.ytile + m * lanes, 0.0f);
 
-    for (std::size_t group = 0; group < num_groups_; ++group) {
-      const std::size_t t0 = group * tables_per_group_;
-      if (t0 >= ntables) break;
-      const std::size_t tcount = std::min(tables_per_group_, ntables - t0);
+          engine::QueryTileArgs q;
+          q.keys = keys_->data();
+          q.num_planes = bits_;
+          q.alphas = alphas_->data();
+          q.alpha_stride = num_groups_;
+          q.mu = mu_;
+          q.lut = s.lut;
+          q.ytile = s.ytile;
+          q.lanes = lanes;
 
-      stage_x(x, c0, lanes, t0, tcount, mu, xt);
-      for (std::size_t g = 0; g < tcount; ++g) {
-        kernels.build_dp(xt + g * mu * lanes, mu, lanes,
-                         lut + g * entries * lanes);
-      }
+          for (std::size_t group = 0; group < num_groups_; ++group) {
+            const std::size_t t0 = group * tables_per_group_;
+            if (t0 >= ntables_) break;
+            const std::size_t tcount = std::min(tables_per_group_,
+                                                ntables_ - t0);
 
-      q.t0 = t0;
-      q.tcount = tcount;
-      q.alpha_offset = group;
-      if (row_ctx != nullptr && row_ctx->worker_count() > 1) {
-        engine::for_each_tile(*row_ctx, m_, opt_.row_block,
-                              [&](unsigned /*worker*/, std::size_t lo,
-                                  std::size_t hi) {
-                                engine::QueryTileArgs part = q;
-                                part.i0 = lo;
-                                part.i1 = hi;
-                                query_fn(part);
-                              });
-      } else {
-        q.i0 = 0;
-        q.i1 = m_;
-        query_fn(q);
-      }
-    }
+            stage_x(x, c0, lanes, t0, tcount, mu_, s.xt);
+            for (std::size_t g = 0; g < tcount; ++g) {
+              kernels_->build_dp(s.xt + g * mu_ * lanes, mu_, lanes,
+                                 s.lut + g * entries_ * lanes);
+            }
 
-    for (std::size_t lane = 0; lane < lanes; ++lane) {
-      float* ycol = y.col(c0 + lane);
-      for (std::size_t i = 0; i < m_; ++i) ycol[i] = ytile[i * lanes + lane];
-    }
-  };
+            q.t0 = t0;
+            q.tcount = tcount;
+            q.alpha_offset = group;
+            if (row_ctx != nullptr && row_ctx->worker_count() > 1) {
+              engine::for_each_tile(*row_ctx, m, row_block_,
+                                    [&](unsigned /*worker*/, std::size_t lo,
+                                        std::size_t hi) {
+                                      engine::QueryTileArgs part = q;
+                                      part.i0 = lo;
+                                      part.i1 = hi;
+                                      query_fn(part);
+                                    });
+            } else {
+              q.i0 = 0;
+              q.i1 = m;
+              query_fn(q);
+            }
+          }
 
-  if (ctx.worker_count() > 1 && ntiles >= ctx.worker_count()) {
-    // Wide batch: tiles write disjoint output columns. Pre-warm every
-    // worker's arena (see BiqGemm::run) so warm-context runs stay
-    // allocation-free regardless of how the dynamic queue lands.
-    for (unsigned w = 0; w < ctx.worker_count(); ++w) {
-      ScratchArena& arena = ctx.scratch(w);
-      arena.reset();
-      (void)alloc_scratch(arena);
-    }
-    engine::for_each_tile(ctx, ntiles, 1,
-                          [&](unsigned worker, std::size_t t0,
-                              std::size_t t1) {
-                            for (std::size_t t = t0; t < t1; ++t) {
-                              ScratchArena& arena = ctx.scratch(worker);
-                              arena.reset();
-                              run_tile(arena, t * lanes_max, nullptr);
-                            }
-                          });
-    return;
+          for (std::size_t lane = 0; lane < lanes; ++lane) {
+            float* ycol = y.col(c0 + lane);
+            for (std::size_t i = 0; i < m; ++i) {
+              ycol[i] = s.ytile[i * lanes + lane];
+            }
+          }
+        });
   }
 
-  // Narrow batch: tiles in order, query rows split across the pool.
-  for (std::size_t t = 0; t < ntiles; ++t) {
-    ScratchArena& arena = ctx.scratch(0);
-    arena.reset();
-    run_tile(arena, t * lanes_max, &ctx);
-  }
+  const std::vector<KeyMatrix>* keys_;
+  const std::vector<std::vector<float>>* alphas_;
+  const engine::BiqKernels* kernels_;
+  unsigned bits_;
+  std::size_t num_groups_;
+  std::size_t tables_per_group_;
+  unsigned mu_;
+  std::size_t row_block_;
+  std::size_t ntables_;
+  std::size_t entries_;
+  std::size_t lanes_max_;
+};
+
+}  // namespace
+
+std::unique_ptr<GemmPlan> BiqGemmGrouped::plan(std::size_t batch,
+                                               ExecContext& ctx) const {
+  const engine::BiqKernels& kernels =
+      ctx.isa() == KernelIsa::kAuto ? *kernels_
+                                    : engine::select_kernels(ctx.isa());
+  return std::make_unique<GroupedPlan>(*this, keys_, alphas_, bits_,
+                                       num_groups_, tables_per_group_, opt_,
+                                       kernels, batch, ctx);
 }
 
 }  // namespace biq

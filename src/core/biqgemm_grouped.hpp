@@ -27,12 +27,13 @@ class BiqGemmGrouped final : public GemmEngine {
   explicit BiqGemmGrouped(const GroupedBinaryCodes& codes,
                           const BiqGemmOptions& opt = {});
 
-  /// Y = dequant(codes) . X, computed via lookups (never materializes
-  /// the dequantized weights). Batch tiles — or query-row blocks when
-  /// the batch is narrow — are partitioned across ctx's pool; scratch
-  /// comes from ctx's per-worker arenas.
-  void run(const Matrix& x, Matrix& y, ExecContext& ctx) const override;
-  using GemmEngine::run;
+  /// Freezes kernel plane, group/tile geometry and scratch layout for
+  /// `batch` columns. plan->run computes Y = dequant(codes) . X via
+  /// lookups (never materializes the dequantized weights); batch tiles —
+  /// or query-row blocks when the batch is narrow — are partitioned
+  /// across ctx's pool, scratch comes from ctx's per-worker arenas.
+  [[nodiscard]] std::unique_ptr<GemmPlan> plan(
+      std::size_t batch, ExecContext& ctx) const override;
 
   [[nodiscard]] std::size_t rows() const noexcept override { return m_; }
   [[nodiscard]] std::size_t cols() const noexcept override { return n_; }

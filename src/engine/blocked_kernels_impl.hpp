@@ -16,7 +16,7 @@
 #include <cstddef>
 
 #include "engine/dispatch.hpp"
-#include "matrix/matrix.hpp"
+#include "matrix/view.hpp"
 
 namespace biq::engine {
 namespace BIQ_KERNELS_NS {
@@ -66,7 +66,7 @@ void microkernel_tail(const float* panel, const float* const* xcols,
 }
 
 void run_panels(const float* packed, std::size_t m, std::size_t n,
-                const Matrix& x, Matrix& y, std::size_t panel_begin,
+                ConstMatrixView x, MatrixView y, std::size_t panel_begin,
                 std::size_t panel_end) {
   const std::size_t b = x.cols();
   for (std::size_t p = panel_begin; p < panel_end; ++p) {

@@ -26,10 +26,10 @@
 #include <vector>
 
 #include "core/context.hpp"
+#include "matrix/view.hpp"
 
 namespace biq {
 class KeyMatrix;
-class Matrix;
 }
 
 namespace biq::engine {
@@ -90,9 +90,10 @@ struct BlockedKernels {
   const char* isa = "";
   /// Y += packed panels [panel_begin, panel_end) times X. `packed` is
   /// panel-major (kBlockedPanelRows rows per panel, zero-padded past m);
-  /// panels write disjoint Y rows, so ranges parallelize freely.
+  /// panels write disjoint Y rows, so ranges parallelize freely. X and Y
+  /// are strided views — slices of larger buffers run without staging.
   void (*run_panels)(const float* packed, std::size_t m, std::size_t n,
-                     const Matrix& x, Matrix& y, std::size_t panel_begin,
+                     ConstMatrixView x, MatrixView y, std::size_t panel_begin,
                      std::size_t panel_end) = nullptr;
 };
 

@@ -1,0 +1,41 @@
+#include "engine/gemm_engine.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace biq {
+namespace {
+
+std::string dims(ConstMatrixView v) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%zux%zu (ld %zu)", v.rows(), v.cols(),
+                v.ld());
+  return buf;
+}
+
+}  // namespace
+
+void GemmPlan::validate(ConstMatrixView x, MatrixView y) const {
+  const char* what = nullptr;
+  if (x.rows() != cols_ || x.cols() != batch_) {
+    what = "x";
+  } else if (y.rows() != rows_ || y.cols() != batch_) {
+    what = "y";
+  } else if (x.ld() < x.rows()) {
+    what = "x.ld";
+  } else if (y.ld() < y.rows()) {
+    what = "y.ld";
+  }
+  if (what == nullptr) return;
+  std::string msg(name_);
+  msg += " plan: bad ";
+  msg += what;
+  msg += ": x is " + dims(x) + ", y is " + dims(y) + "; planned for x " +
+         std::to_string(cols_) + "x" + std::to_string(batch_) + ", y " +
+         std::to_string(rows_) + "x" + std::to_string(batch_) +
+         " (ld >= rows)";
+  throw std::invalid_argument(msg);
+}
+
+}  // namespace biq

@@ -7,37 +7,113 @@
 // EngineRegistry), so a new backend plugs into every integration surface
 // with one registration.
 //
-// Execution state is split from the engine: run() takes an ExecContext
-// carrying the worker pool, per-worker scratch arenas and an optional
-// ISA override. Engines stay immutable after construction, so one
-// instance serves concurrent run() calls as long as each call brings
-// its own context.
+// The contract is two-phase, in the spirit of the paper's Sec. II-A
+// (weights are fixed at inference time, so everything derivable before
+// the activations arrive is computed once, offline):
+//
+//   prepare:  plan(batch, ctx) freezes everything that depends only on
+//             (engine, batch, execution context) — the dispatched kernel
+//             plane, the tile partition, the scratch layout — into a
+//             GemmPlan.
+//   execute:  plan->run(x, y) is the hot path: shape-check, then straight
+//             into the kernels. Warm plans on warm contexts perform zero
+//             heap allocations.
+//
+// Activations and outputs are strided views (matrix/view.hpp): a slice
+// of a larger buffer — a column block, an attention-head window — runs
+// without being materialized as a dense Matrix. run(x, y, ctx) remains
+// as a thin plan-per-call adapter for one-shot callers.
+//
+// Execution state stays split from the engine: a plan binds the
+// ExecContext it was made with (pool, per-worker scratch arenas, ISA
+// override). Engines are immutable after construction, so one instance
+// serves many concurrent plans as long as each plan brings its own
+// context.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string_view>
 
 #include "engine/exec_context.hpp"
+#include "matrix/view.hpp"
 
 namespace biq {
 
-class Matrix;
+/// One frozen (engine, batch, ExecContext) execution recipe. Produced by
+/// GemmEngine::plan; run() it any number of times against activations of
+/// the planned batch width. The plan borrows the engine (packed weights,
+/// kernel tables) and the context (pool, arenas): both must outlive it,
+/// and a plan may be run by one caller at a time (it owns its context's
+/// scratch while running). Re-plan when the batch or the context change —
+/// planning is cheap, just not free.
+class GemmPlan {
+ public:
+  virtual ~GemmPlan() = default;
+  GemmPlan(const GemmPlan&) = delete;
+  GemmPlan& operator=(const GemmPlan&) = delete;
+
+  /// The hot path: Y = W . X (or its quantized approximation) through
+  /// the frozen recipe. x must be cols() x batch(), y rows() x batch()
+  /// (overwritten); both may be strided windows of larger buffers.
+  /// Throws std::invalid_argument naming the offending dims on any
+  /// shape/ld mismatch.
+  void run(ConstMatrixView x, MatrixView y) const {
+    validate(x, y);
+    if (batch_ == 0 || rows_ == 0) return;
+    execute(x, y);
+  }
+
+  /// Output features m / input features n of the engine's weight matrix.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  /// Batch width this plan was frozen for.
+  [[nodiscard]] std::size_t batch() const noexcept { return batch_; }
+  /// The execution context the plan is bound to.
+  [[nodiscard]] ExecContext& context() const noexcept { return *ctx_; }
+  /// Registry name of the engine that produced the plan.
+  [[nodiscard]] std::string_view engine_name() const noexcept { return name_; }
+
+ protected:
+  GemmPlan(std::string_view engine_name, std::size_t rows, std::size_t cols,
+           std::size_t batch, ExecContext& ctx) noexcept
+      : name_(engine_name), rows_(rows), cols_(cols), batch_(batch),
+        ctx_(&ctx) {}
+
+  /// Engine-specific body; shapes are already validated and non-empty.
+  virtual void execute(ConstMatrixView x, MatrixView y) const = 0;
+
+ private:
+  void validate(ConstMatrixView x, MatrixView y) const;
+
+  std::string_view name_;  // points at the engine's static name
+  std::size_t rows_;
+  std::size_t cols_;
+  std::size_t batch_;
+  ExecContext* ctx_;
+};
 
 class GemmEngine {
  public:
   virtual ~GemmEngine() = default;
 
-  /// Y = W . X (or its quantized approximation). X is cols() x b
-  /// col-major, Y rows() x b col-major (overwritten). b == 1 may take a
-  /// kernel-specific GEMV fast path. `ctx` supplies the pool (engines
-  /// split work through engine/partition.hpp — 1-thread and N-thread
-  /// results are bitwise identical), scratch arenas, and optionally a
-  /// forced kernel plane.
-  virtual void run(const Matrix& x, Matrix& y, ExecContext& ctx) const = 0;
+  /// Freezes the execution recipe for `batch` activation columns under
+  /// `ctx` (which supplies the pool, scratch arenas and optional ISA
+  /// override — see exec_context.hpp). The engine and ctx must outlive
+  /// the plan. batch == 1 plans the kernel-specific GEMV fast path.
+  [[nodiscard]] virtual std::unique_ptr<GemmPlan> plan(
+      std::size_t batch, ExecContext& ctx) const = 0;
+
+  /// One-shot adapter: plan for x.cols() under ctx, run once, discard.
+  /// Bitwise identical to plan()->run() — it IS plan()->run(). Callers
+  /// multiplying the same batch width repeatedly should hold the plan.
+  void run(ConstMatrixView x, MatrixView y, ExecContext& ctx) const {
+    plan(x.cols(), ctx)->run(x, y);
+  }
 
   /// Serial convenience form: forwards to the calling thread's default
   /// context (warm scratch, no pool). Safe from any thread.
-  void run(const Matrix& x, Matrix& y) const {
+  void run(ConstMatrixView x, MatrixView y) const {
     run(x, y, ExecContext::thread_default());
   }
 

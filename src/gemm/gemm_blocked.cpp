@@ -1,12 +1,41 @@
 #include "gemm/gemm_blocked.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 
 #include "engine/dispatch.hpp"
 #include "engine/partition.hpp"
 
 namespace biq {
+namespace {
+
+class BlockedPlan final : public GemmPlan {
+ public:
+  BlockedPlan(const BlockedGemm& engine, const float* packed,
+              std::size_t panels, const engine::BlockedKernels& kernels,
+              std::size_t batch, ExecContext& ctx)
+      : GemmPlan(engine.name(), engine.rows(), engine.cols(), batch, ctx),
+        packed_(packed), panels_(panels), kernels_(&kernels) {}
+
+ private:
+  void execute(ConstMatrixView x, MatrixView y) const override {
+    y.set_zero();
+    // Panels write disjoint row ranges of Y, so they parallelize freely.
+    engine::for_each_tile(context(), panels_, 1,
+                          [&](unsigned /*worker*/, std::size_t p0,
+                              std::size_t p1) {
+                            kernels_->run_panels(packed_, rows(), cols(), x, y,
+                                                 p0, p1);
+                          });
+  }
+
+  const float* packed_;
+  std::size_t panels_;
+  const engine::BlockedKernels* kernels_;
+};
+
+}  // namespace
 
 BlockedGemm::BlockedGemm(const Matrix& w, KernelIsa isa)
     : m_(w.rows()), n_(w.cols()),
@@ -30,21 +59,13 @@ BlockedGemm::BlockedGemm(const Matrix& w, KernelIsa isa)
 
 std::string_view BlockedGemm::isa() const noexcept { return kernels_->isa; }
 
-void BlockedGemm::run(const Matrix& x, Matrix& y, ExecContext& ctx) const {
-  if (x.rows() != n_ || y.rows() != m_ || y.cols() != x.cols()) {
-    throw std::invalid_argument("BlockedGemm::run: shape mismatch");
-  }
+std::unique_ptr<GemmPlan> BlockedGemm::plan(std::size_t batch,
+                                            ExecContext& ctx) const {
   const engine::BlockedKernels& kernels =
       ctx.isa() == KernelIsa::kAuto ? *kernels_
                                     : engine::select_blocked_kernels(ctx.isa());
-  y.set_zero();
-  // Panels write disjoint row ranges of Y, so they parallelize freely.
-  engine::for_each_tile(ctx, panels_, 1,
-                        [&](unsigned /*worker*/, std::size_t p0,
-                            std::size_t p1) {
-                          kernels.run_panels(packed_.data(), m_, n_, x, y, p0,
-                                             p1);
-                        });
+  return std::make_unique<BlockedPlan>(*this, packed_.data(), panels_, kernels,
+                                       batch, ctx);
 }
 
 void gemm_blocked(const Matrix& w, const Matrix& x, Matrix& y) {

@@ -36,10 +36,12 @@ class BlockedGemm final : public GemmEngine {
   /// Packs W and resolves the microkernel plane (kAuto probes the CPU).
   explicit BlockedGemm(const Matrix& w, KernelIsa isa = KernelIsa::kAuto);
 
-  /// Y = W . X using the pre-packed panels; panels are partitioned
-  /// across ctx's pool through the shared tile partitioner.
-  void run(const Matrix& x, Matrix& y, ExecContext& ctx) const override;
-  using GemmEngine::run;
+  /// Freezes the microkernel plane (construction default or ctx's ISA
+  /// override) for `batch` columns; plan->run computes Y = W . X from
+  /// the pre-packed panels, partitioned across ctx's pool through the
+  /// shared tile partitioner.
+  [[nodiscard]] std::unique_ptr<GemmPlan> plan(
+      std::size_t batch, ExecContext& ctx) const override;
 
   [[nodiscard]] std::size_t rows() const noexcept override { return m_; }
   [[nodiscard]] std::size_t cols() const noexcept override { return n_; }

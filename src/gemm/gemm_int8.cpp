@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "engine/partition.hpp"
@@ -35,7 +36,7 @@ float Int8Gemm::quantize_column(const float* src, std::size_t n,
   return scale;
 }
 
-void Int8Gemm::run_profiled(const Matrix& x, Matrix& y, Phases& phases,
+void Int8Gemm::run_profiled(ConstMatrixView x, MatrixView y, Phases& phases,
                             ExecContext& ctx) const {
   if (x.rows() != n_ || y.rows() != m_ || y.cols() != x.cols()) {
     throw std::invalid_argument("Int8Gemm: shape mismatch");
@@ -105,13 +106,33 @@ void Int8Gemm::run_profiled(const Matrix& x, Matrix& y, Phases& phases,
   }
 }
 
-void Int8Gemm::run_profiled(const Matrix& x, Matrix& y, Phases& phases) const {
+void Int8Gemm::run_profiled(ConstMatrixView x, MatrixView y,
+                            Phases& phases) const {
   run_profiled(x, y, phases, ExecContext::thread_default());
 }
 
-void Int8Gemm::run(const Matrix& x, Matrix& y, ExecContext& ctx) const {
-  Phases phases;
-  run_profiled(x, y, phases, ctx);
+namespace {
+
+class Int8Plan final : public GemmPlan {
+ public:
+  Int8Plan(const Int8Gemm& engine, std::size_t batch, ExecContext& ctx)
+      : GemmPlan(engine.name(), engine.rows(), engine.cols(), batch, ctx),
+        engine_(&engine) {}
+
+ private:
+  void execute(ConstMatrixView x, MatrixView y) const override {
+    Int8Gemm::Phases phases;
+    engine_->run_profiled(x, y, phases, context());
+  }
+
+  const Int8Gemm* engine_;
+};
+
+}  // namespace
+
+std::unique_ptr<GemmPlan> Int8Gemm::plan(std::size_t batch,
+                                         ExecContext& ctx) const {
+  return std::make_unique<Int8Plan>(*this, batch, ctx);
 }
 
 }  // namespace biq

@@ -26,12 +26,13 @@ class Int8Gemm final : public GemmEngine {
   /// Quantizes w (m x n fp32) to int8 with a single symmetric scale.
   explicit Int8Gemm(const Matrix& w);
 
-  /// Y = dequant(int8(W) . int8(X)): quantizes X column-wise to int8,
-  /// multiplies in int32, dequantizes into fp32 Y. All three phases
-  /// split across ctx's pool (integer arithmetic — bitwise identical at
-  /// any worker count); transient buffers live in ctx's arena.
-  void run(const Matrix& x, Matrix& y, ExecContext& ctx) const override;
-  using GemmEngine::run;
+  /// plan->run computes Y = dequant(int8(W) . int8(X)): quantizes X
+  /// column-wise to int8, multiplies in int32, dequantizes into fp32 Y.
+  /// All three phases split across ctx's pool (integer arithmetic —
+  /// bitwise identical at any worker count); transient buffers live in
+  /// ctx's arena.
+  [[nodiscard]] std::unique_ptr<GemmPlan> plan(
+      std::size_t batch, ExecContext& ctx) const override;
 
   /// The three phases separately, for the conversion-overhead ablation:
   /// quantize_input -> multiply_integer -> dequantize_output.
@@ -40,8 +41,8 @@ class Int8Gemm final : public GemmEngine {
     double multiply_seconds = 0.0;
     double dequantize_seconds = 0.0;
   };
-  void run_profiled(const Matrix& x, Matrix& y, Phases& phases) const;
-  void run_profiled(const Matrix& x, Matrix& y, Phases& phases,
+  void run_profiled(ConstMatrixView x, MatrixView y, Phases& phases) const;
+  void run_profiled(ConstMatrixView x, MatrixView y, Phases& phases,
                     ExecContext& ctx) const;
 
   [[nodiscard]] std::size_t rows() const noexcept override { return m_; }

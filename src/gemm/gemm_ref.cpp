@@ -1,6 +1,7 @@
 #include "gemm/gemm_ref.hpp"
 
 #include <cassert>
+#include <memory>
 #include <stdexcept>
 
 #include "engine/partition.hpp"
@@ -16,7 +17,7 @@ void check_shapes(std::size_t wr, std::size_t wc, const Matrix& x,
 }
 
 /// Columns [c0, c1) of the gemm_naive loop (columns are independent).
-void naive_columns(const Matrix& w, const Matrix& x, Matrix& y,
+void naive_columns(const Matrix& w, ConstMatrixView x, MatrixView y,
                    std::size_t c0, std::size_t c1) {
   const std::size_t m = w.rows(), n = w.cols();
   const float* wdata = w.data();  // column k of W is contiguous (ld == m)
@@ -34,7 +35,7 @@ void naive_columns(const Matrix& w, const Matrix& x, Matrix& y,
 
 /// Rows [i0, i1) of a single-column gemm_naive (the b == 1 split: the
 /// per-row accumulation over k is unchanged, so ranges compose bitwise).
-void naive_rows_single_column(const Matrix& w, const Matrix& x, Matrix& y,
+void naive_rows_single_column(const Matrix& w, ConstMatrixView x, MatrixView y,
                               std::size_t i0, std::size_t i1) {
   const std::size_t n = w.cols();
   const float* wdata = w.data();
@@ -50,19 +51,40 @@ void naive_rows_single_column(const Matrix& w, const Matrix& x, Matrix& y,
 
 }  // namespace
 
-void NaiveGemm::run(const Matrix& x, Matrix& y, ExecContext& ctx) const {
-  check_shapes(w_.rows(), w_.cols(), x, y);
-  if (x.cols() == 1) {
-    engine::for_each_tile(ctx, w_.rows(), 256,
-                          [&](unsigned /*worker*/, std::size_t i0,
-                              std::size_t i1) {
-                            naive_rows_single_column(w_, x, y, i0, i1);
+namespace {
+
+class NaivePlan final : public GemmPlan {
+ public:
+  NaivePlan(const NaiveGemm& engine, const Matrix& w, std::size_t batch,
+            ExecContext& ctx)
+      : GemmPlan(engine.name(), engine.rows(), engine.cols(), batch, ctx),
+        w_(&w) {}
+
+ private:
+  void execute(ConstMatrixView x, MatrixView y) const override {
+    if (batch() == 1) {
+      engine::for_each_tile(context(), w_->rows(), 256,
+                            [&](unsigned /*worker*/, std::size_t i0,
+                                std::size_t i1) {
+                              naive_rows_single_column(*w_, x, y, i0, i1);
+                            });
+      return;
+    }
+    engine::for_each_tile(context(), batch(), 1,
+                          [&](unsigned /*worker*/, std::size_t c0,
+                              std::size_t c1) {
+                            naive_columns(*w_, x, y, c0, c1);
                           });
-    return;
   }
-  engine::for_each_tile(ctx, x.cols(), 1,
-                        [&](unsigned /*worker*/, std::size_t c0,
-                            std::size_t c1) { naive_columns(w_, x, y, c0, c1); });
+
+  const Matrix* w_;
+};
+
+}  // namespace
+
+std::unique_ptr<GemmPlan> NaiveGemm::plan(std::size_t batch,
+                                          ExecContext& ctx) const {
+  return std::make_unique<NaivePlan>(*this, w_, batch, ctx);
 }
 
 void gemm_ref(const Matrix& w, const Matrix& x, Matrix& y) {

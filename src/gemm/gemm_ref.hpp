@@ -41,8 +41,8 @@ class NaiveGemm final : public GemmEngine {
  public:
   explicit NaiveGemm(Matrix w) : w_(std::move(w)) {}
 
-  void run(const Matrix& x, Matrix& y, ExecContext& ctx) const override;
-  using GemmEngine::run;
+  [[nodiscard]] std::unique_ptr<GemmPlan> plan(
+      std::size_t batch, ExecContext& ctx) const override;
 
   [[nodiscard]] std::size_t rows() const noexcept override {
     return w_.rows();

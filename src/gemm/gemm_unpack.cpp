@@ -1,5 +1,6 @@
 #include "gemm/gemm_unpack.hpp"
 
+#include <memory>
 #include <stdexcept>
 
 #include "engine/partition.hpp"
@@ -10,7 +11,8 @@ namespace {
 
 using simd::F32x8;
 
-void check_shapes(const PackedBits32& packed, const Matrix& x, const Matrix& y) {
+void check_shapes(const PackedBits32& packed, ConstMatrixView x,
+                  ConstMatrixView y) {
   if (x.rows() != packed.cols() || y.rows() != packed.rows() ||
       y.cols() != x.cols()) {
     throw std::invalid_argument("gemm_unpack: shape mismatch");
@@ -54,8 +56,8 @@ constexpr std::size_t kUnpackRowGrain = 32;
 /// fp32 weights (padded to 32-column groups) against col-major X. The
 /// caller zeroes Y; rows are independent, so ranges parallelize.
 void multiply_rowmajor_rows(const float* w, std::size_t n,
-                            std::size_t padded_cols, const Matrix& x,
-                            Matrix& y, std::size_t row0, std::size_t row1) {
+                            std::size_t padded_cols, ConstMatrixView x,
+                            MatrixView y, std::size_t row0, std::size_t row1) {
   const std::size_t b = x.cols();
   const std::size_t words = padded_cols / 32;
   for (std::size_t i = row0; i < row1; ++i) {
@@ -71,7 +73,8 @@ void multiply_rowmajor_rows(const float* w, std::size_t n,
 }
 
 void multiply_rowmajor(const float* w, std::size_t m, std::size_t n,
-                       std::size_t padded_cols, const Matrix& x, Matrix& y) {
+                       std::size_t padded_cols, ConstMatrixView x,
+                       MatrixView y) {
   y.set_zero();
   multiply_rowmajor_rows(w, n, padded_cols, x, y, 0, m);
 }
@@ -80,11 +83,11 @@ std::size_t pad32(std::size_t n) { return (n + 31) / 32 * 32; }
 
 }  // namespace
 
-void gemm_unpack(const PackedBits32& packed, const Matrix& x, Matrix& y) {
+void gemm_unpack(const PackedBits32& packed, ConstMatrixView x, MatrixView y) {
   gemm_unpack(packed, x, y, ExecContext::thread_default());
 }
 
-void gemm_unpack(const PackedBits32& packed, const Matrix& x, Matrix& y,
+void gemm_unpack(const PackedBits32& packed, ConstMatrixView x, MatrixView y,
                  ExecContext& ctx) {
   check_shapes(packed, x, y);
   const std::size_t m = packed.rows(), n = packed.cols();
@@ -111,13 +114,13 @@ void gemm_unpack(const PackedBits32& packed, const Matrix& x, Matrix& y,
 
 void gemm_unpack_codes(const std::vector<PackedBits32>& planes,
                        const std::vector<std::vector<float>>& alphas,
-                       const Matrix& x, Matrix& y) {
+                       ConstMatrixView x, MatrixView y) {
   gemm_unpack_codes(planes, alphas, x, y, ExecContext::thread_default());
 }
 
 void gemm_unpack_codes(const std::vector<PackedBits32>& planes,
                        const std::vector<std::vector<float>>& alphas,
-                       const Matrix& x, Matrix& y, ExecContext& ctx) {
+                       ConstMatrixView x, MatrixView y, ExecContext& ctx) {
   if (planes.empty() || planes.size() != alphas.size()) {
     throw std::invalid_argument("gemm_unpack_codes: plane/alpha mismatch");
   }
@@ -160,8 +163,8 @@ void gemm_unpack_codes(const std::vector<PackedBits32>& planes,
   }
 }
 
-void gemm_packed_no_unpack(const PackedBits32& packed, const Matrix& x,
-                           Matrix& y) {
+void gemm_packed_no_unpack(const PackedBits32& packed, ConstMatrixView x,
+                           MatrixView y) {
   check_shapes(packed, x, y);
   const std::size_t m = packed.rows(), n = packed.cols(), b = x.cols();
   const std::size_t words = packed.words_per_row();
@@ -201,8 +204,30 @@ UnpackGemm::UnpackGemm(const BinaryCodes& codes)
   }
 }
 
-void UnpackGemm::run(const Matrix& x, Matrix& y, ExecContext& ctx) const {
-  gemm_unpack_codes(planes_, alphas_, x, y, ctx);
+namespace {
+
+class UnpackPlan final : public GemmPlan {
+ public:
+  UnpackPlan(const UnpackGemm& engine, const std::vector<PackedBits32>& planes,
+             const std::vector<std::vector<float>>& alphas, std::size_t batch,
+             ExecContext& ctx)
+      : GemmPlan(engine.name(), engine.rows(), engine.cols(), batch, ctx),
+        planes_(&planes), alphas_(&alphas) {}
+
+ private:
+  void execute(ConstMatrixView x, MatrixView y) const override {
+    gemm_unpack_codes(*planes_, *alphas_, x, y, context());
+  }
+
+  const std::vector<PackedBits32>* planes_;
+  const std::vector<std::vector<float>>* alphas_;
+};
+
+}  // namespace
+
+std::unique_ptr<GemmPlan> UnpackGemm::plan(std::size_t batch,
+                                           ExecContext& ctx) const {
+  return std::make_unique<UnpackPlan>(*this, planes_, alphas_, batch, ctx);
 }
 
 std::size_t UnpackGemm::weight_bytes() const noexcept {
@@ -221,7 +246,7 @@ RowMajorGemm::RowMajorGemm(const Matrix& w)
   }
 }
 
-void RowMajorGemm::run(const Matrix& x, Matrix& y) const {
+void RowMajorGemm::run(ConstMatrixView x, MatrixView y) const {
   if (x.rows() != n_ || y.rows() != m_ || y.cols() != x.cols()) {
     throw std::invalid_argument("RowMajorGemm: shape mismatch");
   }

@@ -28,8 +28,8 @@ namespace biq {
 /// Algorithm 3 into a transient fp32 buffer (ctx's arena), then
 /// multiplied with the same loop the sGEMM scenario uses. Both phases
 /// split over rows across ctx's pool.
-void gemm_unpack(const PackedBits32& packed, const Matrix& x, Matrix& y);
-void gemm_unpack(const PackedBits32& packed, const Matrix& x, Matrix& y,
+void gemm_unpack(const PackedBits32& packed, ConstMatrixView x, MatrixView y);
+void gemm_unpack(const PackedBits32& packed, ConstMatrixView x, MatrixView y,
                  ExecContext& ctx);
 
 /// Scaled multi-plane variant (Eq. 2): Y = sum_q alpha_q o (B_q . X)
@@ -37,18 +37,18 @@ void gemm_unpack(const PackedBits32& packed, const Matrix& x, Matrix& y,
 /// end to end.
 void gemm_unpack_codes(const std::vector<PackedBits32>& planes,
                        const std::vector<std::vector<float>>& alphas,
-                       const Matrix& x, Matrix& y);
+                       ConstMatrixView x, MatrixView y);
 void gemm_unpack_codes(const std::vector<PackedBits32>& planes,
                        const std::vector<std::vector<float>>& alphas,
-                       const Matrix& x, Matrix& y, ExecContext& ctx);
+                       ConstMatrixView x, MatrixView y, ExecContext& ctx);
 
 /// Bandwidth probe (intentionally incorrect results; see header comment).
 /// The packed word enters the arithmetic as float(word) — an integer
 /// conversion rather than a bit reinterpretation, because random bit
 /// patterns are frequently denormal floats and denormal multiplies stall
 /// CPUs by orders of magnitude, which would corrupt the measurement.
-void gemm_packed_no_unpack(const PackedBits32& packed, const Matrix& x,
-                           Matrix& y);
+void gemm_packed_no_unpack(const PackedBits32& packed, ConstMatrixView x,
+                           MatrixView y);
 
 /// Weight-stationary engine over the "w/ unpack" scenario: packs every
 /// plane of a BinaryCodes at construction and runs gemm_unpack_codes —
@@ -58,8 +58,8 @@ class UnpackGemm final : public GemmEngine {
  public:
   explicit UnpackGemm(const BinaryCodes& codes);
 
-  void run(const Matrix& x, Matrix& y, ExecContext& ctx) const override;
-  using GemmEngine::run;
+  [[nodiscard]] std::unique_ptr<GemmPlan> plan(
+      std::size_t batch, ExecContext& ctx) const override;
 
   [[nodiscard]] std::size_t rows() const noexcept override { return m_; }
   [[nodiscard]] std::size_t cols() const noexcept override { return n_; }
@@ -84,7 +84,7 @@ class RowMajorGemm {
  public:
   explicit RowMajorGemm(const Matrix& w);
 
-  void run(const Matrix& x, Matrix& y) const;
+  void run(ConstMatrixView x, MatrixView y) const;
 
   [[nodiscard]] std::size_t rows() const noexcept { return m_; }
   [[nodiscard]] std::size_t cols() const noexcept { return n_; }

@@ -1,6 +1,7 @@
 #include "gemm/xnor_gemm.hpp"
 
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -9,7 +10,8 @@
 
 namespace biq {
 
-QuantizedActivations quantize_activations(const Matrix& x, unsigned bits) {
+QuantizedActivations quantize_activations(ConstMatrixView x,
+                                          unsigned bits) {
   if (bits == 0) {
     throw std::invalid_argument("quantize_activations: bits must be >= 1");
   }
@@ -64,7 +66,7 @@ std::size_t XnorGemm::weight_bytes() const noexcept {
   return bytes;
 }
 
-void XnorGemm::run_prequantized(const QuantizedActivations& qx, Matrix& y,
+void XnorGemm::run_prequantized(const QuantizedActivations& qx, MatrixView y,
                                 ExecContext& ctx) const {
   if (qx.n != n_ || y.rows() != m_ || y.cols() != qx.batch) {
     throw std::invalid_argument("XnorGemm: shape mismatch");
@@ -115,18 +117,40 @@ void XnorGemm::run_prequantized(const QuantizedActivations& qx, Matrix& y,
 }
 
 void XnorGemm::run_prequantized(const QuantizedActivations& qx,
-                                Matrix& y) const {
+                                MatrixView y) const {
   run_prequantized(qx, y, ExecContext::thread_default());
 }
 
-void XnorGemm::run(const Matrix& x, Matrix& y, unsigned activation_bits) const {
+void XnorGemm::run(ConstMatrixView x, MatrixView y,
+                   unsigned activation_bits) const {
   const QuantizedActivations qx = quantize_activations(x, activation_bits);
   run_prequantized(qx, y);
 }
 
-void XnorGemm::run(const Matrix& x, Matrix& y, ExecContext& ctx) const {
-  const QuantizedActivations qx = quantize_activations(x, activation_bits_);
-  run_prequantized(qx, y, ctx);
+namespace {
+
+class XnorPlan final : public GemmPlan {
+ public:
+  XnorPlan(const XnorGemm& engine, unsigned activation_bits, std::size_t batch,
+           ExecContext& ctx)
+      : GemmPlan(engine.name(), engine.rows(), engine.cols(), batch, ctx),
+        engine_(&engine), activation_bits_(activation_bits) {}
+
+ private:
+  void execute(ConstMatrixView x, MatrixView y) const override {
+    const QuantizedActivations qx = quantize_activations(x, activation_bits_);
+    engine_->run_prequantized(qx, y, context());
+  }
+
+  const XnorGemm* engine_;
+  unsigned activation_bits_;
+};
+
+}  // namespace
+
+std::unique_ptr<GemmPlan> XnorGemm::plan(std::size_t batch,
+                                         ExecContext& ctx) const {
+  return std::make_unique<XnorPlan>(*this, activation_bits_, batch, ctx);
 }
 
 }  // namespace biq

@@ -28,7 +28,7 @@ struct QuantizedActivations {
   std::vector<std::vector<float>> gammas;    // gammas[q][column]
 };
 
-[[nodiscard]] QuantizedActivations quantize_activations(const Matrix& x,
+[[nodiscard]] QuantizedActivations quantize_activations(ConstMatrixView x,
                                                         unsigned bits);
 
 class XnorGemm final : public GemmEngine {
@@ -39,18 +39,21 @@ class XnorGemm final : public GemmEngine {
   explicit XnorGemm(const BinaryCodes& weight_codes,
                     unsigned activation_bits = 1);
 
-  /// Quantizes X on the fly into `activation_bits` planes and runs the
-  /// popcount GEMM. Results approximate W.X with both-sides quantization
-  /// error, matching what the paper's xnor kernel computes.
-  void run(const Matrix& x, Matrix& y, unsigned activation_bits) const;
-  void run(const Matrix& x, Matrix& y, ExecContext& ctx) const override;
+  /// plan->run quantizes X on the fly into `activation_bits` planes and
+  /// runs the popcount GEMM. Results approximate W.X with both-sides
+  /// quantization error, matching what the paper's xnor kernel computes.
+  [[nodiscard]] std::unique_ptr<GemmPlan> plan(
+      std::size_t batch, ExecContext& ctx) const override;
+
+  /// One-shot form with an explicit activation depth for this call.
+  void run(ConstMatrixView x, MatrixView y, unsigned activation_bits) const;
   using GemmEngine::run;
 
   /// Popcount GEMM against pre-quantized activations (separates the
   /// quantization cost from the multiply cost in the benches). Work
   /// splits over batch columns (rows when b == 1) across ctx's pool.
-  void run_prequantized(const QuantizedActivations& qx, Matrix& y) const;
-  void run_prequantized(const QuantizedActivations& qx, Matrix& y,
+  void run_prequantized(const QuantizedActivations& qx, MatrixView y) const;
+  void run_prequantized(const QuantizedActivations& qx, MatrixView y,
                         ExecContext& ctx) const;
 
   [[nodiscard]] std::size_t rows() const noexcept override { return m_; }

@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <string>
 
+#include "matrix/view.hpp"
 #include "util/aligned_buffer.hpp"
 #include "util/rng.hpp"
 
@@ -44,6 +45,31 @@ class Matrix {
   void set_zero() noexcept { data_.fill(0.0f); }
   void fill(float v) noexcept { data_.fill(v); }
 
+  /// Non-owning views (see matrix/view.hpp). The Matrix must outlive
+  /// every use of a view taken from it.
+  [[nodiscard]] MatrixView view() noexcept { return {data(), rows_, cols_, ld_}; }
+  [[nodiscard]] ConstMatrixView view() const noexcept {
+    return {data(), rows_, cols_, ld_};
+  }
+  /// Columns [c0, c0+ncols) — one batch slice, zero copies.
+  [[nodiscard]] MatrixView col_block(std::size_t c0, std::size_t ncols) noexcept {
+    return view().col_block(c0, ncols);
+  }
+  [[nodiscard]] ConstMatrixView col_block(std::size_t c0,
+                                          std::size_t ncols) const noexcept {
+    return view().col_block(c0, ncols);
+  }
+  /// Rows [r0, r0+nrows) x cols [c0, c0+ncols) — strided (ld stays rows()).
+  [[nodiscard]] MatrixView block(std::size_t r0, std::size_t nrows,
+                                 std::size_t c0, std::size_t ncols) noexcept {
+    return view().block(r0, nrows, c0, ncols);
+  }
+  [[nodiscard]] ConstMatrixView block(std::size_t r0, std::size_t nrows,
+                                      std::size_t c0,
+                                      std::size_t ncols) const noexcept {
+    return view().block(r0, nrows, c0, ncols);
+  }
+
   /// Deterministic random factories.
   static Matrix random_uniform(std::size_t rows, std::size_t cols, Rng& rng,
                                float lo = -1.0f, float hi = 1.0f);
@@ -56,6 +82,12 @@ class Matrix {
   std::size_t ld_ = 0;
   AlignedBuffer<float> data_;
 };
+
+inline ConstMatrixView::ConstMatrixView(const Matrix& m) noexcept
+    : ConstMatrixView(m.data(), m.rows(), m.cols(), m.ld()) {}
+
+inline MatrixView::MatrixView(Matrix& m) noexcept
+    : MatrixView(m.data(), m.rows(), m.cols(), m.ld()) {}
 
 /// max_ij |a_ij - b_ij|; matrices must have identical shape.
 [[nodiscard]] float max_abs_diff(const Matrix& a, const Matrix& b);

@@ -1,0 +1,119 @@
+// Non-owning, strided matrix views — the engine-facing activation and
+// output types. A view is {data, rows, cols, ld} over col-major fp32
+// storage (column j starts at data + j*ld), so a window of a larger
+// buffer — a per-head slice of an attention projection, one gate block
+// of an LSTM batch, a column range of a big sequence — feeds the kernels
+// directly, with zero staging copies. Every GemmPlan/GemmEngine hot path
+// consumes these; an owning Matrix converts implicitly (ld == rows), so
+// dense callers never notice the indirection.
+//
+// Views do not own or extend lifetimes: the viewed buffer must outlive
+// every use of the view. Both types are two-words-plus-shape value types
+// meant to be passed by value.
+#pragma once
+
+#include <cstddef>
+
+namespace biq {
+
+class Matrix;
+
+/// Read-only strided view: X in Y = W . X.
+class ConstMatrixView {
+ public:
+  constexpr ConstMatrixView() noexcept = default;
+  constexpr ConstMatrixView(const float* data, std::size_t rows,
+                            std::size_t cols, std::size_t ld) noexcept
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {}
+  /// Implicit: a whole Matrix is the dense view of itself.
+  ConstMatrixView(const Matrix& m) noexcept;  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] constexpr const float* data() const noexcept { return data_; }
+  [[nodiscard]] constexpr std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] constexpr std::size_t cols() const noexcept { return cols_; }
+  /// Leading dimension: elements between column starts (>= rows).
+  [[nodiscard]] constexpr std::size_t ld() const noexcept { return ld_; }
+  /// True when columns are contiguous (the whole view is one flat span).
+  [[nodiscard]] constexpr bool dense() const noexcept { return ld_ == rows_; }
+
+  [[nodiscard]] constexpr const float* col(std::size_t j) const noexcept {
+    return data_ + j * ld_;
+  }
+  constexpr float operator()(std::size_t i, std::size_t j) const noexcept {
+    return data_[j * ld_ + i];
+  }
+
+  /// Sub-window rows [r0, r0+nrows) x cols [c0, c0+ncols) — same ld.
+  [[nodiscard]] constexpr ConstMatrixView block(std::size_t r0,
+                                                std::size_t nrows,
+                                                std::size_t c0,
+                                                std::size_t ncols) const noexcept {
+    return {data_ + c0 * ld_ + r0, nrows, ncols, ld_};
+  }
+  /// Columns [c0, c0+ncols), all rows.
+  [[nodiscard]] constexpr ConstMatrixView col_block(std::size_t c0,
+                                                    std::size_t ncols) const noexcept {
+    return block(0, rows_, c0, ncols);
+  }
+
+ private:
+  const float* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t ld_ = 0;
+};
+
+/// Mutable strided view: Y in Y = W . X.
+class MatrixView {
+ public:
+  constexpr MatrixView() noexcept = default;
+  constexpr MatrixView(float* data, std::size_t rows, std::size_t cols,
+                       std::size_t ld) noexcept
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {}
+  /// Implicit: a whole Matrix is the dense view of itself.
+  MatrixView(Matrix& m) noexcept;  // NOLINT(google-explicit-constructor)
+
+  /// Mutable views read as well as write.
+  constexpr operator ConstMatrixView() const noexcept {  // NOLINT
+    return {data_, rows_, cols_, ld_};
+  }
+
+  [[nodiscard]] constexpr float* data() const noexcept { return data_; }
+  [[nodiscard]] constexpr std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] constexpr std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] constexpr std::size_t ld() const noexcept { return ld_; }
+  [[nodiscard]] constexpr bool dense() const noexcept { return ld_ == rows_; }
+
+  [[nodiscard]] constexpr float* col(std::size_t j) const noexcept {
+    return data_ + j * ld_;
+  }
+  constexpr float& operator()(std::size_t i, std::size_t j) const noexcept {
+    return data_[j * ld_ + i];
+  }
+
+  [[nodiscard]] constexpr MatrixView block(std::size_t r0, std::size_t nrows,
+                                           std::size_t c0,
+                                           std::size_t ncols) const noexcept {
+    return {data_ + c0 * ld_ + r0, nrows, ncols, ld_};
+  }
+  [[nodiscard]] constexpr MatrixView col_block(std::size_t c0,
+                                               std::size_t ncols) const noexcept {
+    return block(0, rows_, c0, ncols);
+  }
+
+  void fill(float v) const noexcept {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      float* c = col(j);
+      for (std::size_t i = 0; i < rows_; ++i) c[i] = v;
+    }
+  }
+  void set_zero() const noexcept { fill(0.0f); }
+
+ private:
+  float* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t ld_ = 0;
+};
+
+}  // namespace biq

@@ -31,7 +31,7 @@ std::size_t MultiHeadAttention::weight_bytes() const noexcept {
          wo_->weight_bytes();
 }
 
-void MultiHeadAttention::forward(const Matrix& x, Matrix& y) const {
+void MultiHeadAttention::forward(ConstMatrixView x, MatrixView y) const {
   if (x.rows() != hidden_ || y.rows() != hidden_ || y.cols() != x.cols()) {
     throw std::invalid_argument("MultiHeadAttention: shape mismatch");
   }
@@ -49,12 +49,19 @@ void MultiHeadAttention::forward(const Matrix& x, Matrix& y) const {
   Matrix scores(t, t, /*zero_fill=*/false);
 
   for (unsigned h = 0; h < heads_; ++h) {
+    // Each head is a strided row window of the packed projections — it
+    // never exists as its own dense buffer.
     const std::size_t r0 = h * head_dim_;
+    const ConstMatrixView qh = q.block(r0, head_dim_, 0, t);
+    const ConstMatrixView kh = k.block(r0, head_dim_, 0, t);
+    const ConstMatrixView vh = v.block(r0, head_dim_, 0, t);
+    const MatrixView ch = context.block(r0, head_dim_, 0, t);
+
     // scores(key_tok, query_tok) = <Q_h[:, query], K_h[:, key]> / sqrt(d)
     for (std::size_t qt = 0; qt < t; ++qt) {
-      const float* qcol = q.col(qt) + r0;
+      const float* qcol = qh.col(qt);
       for (std::size_t kt = 0; kt < t; ++kt) {
-        const float* kcol = k.col(kt) + r0;
+        const float* kcol = kh.col(kt);
         float dot = 0.0f;
         for (std::size_t d = 0; d < head_dim_; ++d) dot += qcol[d] * kcol[d];
         scores(kt, qt) = dot * inv_sqrt_d;
@@ -63,10 +70,10 @@ void MultiHeadAttention::forward(const Matrix& x, Matrix& y) const {
     softmax_columns(scores);
     // context_h[:, query] = sum_key V_h[:, key] * scores(key, query)
     for (std::size_t qt = 0; qt < t; ++qt) {
-      float* out = context.col(qt) + r0;
+      float* out = ch.col(qt);
       for (std::size_t kt = 0; kt < t; ++kt) {
         const float wgt = scores(kt, qt);
-        const float* vcol = v.col(kt) + r0;
+        const float* vcol = vh.col(kt);
         for (std::size_t d = 0; d < head_dim_; ++d) out[d] += wgt * vcol[d];
       }
     }

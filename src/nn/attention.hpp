@@ -20,8 +20,9 @@ class MultiHeadAttention {
                      std::unique_ptr<LinearLayer> wo, unsigned heads);
 
   /// Self-attention: x is hidden x T (T tokens), y is hidden x T
-  /// (overwritten).
-  void forward(const Matrix& x, Matrix& y) const;
+  /// (overwritten). Views — a token window of a longer sequence buffer
+  /// attends in place, zero copies; Matrix arguments convert implicitly.
+  void forward(ConstMatrixView x, MatrixView y) const;
 
   [[nodiscard]] std::size_t hidden() const noexcept { return hidden_; }
   [[nodiscard]] unsigned heads() const noexcept { return heads_; }

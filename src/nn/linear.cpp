@@ -25,8 +25,9 @@ class EngineLinear final : public LinearLayer {
     check_bias(bias_, engine_->rows(), "EngineLinear");
   }
 
-  void forward(const Matrix& x, Matrix& y, ExecContext& ctx) const override {
-    engine_->run(x, y, ctx);
+  void forward(ConstMatrixView x, MatrixView y,
+               ExecContext& ctx) const override {
+    plans_.run(*engine_, x, y, ctx, ctx_);
     if (!bias_.empty()) add_bias(y, bias_);
   }
   using LinearLayer::forward;
@@ -50,6 +51,7 @@ class EngineLinear final : public LinearLayer {
   ExecContext* ctx_ = nullptr;
   std::unique_ptr<GemmEngine> engine_;
   std::vector<float> bias_;
+  PlanCache plans_;
 };
 
 }  // namespace
@@ -60,8 +62,8 @@ Linear::Linear(const Matrix& w, std::vector<float> bias, ExecContext* ctx)
   engine_ = make_engine("blocked", w);
 }
 
-void Linear::forward(const Matrix& x, Matrix& y, ExecContext& ctx) const {
-  engine_->run(x, y, ctx);
+void Linear::forward(ConstMatrixView x, MatrixView y, ExecContext& ctx) const {
+  plans_.run(*engine_, x, y, ctx, ctx_);
   if (!bias_.empty()) add_bias(y, bias_);
 }
 
@@ -81,8 +83,9 @@ QuantLinear::QuantLinear(const Matrix& w, std::vector<float> bias,
   quant_error_ = rel_fro_error(codes.dequantize(), w);
 }
 
-void QuantLinear::forward(const Matrix& x, Matrix& y, ExecContext& ctx) const {
-  engine_->run(x, y, ctx);
+void QuantLinear::forward(ConstMatrixView x, MatrixView y,
+                          ExecContext& ctx) const {
+  plans_.run(*engine_, x, y, ctx, ctx_);
   if (!bias_.empty()) add_bias(y, bias_);
 }
 

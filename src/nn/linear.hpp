@@ -12,6 +12,13 @@
 // projection — dense and quantized layers parallelize identically), or
 // given one per call via the 3-arg forward. Unbound layers fall back to
 // the calling thread's serial default context.
+//
+// Planned execution: a bound-context layer caches its engine's GemmPlan
+// and replans only when the batch width changes, so steady-state traffic
+// (a server answering fixed-shape requests, an LSTM stepping GEMVs) runs
+// the prepared hot path — no per-call planning, no per-call heap work.
+// Activations/outputs are strided views, so a layer can consume or fill
+// a window of a larger buffer with zero copies.
 #pragma once
 
 #include <memory>
@@ -25,17 +32,42 @@ namespace biq::nn {
 
 using biq::QuantMethod;  // canonical definition lives in quant/quantize.hpp
 
+/// Per-layer GemmPlan cache for bound-context layers. Calls arriving on
+/// the layer's bound context reuse the cached plan (replanning only on a
+/// batch change — the bound context implies exclusive execution state,
+/// which is what makes the mutable cache safe); calls on any other
+/// context plan per call through the engine's one-shot adapter.
+class PlanCache {
+ public:
+  void run(const GemmEngine& engine, ConstMatrixView x, MatrixView y,
+           ExecContext& ctx, const ExecContext* bound) const {
+    if (bound == &ctx) {
+      if (plan_ == nullptr || plan_->batch() != x.cols()) {
+        plan_ = engine.plan(x.cols(), ctx);
+      }
+      plan_->run(x, y);
+      return;
+    }
+    engine.run(x, y, ctx);
+  }
+
+ private:
+  mutable std::unique_ptr<GemmPlan> plan_;
+};
+
 class LinearLayer {
  public:
   virtual ~LinearLayer() = default;
 
-  /// y = W.x + bias. x: in x batch, y: out x batch (overwritten).
-  virtual void forward(const Matrix& x, Matrix& y,
+  /// y = W.x + bias. x: in x batch, y: out x batch (overwritten). Both
+  /// are strided views — slices of larger buffers forward with zero
+  /// copies; whole Matrix objects convert implicitly.
+  virtual void forward(ConstMatrixView x, MatrixView y,
                        ExecContext& ctx) const = 0;
 
   /// Context-less form: uses the bound context when the layer has one,
   /// else the calling thread's serial default.
-  void forward(const Matrix& x, Matrix& y) const {
+  void forward(ConstMatrixView x, MatrixView y) const {
     ExecContext* bound = bound_context();
     forward(x, y, bound != nullptr ? *bound : ExecContext::thread_default());
   }
@@ -63,7 +95,8 @@ class Linear final : public LinearLayer {
   Linear(const Matrix& w, std::vector<float> bias,
          ExecContext* ctx = nullptr);
 
-  void forward(const Matrix& x, Matrix& y, ExecContext& ctx) const override;
+  void forward(ConstMatrixView x, MatrixView y,
+               ExecContext& ctx) const override;
   using LinearLayer::forward;
   [[nodiscard]] ExecContext* bound_context() const noexcept override {
     return ctx_;
@@ -82,6 +115,7 @@ class Linear final : public LinearLayer {
   ExecContext* ctx_ = nullptr;
   std::unique_ptr<GemmEngine> engine_;
   std::vector<float> bias_;
+  PlanCache plans_;
 };
 
 /// Quantization policy for every weight matrix of a model build.
@@ -101,7 +135,8 @@ class QuantLinear final : public LinearLayer {
               QuantMethod method = QuantMethod::kGreedy,
               const BiqGemmOptions& opt = {}, ExecContext* ctx = nullptr);
 
-  void forward(const Matrix& x, Matrix& y, ExecContext& ctx) const override;
+  void forward(ConstMatrixView x, MatrixView y,
+               ExecContext& ctx) const override;
   using LinearLayer::forward;
   [[nodiscard]] ExecContext* bound_context() const noexcept override {
     return ctx_;
@@ -127,6 +162,7 @@ class QuantLinear final : public LinearLayer {
   ExecContext* ctx_ = nullptr;
   std::unique_ptr<GemmEngine> engine_;
   std::vector<float> bias_;
+  PlanCache plans_;
   double quant_error_ = 0.0;
 };
 
@@ -140,7 +176,9 @@ class QuantLinear final : public LinearLayer {
 
 /// Registry-generic layer: wraps ANY registered engine (by name) plus a
 /// bias behind the LinearLayer interface — how a new backend reaches the
-/// model zoo without new layer classes.
+/// model zoo without new layer classes. Like every layer here, a
+/// ctx-bound instance caches its engine's GemmPlan per layer and replans
+/// only when the batch width changes.
 [[nodiscard]] std::unique_ptr<LinearLayer> make_linear_engine(
     std::string_view engine_name, const Matrix& w, std::vector<float> bias,
     const EngineConfig& cfg = {}, ExecContext* ctx = nullptr);

@@ -24,11 +24,11 @@ LstmCell::LstmCell(std::unique_ptr<LinearLayer> input_proj,
 }
 
 void LstmCell::step(const float* x_t, float* h, float* c) const {
-  // Single-column matmuls: the b == 1 (GEMV) path of the engines.
-  Matrix xin(in_, 1, /*zero_fill=*/false);
-  for (std::size_t i = 0; i < in_; ++i) xin(i, 0) = x_t[i];
-  Matrix hin(hidden_, 1, /*zero_fill=*/false);
-  for (std::size_t i = 0; i < hidden_; ++i) hin(i, 0) = h[i];
+  // Single-column matmuls: the b == 1 (GEMV) path of the engines. The
+  // caller's buffers are viewed in place — no staging copies — and
+  // bound-context projections run their cached single-column plan.
+  const ConstMatrixView xin(x_t, in_, 1, in_);
+  const ConstMatrixView hin(h, hidden_, 1, hidden_);
 
   Matrix gx(4 * hidden_, 1, /*zero_fill=*/false);
   Matrix gh(4 * hidden_, 1, /*zero_fill=*/false);

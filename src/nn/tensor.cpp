@@ -5,7 +5,7 @@
 
 namespace biq::nn {
 
-void add_bias(Matrix& y, const std::vector<float>& bias) {
+void add_bias(MatrixView y, const std::vector<float>& bias) {
   if (bias.size() != y.rows()) {
     throw std::invalid_argument("add_bias: bias size mismatch");
   }

@@ -12,7 +12,8 @@
 namespace biq::nn {
 
 /// y(i, c) += bias[i] for every column c. bias.size() must equal y.rows().
-void add_bias(Matrix& y, const std::vector<float>& bias);
+/// Takes a (possibly strided) view; a Matrix converts implicitly.
+void add_bias(MatrixView y, const std::vector<float>& bias);
 
 /// Column-wise copy of src into dst (shapes must match).
 void copy_into(const Matrix& src, Matrix& dst);

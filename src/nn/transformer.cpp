@@ -15,7 +15,7 @@ FeedForward::FeedForward(std::unique_ptr<LinearLayer> up,
   }
 }
 
-void FeedForward::forward(const Matrix& x, Matrix& y) const {
+void FeedForward::forward(ConstMatrixView x, MatrixView y) const {
   Matrix mid(up_->out_features(), x.cols(), /*zero_fill=*/false);
   up_->forward(x, mid);
   apply(mid, act_);

@@ -31,8 +31,9 @@ class FeedForward {
   FeedForward(std::unique_ptr<LinearLayer> up, std::unique_ptr<LinearLayer> down,
               Act act = Act::kGelu);
 
-  /// x, y: hidden x T (y overwritten).
-  void forward(const Matrix& x, Matrix& y) const;
+  /// x, y: hidden x T (y overwritten). Strided views; Matrix arguments
+  /// convert implicitly.
+  void forward(ConstMatrixView x, MatrixView y) const;
 
   [[nodiscard]] std::size_t weight_bytes() const noexcept {
     return up_->weight_bytes() + down_->weight_bytes();

@@ -213,6 +213,144 @@ TEST(EngineRegistry, EveryEngineIsBitwiseDeterministicAcrossThreadCounts) {
   }
 }
 
+// ----------------------------------------------------- planned execution
+
+TEST(GemmPlan, ExistsForEveryEngineAndMatchesLegacyRunBitwise) {
+  // plan() -> plan->run() is the prepared hot path; the legacy
+  // run(x, y, ctx) adapter must stay bitwise identical to it for every
+  // registered engine, at 1 and N workers, across the GEMV and batched
+  // regimes — reusing one plan across repeated runs included.
+  EngineConfig cfg;
+  cfg.weight_bits = 3;
+  cfg.activation_bits = 2;
+  Rng rng(61);
+  const Matrix w = Matrix::random_normal(71, 58, rng, 0.0f, 0.5f);
+
+  for (const std::string& name : EngineRegistry::instance().names()) {
+    const std::unique_ptr<GemmEngine> engine = make_engine(name, w, cfg);
+    for (const std::size_t b : {std::size_t{1}, std::size_t{9},
+                                std::size_t{24}}) {
+      Matrix x = Matrix::random_normal(58, b, rng);
+      for (unsigned threads : {1u, 3u}) {
+        ThreadPool legacy_pool(threads);
+        ExecContext legacy_ctx(&legacy_pool);
+        Matrix y_legacy(71, b);
+        engine->run(x, y_legacy, legacy_ctx);
+
+        ThreadPool plan_pool(threads);
+        ExecContext plan_ctx(&plan_pool);
+        const std::unique_ptr<GemmPlan> plan = engine->plan(b, plan_ctx);
+        EXPECT_EQ(plan->rows(), 71u);
+        EXPECT_EQ(plan->cols(), 58u);
+        EXPECT_EQ(plan->batch(), b);
+        EXPECT_EQ(plan->engine_name(), engine->name());
+        EXPECT_EQ(&plan->context(), &plan_ctx);
+
+        Matrix y_planned(71, b);
+        for (int rep = 0; rep < 3; ++rep) {
+          y_planned.fill(-321.0f);
+          plan->run(x, y_planned);
+          EXPECT_EQ(max_abs_diff(y_legacy, y_planned), 0.0f)
+              << name << " b=" << b << " threads=" << threads
+              << " rep=" << rep;
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmPlan, RunRejectsShapeAndLdMismatchesWithDims) {
+  // Shape/ld errors at the API boundary must throw std::invalid_argument
+  // and name the offending dims (they used to be silent UB for strided
+  // callers who got the window wrong).
+  EngineConfig cfg;
+  cfg.weight_bits = 2;
+  Rng rng(67);
+  const Matrix w = Matrix::random_normal(24, 16, rng);
+  const auto engine = make_engine("biqgemm", w, cfg);
+  ExecContext ctx;
+  const std::unique_ptr<GemmPlan> plan = engine->plan(4, ctx);
+
+  Matrix x(16, 4), y(24, 4);
+  plan->run(x, y);  // correct shapes pass
+
+  const auto expect_throw_with = [&](ConstMatrixView bad_x, MatrixView bad_y,
+                                     const char* needle) {
+    try {
+      plan->run(bad_x, bad_y);
+      FAIL() << "expected std::invalid_argument mentioning " << needle;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("biqgemm"), std::string::npos)
+          << e.what();
+    }
+  };
+
+  Matrix x_short(15, 4), x_wide(16, 5), y_short(23, 4);
+  expect_throw_with(x_short, y, "15x4");        // wrong input features
+  expect_throw_with(x_wide, y, "16x5");         // batch != planned batch
+  expect_throw_with(x, y_short, "23x4");        // wrong output features
+  // Malformed leading dimensions (ld < rows) can address out of bounds.
+  expect_throw_with(ConstMatrixView(x.data(), 16, 4, 8), y, "ld 8");
+  expect_throw_with(x, MatrixView(y.data(), 24, 4, 11), "ld 11");
+
+  // The legacy adapter goes through the same gate.
+  EXPECT_THROW(engine->run(x_short, y, ctx), std::invalid_argument);
+  EXPECT_THROW(engine->run(x, y_short, ctx), std::invalid_argument);
+}
+
+TEST(GemmPlan, StridedViewsMatchDenseBitwiseAndRespectWindowBounds) {
+  // Engines consume {data, rows, cols, ld} views end to end: a window of
+  // a larger buffer must produce bitwise the dense result and never
+  // touch memory outside its window.
+  EngineConfig cfg;
+  cfg.weight_bits = 3;
+  cfg.activation_bits = 2;
+  Rng rng(71);
+  const std::size_t m = 37, n = 29, b = 9;
+  const Matrix w = Matrix::random_normal(m, n, rng, 0.0f, 0.5f);
+  const Matrix x = Matrix::random_normal(n, b, rng);
+
+  // Embed x and y as interior windows of larger buffers.
+  Matrix x_big(n + 13, b + 3, /*zero_fill=*/false);
+  x_big.fill(77.0f);
+  for (std::size_t c = 0; c < b; ++c) {
+    for (std::size_t i = 0; i < n; ++i) x_big(5 + i, 2 + c) = x(i, c);
+  }
+  const ConstMatrixView xv = x_big.block(5, n, 2, b);
+
+  for (const std::string& name : EngineRegistry::instance().names()) {
+    const std::unique_ptr<GemmEngine> engine = make_engine(name, w, cfg);
+    Matrix y_dense(m, b);
+    engine->run(x, y_dense);
+
+    Matrix y_big(m + 11, b + 4, /*zero_fill=*/false);
+    y_big.fill(-55.0f);
+    const MatrixView yv = y_big.block(3, m, 1, b);
+    ExecContext ctx;
+    engine->plan(b, ctx)->run(xv, yv);
+
+    for (std::size_t c = 0; c < b; ++c) {
+      for (std::size_t i = 0; i < m; ++i) {
+        ASSERT_EQ(yv(i, c), y_dense(i, c)) << name << " (" << i << "," << c
+                                           << ")";
+      }
+    }
+    // Guard band: everything outside the window is untouched.
+    for (std::size_t c = 0; c < y_big.cols(); ++c) {
+      for (std::size_t i = 0; i < y_big.rows(); ++i) {
+        const bool inside = i >= 3 && i < 3 + m && c >= 1 && c < 1 + b;
+        if (!inside) {
+          ASSERT_EQ(y_big(i, c), -55.0f)
+              << name << " wrote outside its window at (" << i << "," << c
+              << ")";
+        }
+      }
+    }
+  }
+}
+
 // ------------------------------------------------------- runtime dispatch
 
 TEST(Dispatch, ScalarPlaneAlwaysAvailable) {

@@ -7,6 +7,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
+#include <new>
 #include <thread>
 #include <vector>
 
@@ -16,6 +18,27 @@
 #include "engine/registry.hpp"
 #include "gemm/gemm_ref.hpp"
 #include "quant/quantize.hpp"
+
+// Binary-wide instrumented operator new: counts every scalar/array heap
+// allocation so the warm-plan zero-allocation guarantee can be asserted
+// directly (ScratchArena growth is separately visible through
+// heap_allocations(), since arenas allocate via std::aligned_alloc).
+namespace {
+std::atomic<std::size_t> g_new_calls{0};
+
+void* counted_alloc(std::size_t size) {
+  ++g_new_calls;
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace biq {
 namespace {
@@ -166,6 +189,48 @@ TEST(ExecContext, WarmGemvRunsServeScratchFromTheArena) {
   const std::size_t warm = ctx.scratch_heap_allocations();
   for (int rep = 0; rep < 8; ++rep) engine.run(x, y, ctx);
   EXPECT_EQ(ctx.scratch_heap_allocations(), warm);
+}
+
+TEST(ExecContext, WarmPlanRunsPerformZeroHeapAllocations) {
+  // The planned hot path must be allocation-free once warm, for every
+  // LUT engine, in the GEMV, serial-batched and tile-parallel regimes:
+  // no scratch-arena growth AND no operator-new traffic of any kind
+  // (plan-per-call adapters, hidden std::function boxing, ...).
+  EngineConfig cfg;
+  cfg.weight_bits = 2;
+  Rng rng(17);
+  const Matrix w = Matrix::random_normal(96, 112, rng, 0.0f, 0.5f);
+
+  for (const char* name : {"biqgemm", "biqgemm-grouped"}) {
+    const std::unique_ptr<GemmEngine> engine = make_engine(name, w, cfg);
+    struct Regime {
+      std::size_t batch;
+      unsigned threads;
+    };
+    // 48 columns at 3 workers lands in the tile-parallel regime on every
+    // kernel plane (>= 3 batch tiles at 8 or 16 query lanes).
+    for (const Regime r : {Regime{1, 1}, Regime{24, 1}, Regime{48, 3}}) {
+      ThreadPool pool(r.threads);
+      ExecContext ctx(&pool);
+      const std::unique_ptr<GemmPlan> plan = engine->plan(r.batch, ctx);
+      Matrix x = Matrix::random_normal(112, r.batch, rng);
+      Matrix y(96, r.batch);
+
+      plan->run(x, y);  // first run grows the arenas
+      plan->run(x, y);  // second consolidates overflow blocks
+      const std::size_t arena_warm = ctx.scratch_heap_allocations();
+      const std::size_t new_warm = g_new_calls.load();
+      for (int rep = 0; rep < 8; ++rep) plan->run(x, y);
+      const std::size_t new_after = g_new_calls.load();
+      const std::size_t arena_after = ctx.scratch_heap_allocations();
+      EXPECT_EQ(arena_after, arena_warm)
+          << name << " batch=" << r.batch << " threads=" << r.threads
+          << ": warm plan.run grew a scratch arena";
+      EXPECT_EQ(new_after, new_warm)
+          << name << " batch=" << r.batch << " threads=" << r.threads
+          << ": warm plan.run allocated on the heap";
+    }
+  }
 }
 
 TEST(ExecContext, ThreadDefaultIsPerThreadAndSerial) {

@@ -179,5 +179,67 @@ TEST(MakeLinear, ContextReachesBothDenseAndQuantizedPaths) {
   EXPECT_GT(ctx.scratch_heap_allocations(), 0u);
 }
 
+TEST(LinearLayer, ViewOverloadForwardsSlicesWithoutCopies) {
+  // A layer consumes/fills windows of larger buffers directly: the
+  // strided forward must match the dense forward bitwise and leave the
+  // rest of the output buffer untouched.
+  Rng rng(12);
+  Matrix w = Matrix::random_normal(24, 32, rng);
+  std::vector<float> bias(24, 0.5f);
+  Matrix x = Matrix::random_normal(32, 6, rng);
+
+  const QuantLinear layer(w, bias, 2);
+  Matrix dense(24, 6);
+  layer.forward(x, dense);
+
+  Matrix x_big(40, 9, /*zero_fill=*/false);
+  x_big.fill(123.0f);
+  for (std::size_t c = 0; c < 6; ++c) {
+    for (std::size_t i = 0; i < 32; ++i) x_big(4 + i, 2 + c) = x(i, c);
+  }
+  Matrix y_big(30, 8, /*zero_fill=*/false);
+  y_big.fill(-9.0f);
+  layer.forward(x_big.block(4, 32, 2, 6), y_big.block(3, 24, 1, 6));
+
+  for (std::size_t c = 0; c < y_big.cols(); ++c) {
+    for (std::size_t i = 0; i < y_big.rows(); ++i) {
+      const bool inside = i >= 3 && i < 27 && c >= 1 && c < 7;
+      ASSERT_EQ(y_big(i, c), inside ? dense(i - 3, c - 1) : -9.0f)
+          << "(" << i << "," << c << ")";
+    }
+  }
+}
+
+TEST(LinearLayer, BoundContextLayerCachesPlanAndReplansOnBatchChange) {
+  // A ctx-bound layer serves repeated fixed-shape traffic from one
+  // cached GemmPlan and must stay correct across batch changes (each
+  // change replans) and when called with a foreign context (planned per
+  // call, cache untouched).
+  Rng rng(13);
+  Matrix w = Matrix::random_normal(32, 48, rng);
+  Matrix x4 = Matrix::random_normal(48, 4, rng);
+  Matrix x7 = Matrix::random_normal(48, 7, rng);
+
+  ExecContext bound_ctx;
+  const auto bound = make_linear(w, {}, 2, QuantMethod::kGreedy, {},
+                                 &bound_ctx);
+  const auto unbound = make_linear(w, {}, 2);
+
+  const auto check = [&](const Matrix& x) {
+    Matrix expected(32, x.cols()), actual(32, x.cols());
+    unbound->forward(x, expected);
+    bound->forward(x, actual);  // bound path: cached plan
+    EXPECT_EQ(max_abs_diff(actual, expected), 0.0f) << "b=" << x.cols();
+    ExecContext other;
+    Matrix foreign(32, x.cols());
+    bound->forward(x, foreign, other);  // foreign ctx: plan-per-call
+    EXPECT_EQ(max_abs_diff(foreign, expected), 0.0f) << "b=" << x.cols();
+  };
+  check(x4);
+  check(x4);  // steady state reuses the cached batch-4 plan
+  check(x7);  // batch change forces a replan
+  check(x4);  // and back
+}
+
 }  // namespace
 }  // namespace biq::nn
