@@ -29,12 +29,16 @@ void profile_for_input_size(std::size_t n) {
     opt.profile = &profile;
     const biq::BiqGemm engine(plane, opt);
 
-    engine.run(x, y);  // warm-up (fills caches, first-touch)
+    // Fixed batch: hold the plan so only build/query/replace — not
+    // per-call planning — lands in the profile.
+    biq::ExecContext ctx;
+    const std::unique_ptr<biq::GemmPlan> plan = engine.plan(32, ctx);
+    plan->run(x, y);  // warm-up (fills caches, first-touch, arenas)
     profile.clear();
     int reps = 0;
     biq::Stopwatch watch;
     while (watch.elapsed_seconds() < 0.3 || reps < 5) {
-      engine.run(x, y);
+      plan->run(x, y);
       ++reps;
     }
 

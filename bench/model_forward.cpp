@@ -1,0 +1,143 @@
+// Whole-model planned execution: eager layer-by-layer forward (heap-
+// allocated temporaries, per-layer plan caches) vs ModelPlan (all GEMM
+// plans frozen up front, activations liveness-packed into one arena,
+// zero-allocation warm runs) for a Transformer encoder and a BiLSTM.
+// Run with --json to emit BENCH_model_forward.json for the perf
+// trajectory.
+//
+//   $ ./model_forward [tokens] [layers] [hidden] [--json]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench_common.hpp"
+#include "nn/model_plan.hpp"
+#include "nn/tensor.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+std::size_t arg_or(int argc, char** argv, int i, std::size_t fallback) {
+  if (argc <= i || std::strcmp(argv[i], "--json") == 0) return fallback;
+  return std::strtoul(argv[i], nullptr, 10);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t tokens = arg_or(argc, argv, 1, 18);
+  const auto layers = static_cast<unsigned>(arg_or(argc, argv, 2, 2));
+  const std::size_t hidden = arg_or(argc, argv, 3, 256);
+
+  biq::bench::BenchJson json(argc, argv, "model_forward");
+  biq::bench::print_header(
+      "model_forward — eager vs whole-model planned forward",
+      "prepare/execute split lifted to the model level (Sec. II-A: "
+      "everything derivable before activations is computed once)");
+
+  biq::nn::TransformerConfig cfg;
+  cfg.hidden = hidden;
+  cfg.ffn = 4 * hidden;
+  cfg.heads = 8;
+  cfg.layers = layers;
+  std::printf("encoder: %u layers, hidden %zu, ffn %zu, %zu tokens; "
+              "BiLSTM: input %zu, hidden %zu, %zu frames\n\n",
+              cfg.layers, cfg.hidden, cfg.ffn, tokens, hidden, hidden / 2,
+              tokens);
+
+  biq::TablePrinter table({"model", "weights", "eager ms", "planned ms",
+                           "planned speedup", "arena KB (packed/unpacked)"});
+  constexpr std::uint64_t kSeed = 2020;
+  biq::Rng rng(7);
+
+  for (const unsigned bits : {0u, 2u}) {
+    const char* weights = bits == 0 ? "fp32" : "2-bit biqgemm";
+    biq::nn::QuantSpec spec;
+    spec.weight_bits = bits;
+
+    {
+      biq::ExecContext ctx;
+      const biq::nn::TransformerEncoder enc =
+          biq::nn::make_encoder(cfg, kSeed, spec, &ctx);
+      const biq::Matrix input =
+          biq::Matrix::random_normal(hidden, tokens, rng);
+      biq::Matrix scratch = input;
+      biq::Matrix out(hidden, tokens);
+
+      const double eager = biq::bench::median_seconds([&] {
+        biq::nn::copy_into(input, scratch);
+        enc.forward(scratch);
+      });
+      const biq::nn::ModelPlan plan(enc, tokens, ctx);
+      plan.run(input, out);  // warm the arenas before timing
+      const double planned =
+          biq::bench::median_seconds([&] { plan.run(input, out); });
+
+      table.add_row(
+          {"encoder", weights, biq::bench::ms(eager), biq::bench::ms(planned),
+           biq::TablePrinter::fmt(eager / planned, 2) + "x",
+           biq::TablePrinter::fmt(
+               static_cast<double>(plan.arena_bytes()) / 1024.0, 1) +
+               " / " +
+               biq::TablePrinter::fmt(static_cast<double>(
+                                          plan.unpacked_floats() * 4) /
+                                          1024.0,
+                                      1)});
+      json.record({biq::bench::jstr("model", "encoder"),
+                   biq::bench::jstr("weights", weights),
+                   biq::bench::jint("tokens", static_cast<long long>(tokens)),
+                   biq::bench::jint("layers", layers),
+                   biq::bench::jint("hidden", static_cast<long long>(hidden)),
+                   biq::bench::jnum("eager_ms", eager * 1e3),
+                   biq::bench::jnum("planned_ms", planned * 1e3),
+                   biq::bench::jint("arena_bytes", static_cast<long long>(
+                                                       plan.arena_bytes()))});
+    }
+
+    {
+      const std::size_t lstm_hidden = hidden / 2;
+      biq::ExecContext ctx;
+      const biq::nn::BiLstm model(
+          biq::nn::make_lstm_cell(hidden, lstm_hidden, 31, spec, &ctx),
+          biq::nn::make_lstm_cell(hidden, lstm_hidden, 32, spec, &ctx));
+      const biq::Matrix audio =
+          biq::Matrix::random_normal(hidden, tokens, rng);
+      biq::Matrix out(2 * lstm_hidden, tokens);
+
+      const double eager =
+          biq::bench::median_seconds([&] { model.forward(audio, out); });
+      const biq::nn::ModelPlan plan(model, tokens, ctx);
+      plan.run(audio, out);
+      const double planned =
+          biq::bench::median_seconds([&] { plan.run(audio, out); });
+
+      table.add_row(
+          {"bilstm", weights, biq::bench::ms(eager), biq::bench::ms(planned),
+           biq::TablePrinter::fmt(eager / planned, 2) + "x",
+           biq::TablePrinter::fmt(
+               static_cast<double>(plan.arena_bytes()) / 1024.0, 1) +
+               " / " +
+               biq::TablePrinter::fmt(static_cast<double>(
+                                          plan.unpacked_floats() * 4) /
+                                          1024.0,
+                                      1)});
+      json.record({biq::bench::jstr("model", "bilstm"),
+                   biq::bench::jstr("weights", weights),
+                   biq::bench::jint("frames", static_cast<long long>(tokens)),
+                   biq::bench::jint("hidden",
+                                    static_cast<long long>(lstm_hidden)),
+                   biq::bench::jnum("eager_ms", eager * 1e3),
+                   biq::bench::jnum("planned_ms", planned * 1e3),
+                   biq::bench::jint("arena_bytes", static_cast<long long>(
+                                                       plan.arena_bytes()))});
+    }
+  }
+
+  std::printf("%s\n", table.to_markdown().c_str());
+  std::printf("Eager re-allocates every intermediate activation per call and\n"
+              "plans per layer; ModelPlan froze all of that at compile time,\n"
+              "so the gap is widest where per-call overhead rivals the math\n"
+              "(small models, GEMV-heavy LSTM steps).\n");
+  return 0;
+}

@@ -7,7 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "nn/lstm.hpp"
+#include "nn/model_plan.hpp"
 #include "util/cpu_features.hpp"
 #include "util/stats.hpp"
 #include "util/table_printer.hpp"
@@ -24,27 +24,35 @@ int main(int argc, char** argv) {
               "path, scaled to laptop size)\n\n",
               frames, input_dim, hidden);
 
+  // One context + one whole-model plan per model: the per-step GEMV
+  // plans of both directions are frozen once and every step temporary
+  // (gate pre-activations, h/c state) lives in one liveness-packed
+  // arena, so the timed utterances run the warm zero-allocation path.
   constexpr std::uint64_t kSeedFw = 31, kSeedBw = 32;
-  const biq::nn::BiLstm fp(biq::nn::make_lstm_cell(input_dim, hidden, kSeedFw, {}),
-                           biq::nn::make_lstm_cell(input_dim, hidden, kSeedBw, {}));
+  biq::ExecContext fp_ctx, q_ctx;
+  const biq::nn::BiLstm fp(
+      biq::nn::make_lstm_cell(input_dim, hidden, kSeedFw, {}, &fp_ctx),
+      biq::nn::make_lstm_cell(input_dim, hidden, kSeedBw, {}, &fp_ctx));
 
   biq::nn::QuantSpec spec;
   spec.weight_bits = bits;
   const biq::nn::BiLstm quant(
-      biq::nn::make_lstm_cell(input_dim, hidden, kSeedFw, spec),
-      biq::nn::make_lstm_cell(input_dim, hidden, kSeedBw, spec));
+      biq::nn::make_lstm_cell(input_dim, hidden, kSeedFw, spec, &q_ctx),
+      biq::nn::make_lstm_cell(input_dim, hidden, kSeedBw, spec, &q_ctx));
 
   biq::Rng rng(5);
   const biq::Matrix audio = biq::Matrix::random_normal(input_dim, frames, rng);
 
+  const biq::nn::ModelPlan fp_plan(fp, frames, fp_ctx);
+  const biq::nn::ModelPlan quant_plan(quant, frames, q_ctx);
   biq::Matrix h_fp(2 * hidden, frames), h_q(2 * hidden, frames);
-  fp.forward(audio, h_fp);
-  quant.forward(audio, h_q);
+  fp_plan.run(audio, h_fp);
+  quant_plan.run(audio, h_q);
 
   const auto t_fp = biq::summarize(
-      biq::measure_repetitions([&] { fp.forward(audio, h_fp); }, 3, 0.3));
+      biq::measure_repetitions([&] { fp_plan.run(audio, h_fp); }, 3, 0.3));
   const auto t_q = biq::summarize(
-      biq::measure_repetitions([&] { quant.forward(audio, h_q); }, 3, 0.3));
+      biq::measure_repetitions([&] { quant_plan.run(audio, h_q); }, 3, 0.3));
 
   biq::TablePrinter table({"model", "hidden-state err", "weight MB",
                            "ms/utterance", "ms/frame"});

@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "nn/transformer.hpp"
+#include "nn/model_plan.hpp"
 #include "util/cpu_features.hpp"
 #include "util/stats.hpp"
 #include "util/table_printer.hpp"
@@ -30,25 +30,26 @@ int main(int argc, char** argv) {
               cfg.layers, cfg.hidden, cfg.ffn, tokens);
 
   constexpr std::uint64_t kSeed = 2020;
-  // One execution context bound to every projection of every encoder:
-  // each layer caches its engine's GemmPlan and replans only when the
-  // token count changes, so the repeated forwards below run the
-  // prepared, allocation-free hot path (the planned-API serving pattern).
+  // One execution context per model, and one ModelPlan compiled over the
+  // whole encoder for the fixed token count: every projection's GemmPlan
+  // is frozen up front and all intermediate activations live in one
+  // liveness-packed arena, so the repeated forwards below are the warm,
+  // zero-allocation whole-model hot path (the serving pattern).
   biq::ExecContext ctx;
   const biq::nn::TransformerEncoder fp =
       biq::nn::make_encoder(cfg, kSeed, {}, &ctx);
+  const biq::nn::ModelPlan fp_plan(fp, tokens, ctx);
 
   biq::Rng rng(7);
   const biq::Matrix input = biq::Matrix::random_normal(hidden, tokens, rng);
 
-  biq::Matrix x_fp = input;
-  fp.forward(x_fp);
+  biq::Matrix x_fp(hidden, tokens);
+  fp_plan.run(input, x_fp);
   const auto t_fp = biq::summarize(biq::measure_repetitions(
-      [&] {
-        biq::Matrix x = input;
-        fp.forward(x);
-      },
-      3, 0.3));
+      [&] { fp_plan.run(input, x_fp); }, 3, 0.3));
+  std::printf("fp32 activation arena: %.1f KB packed (%.1f KB unpacked)\n\n",
+              static_cast<double>(fp_plan.arena_bytes()) / 1024.0,
+              static_cast<double>(fp_plan.unpacked_floats() * 4) / 1024.0);
 
   biq::TablePrinter table({"weights", "output err vs fp32", "weight MB",
                            "latency ms", "vs fp32"});
@@ -61,17 +62,15 @@ int main(int argc, char** argv) {
     biq::nn::QuantSpec spec;
     spec.weight_bits = bits;
     spec.method = biq::nn::QuantMethod::kAlternating;
+    biq::ExecContext quant_ctx;
     const biq::nn::TransformerEncoder quant =
-        biq::nn::make_encoder(cfg, kSeed, spec, &ctx);
+        biq::nn::make_encoder(cfg, kSeed, spec, &quant_ctx);
+    const biq::nn::ModelPlan quant_plan(quant, tokens, quant_ctx);
 
-    biq::Matrix x_q = input;
-    quant.forward(x_q);
+    biq::Matrix x_q(hidden, tokens);
+    quant_plan.run(input, x_q);
     const auto t_q = biq::summarize(biq::measure_repetitions(
-        [&] {
-          biq::Matrix x = input;
-          quant.forward(x);
-        },
-        3, 0.3));
+        [&] { quant_plan.run(input, x_q); }, 3, 0.3));
 
     char label[32];
     std::snprintf(label, sizeof(label), "binary %u-bit", bits);

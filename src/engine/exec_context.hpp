@@ -130,6 +130,38 @@ class ExecContext {
     return total;
   }
 
+  /// Model-scope activation storage for whole-model plans
+  /// (nn::ModelPlan): one block per compiled plan, sized by the
+  /// liveness planner at plan time and returned by the plan's
+  /// destructor — a block's lifetime exactly equals its plan's, so
+  /// batch-varying replan traffic cannot grow the context unboundedly
+  /// and there is no whole-context reclaim to misuse. Blocks are
+  /// kDefaultAlignment-aligned and stable: allocating or freeing one
+  /// never moves another. Like plan compilation itself, these are
+  /// control-path calls — one caller at a time per context.
+  [[nodiscard]] float* alloc_model_block(std::size_t floats) {
+    model_blocks_.emplace_back(floats);
+    return model_blocks_.back().data();
+  }
+  void free_model_block(const float* block) noexcept {
+    for (std::size_t i = 0; i < model_blocks_.size(); ++i) {
+      if (model_blocks_[i].data() == block) {
+        model_blocks_[i] = std::move(model_blocks_.back());
+        model_blocks_.pop_back();
+        return;
+      }
+    }
+  }
+  /// Bytes of live model blocks — the activation footprint of every
+  /// currently-compiled plan on this context.
+  [[nodiscard]] std::size_t model_block_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const AlignedBuffer<float>& b : model_blocks_) {
+      total += b.size_bytes();
+    }
+    return total;
+  }
+
   /// The serial per-thread context behind the 2-arg GemmEngine::run
   /// forwarder: scratch persists across calls (warm after the first),
   /// and each OS thread gets its own, so 2-arg run is thread-safe.
@@ -139,6 +171,7 @@ class ExecContext {
   ThreadPool* pool_ = nullptr;
   KernelIsa isa_ = KernelIsa::kAuto;
   std::vector<ScratchArena> arenas_;  // sized worker_count(), never resized
+  std::vector<AlignedBuffer<float>> model_blocks_;  // one per live ModelPlan
 };
 
 }  // namespace biq

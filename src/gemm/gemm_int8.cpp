@@ -9,6 +9,29 @@
 #include "util/timer.hpp"
 
 namespace biq {
+namespace {
+
+/// The run's transient arena frame: quantized activations, per-column
+/// scales, int32 accumulators. ONE definition shared by the hot path
+/// and Int8Plan's plan-time prewarm, so the prewarmed high-water mark
+/// can never desynchronize from what the run actually allocates.
+struct Int8Frame {
+  std::int8_t* xq;
+  float* xscales;
+  std::int32_t* acc;
+};
+
+Int8Frame stage_int8_frame(ScratchArena& arena, std::size_t m, std::size_t n,
+                           std::size_t b) {
+  arena.reset();
+  Int8Frame f;
+  f.xq = arena.alloc<std::int8_t>(n * b);
+  f.xscales = arena.alloc<float>(b);
+  f.acc = arena.alloc<std::int32_t>(m * b);
+  return f;
+}
+
+}  // namespace
 
 Int8Gemm::Int8Gemm(const Matrix& w)
     : m_(w.rows()), n_(w.cols()), weights_(w.rows() * w.cols()) {
@@ -45,11 +68,10 @@ void Int8Gemm::run_profiled(ConstMatrixView x, MatrixView y, Phases& phases,
 
   // Transient buffers are shared read-only across the phase workers, so
   // they come out of the calling thread's arena, allocated up front.
-  ScratchArena& arena = ctx.scratch(0);
-  arena.reset();
-  std::int8_t* xq = arena.alloc<std::int8_t>(n_ * b);
-  float* xscales = arena.alloc<float>(b);
-  std::int32_t* acc = arena.alloc<std::int32_t>(m_ * b);
+  const Int8Frame frame = stage_int8_frame(ctx.scratch(0), m_, n_, b);
+  std::int8_t* xq = frame.xq;
+  float* xscales = frame.xscales;
+  std::int32_t* acc = frame.acc;
 
   // Phase 1: dynamic activation quantization (fp32 -> int8 per column).
   {
@@ -117,7 +139,18 @@ class Int8Plan final : public GemmPlan {
  public:
   Int8Plan(const Int8Gemm& engine, std::size_t batch, ExecContext& ctx)
       : GemmPlan(engine.name(), engine.rows(), engine.cols(), batch, ctx),
-        engine_(&engine) {}
+        engine_(&engine) {
+    // Plan-time scratch sizing: stage the run's arena frame twice so
+    // the first pass grows/spills and the second consolidates the arena
+    // to the frame's high-water mark — the same warm state two real
+    // runs would reach, paid here instead of on the serving path.
+    if (batch != 0 && engine.rows() != 0) {
+      for (int pass = 0; pass < 2; ++pass) {
+        (void)stage_int8_frame(ctx.scratch(0), engine.rows(), engine.cols(),
+                               batch);
+      }
+    }
+  }
 
  private:
   void execute(ConstMatrixView x, MatrixView y) const override {

@@ -10,25 +10,37 @@
 
 namespace biq {
 
-QuantizedActivations quantize_activations(ConstMatrixView x,
-                                          unsigned bits) {
+QuantizedActivations make_activation_workspace(std::size_t n,
+                                               std::size_t batch,
+                                               unsigned bits) {
   if (bits == 0) {
-    throw std::invalid_argument("quantize_activations: bits must be >= 1");
+    throw std::invalid_argument(
+        "make_activation_workspace: bits must be >= 1");
   }
   QuantizedActivations qa;
-  qa.n = x.rows();
-  qa.batch = x.cols();
+  qa.n = n;
+  qa.batch = batch;
   qa.bits = bits;
-  qa.gammas.assign(bits, std::vector<float>(x.cols(), 0.0f));
-  for (unsigned q = 0; q < bits; ++q) qa.planes.emplace_back(x.cols(), x.rows());
+  qa.gammas.assign(bits, std::vector<float>(batch, 0.0f));
+  qa.planes.reserve(bits);
+  for (unsigned q = 0; q < bits; ++q) qa.planes.emplace_back(batch, n);
+  return qa;
+}
 
-  std::vector<float> residual(x.rows());
+void quantize_activations_into(ConstMatrixView x, QuantizedActivations& qa,
+                               float* residual) {
+  if (qa.n != x.rows() || qa.batch != x.cols() || qa.bits == 0) {
+    throw std::invalid_argument(
+        "quantize_activations_into: workspace shape mismatch");
+  }
+  for (PackedBits64& plane : qa.planes) plane.clear();
+
   for (std::size_t c = 0; c < x.cols(); ++c) {
     const float* src = x.col(c);
     for (std::size_t k = 0; k < x.rows(); ++k) residual[k] = src[k];
-    for (unsigned q = 0; q < bits; ++q) {
+    for (unsigned q = 0; q < qa.bits; ++q) {
       double mag = 0.0;
-      for (float v : residual) mag += std::fabs(v);
+      for (std::size_t k = 0; k < x.rows(); ++k) mag += std::fabs(residual[k]);
       const float gamma =
           x.rows() == 0 ? 0.0f
                         : static_cast<float>(mag / static_cast<double>(x.rows()));
@@ -43,6 +55,12 @@ QuantizedActivations quantize_activations(ConstMatrixView x,
       }
     }
   }
+}
+
+QuantizedActivations quantize_activations(ConstMatrixView x, unsigned bits) {
+  QuantizedActivations qa = make_activation_workspace(x.rows(), x.cols(), bits);
+  std::vector<float> residual(x.rows());
+  quantize_activations_into(x, qa, residual.data());
   return qa;
 }
 
@@ -134,16 +152,26 @@ class XnorPlan final : public GemmPlan {
   XnorPlan(const XnorGemm& engine, unsigned activation_bits, std::size_t batch,
            ExecContext& ctx)
       : GemmPlan(engine.name(), engine.rows(), engine.cols(), batch, ctx),
-        engine_(&engine), activation_bits_(activation_bits) {}
+        engine_(&engine),
+        // Plan-time activation-quantization sizing: the bit-plane
+        // workspace and the residual buffer are allocated once here, so
+        // the warm execute() reuses their storage and never touches the
+        // heap for the transient quantize phase.
+        workspace_(
+            make_activation_workspace(engine.cols(), batch, activation_bits)),
+        residual_(engine.cols()) {}
 
  private:
   void execute(ConstMatrixView x, MatrixView y) const override {
-    const QuantizedActivations qx = quantize_activations(x, activation_bits_);
-    engine_->run_prequantized(qx, y, context());
+    // The plan's single-caller contract makes mutating the held
+    // workspace safe; its contents are dead outside execute().
+    quantize_activations_into(x, workspace_, residual_.data());
+    engine_->run_prequantized(workspace_, y, context());
   }
 
   const XnorGemm* engine_;
-  unsigned activation_bits_;
+  mutable QuantizedActivations workspace_;
+  mutable std::vector<float> residual_;
 };
 
 }  // namespace

@@ -31,6 +31,19 @@ struct QuantizedActivations {
 [[nodiscard]] QuantizedActivations quantize_activations(ConstMatrixView x,
                                                         unsigned bits);
 
+/// Sizes a reusable quantization workspace for (n rows, batch columns,
+/// bits planes) — the plan-time step of the xnor prepare/execute split.
+[[nodiscard]] QuantizedActivations make_activation_workspace(std::size_t n,
+                                                             std::size_t batch,
+                                                             unsigned bits);
+
+/// Quantizes x into a pre-sized workspace, reusing its storage — the
+/// warm-path counterpart of quantize_activations: zero heap allocations
+/// once the workspace exists. `residual` must hold qa.n floats. Throws
+/// std::invalid_argument when the workspace shape does not match x.
+void quantize_activations_into(ConstMatrixView x, QuantizedActivations& qa,
+                               float* residual);
+
 class XnorGemm final : public GemmEngine {
  public:
   /// Packs the weight planes once (weights are fixed at inference time).

@@ -55,6 +55,11 @@ class PackedBits {
     row(i)[j / bits_per_word()] |= Word{1} << (j % bits_per_word());
   }
 
+  /// Zeroes every bit (all elements back to -1) so the storage can be
+  /// re-packed in place — the plan-time-sized activation workspaces
+  /// reuse one PackedBits across runs this way.
+  void clear() noexcept { data_.fill(Word{0}); }
+
   [[nodiscard]] std::size_t storage_bytes() const noexcept {
     return data_.size_bytes();
   }

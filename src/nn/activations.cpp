@@ -6,7 +6,7 @@ namespace biq::nn {
 namespace {
 
 template <typename Fn>
-void for_each_element(Matrix& x, Fn&& fn) noexcept {
+void for_each_element(MatrixView x, Fn&& fn) noexcept {
   for (std::size_t c = 0; c < x.cols(); ++c) {
     float* col = x.col(c);
     for (std::size_t i = 0; i < x.rows(); ++i) col[i] = fn(col[i]);
@@ -17,11 +17,11 @@ void for_each_element(Matrix& x, Fn&& fn) noexcept {
 
 float sigmoid(float v) noexcept { return 1.0f / (1.0f + std::exp(-v)); }
 
-void apply_relu(Matrix& x) noexcept {
+void apply_relu(MatrixView x) noexcept {
   for_each_element(x, [](float v) { return v > 0.0f ? v : 0.0f; });
 }
 
-void apply_gelu(Matrix& x) noexcept {
+void apply_gelu(MatrixView x) noexcept {
   constexpr float kSqrt2OverPi = 0.7978845608028654f;
   for_each_element(x, [](float v) {
     const float inner = kSqrt2OverPi * (v + 0.044715f * v * v * v);
@@ -29,15 +29,15 @@ void apply_gelu(Matrix& x) noexcept {
   });
 }
 
-void apply_sigmoid(Matrix& x) noexcept {
+void apply_sigmoid(MatrixView x) noexcept {
   for_each_element(x, [](float v) { return sigmoid(v); });
 }
 
-void apply_tanh(Matrix& x) noexcept {
+void apply_tanh(MatrixView x) noexcept {
   for_each_element(x, [](float v) { return std::tanh(v); });
 }
 
-void apply(Matrix& x, Act act) noexcept {
+void apply(MatrixView x, Act act) noexcept {
   switch (act) {
     case Act::kRelu: apply_relu(x); break;
     case Act::kGelu: apply_gelu(x); break;
@@ -46,7 +46,7 @@ void apply(Matrix& x, Act act) noexcept {
   }
 }
 
-void softmax_columns(Matrix& x) noexcept {
+void softmax_columns(MatrixView x) noexcept {
   for (std::size_t c = 0; c < x.cols(); ++c) {
     float* col = x.col(c);
     float peak = col[0];

@@ -1,6 +1,10 @@
 // Element-wise non-linearities and column softmax. Activations stay fp32
 // throughout (the paper quantizes weights only; Sec. II argues activation
 // quantization costs accuracy and on-the-fly conversion work).
+//
+// All entry points take strided views, so planner-assigned arena slots
+// and windows of larger buffers transform in place; a whole Matrix
+// converts implicitly.
 #pragma once
 
 #include "matrix/matrix.hpp"
@@ -9,18 +13,18 @@ namespace biq::nn {
 
 enum class Act { kRelu, kGelu, kSigmoid, kTanh };
 
-void apply_relu(Matrix& x) noexcept;
+void apply_relu(MatrixView x) noexcept;
 /// tanh-approximation GELU (as used by BERT-family models).
-void apply_gelu(Matrix& x) noexcept;
-void apply_sigmoid(Matrix& x) noexcept;
-void apply_tanh(Matrix& x) noexcept;
-void apply(Matrix& x, Act act) noexcept;
+void apply_gelu(MatrixView x) noexcept;
+void apply_sigmoid(MatrixView x) noexcept;
+void apply_tanh(MatrixView x) noexcept;
+void apply(MatrixView x, Act act) noexcept;
 
 /// Scalar versions (LSTM gates operate on vectors).
 [[nodiscard]] float sigmoid(float v) noexcept;
 
 /// Numerically-stable softmax over the rows of each column (columns are
 /// independent distributions) — the attention-weight normalization.
-void softmax_columns(Matrix& x) noexcept;
+void softmax_columns(MatrixView x) noexcept;
 
 }  // namespace biq::nn

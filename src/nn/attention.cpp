@@ -31,22 +31,17 @@ std::size_t MultiHeadAttention::weight_bytes() const noexcept {
          wo_->weight_bytes();
 }
 
-void MultiHeadAttention::forward(ConstMatrixView x, MatrixView y) const {
-  if (x.rows() != hidden_ || y.rows() != hidden_ || y.cols() != x.cols()) {
-    throw std::invalid_argument("MultiHeadAttention: shape mismatch");
+void MultiHeadAttention::attend(ConstMatrixView q, ConstMatrixView k,
+                                ConstMatrixView v, MatrixView scores,
+                                MatrixView context) const {
+  const std::size_t t = q.cols();
+  if (q.rows() != hidden_ || k.rows() != hidden_ || v.rows() != hidden_ ||
+      k.cols() != t || v.cols() != t || context.rows() != hidden_ ||
+      context.cols() != t || scores.rows() != t || scores.cols() != t) {
+    throw std::invalid_argument("MultiHeadAttention::attend: shape mismatch");
   }
-  const std::size_t t = x.cols();
-
-  Matrix q(hidden_, t, /*zero_fill=*/false);
-  Matrix k(hidden_, t, /*zero_fill=*/false);
-  Matrix v(hidden_, t, /*zero_fill=*/false);
-  wq_->forward(x, q);
-  wk_->forward(x, k);
-  wv_->forward(x, v);
-
   const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(head_dim_));
-  Matrix context(hidden_, t, /*zero_fill=*/true);
-  Matrix scores(t, t, /*zero_fill=*/false);
+  context.set_zero();
 
   for (unsigned h = 0; h < heads_; ++h) {
     // Each head is a strided row window of the packed projections — it
@@ -78,6 +73,24 @@ void MultiHeadAttention::forward(ConstMatrixView x, MatrixView y) const {
       }
     }
   }
+}
+
+void MultiHeadAttention::forward(ConstMatrixView x, MatrixView y) const {
+  if (x.rows() != hidden_ || y.rows() != hidden_ || y.cols() != x.cols()) {
+    throw std::invalid_argument("MultiHeadAttention: shape mismatch");
+  }
+  const std::size_t t = x.cols();
+
+  Matrix q(hidden_, t, /*zero_fill=*/false);
+  Matrix k(hidden_, t, /*zero_fill=*/false);
+  Matrix v(hidden_, t, /*zero_fill=*/false);
+  wq_->forward(x, q);
+  wk_->forward(x, k);
+  wv_->forward(x, v);
+
+  Matrix context(hidden_, t, /*zero_fill=*/false);
+  Matrix scores(t, t, /*zero_fill=*/false);
+  attend(q, k, v, scores, context);
 
   wo_->forward(context, y);
 }

@@ -24,9 +24,26 @@ class MultiHeadAttention {
   /// attends in place, zero copies; Matrix arguments convert implicitly.
   void forward(ConstMatrixView x, MatrixView y) const;
 
+  /// The fp32 attention math over already-projected activations: per
+  /// head h, scores = softmax(Q_h^T K_h / sqrt(d)) column-wise, then
+  /// context_h = V_h . scores. q/k/v: hidden x T; scores: T x T scratch
+  /// (overwritten); context: hidden x T (overwritten). Both the eager
+  /// forward and the whole-model planner run THIS routine — caller-
+  /// provided buffers are what lets planner slots replace local
+  /// temporaries while staying bitwise identical to the eager path.
+  void attend(ConstMatrixView q, ConstMatrixView k, ConstMatrixView v,
+              MatrixView scores, MatrixView context) const;
+
   [[nodiscard]] std::size_t hidden() const noexcept { return hidden_; }
   [[nodiscard]] unsigned heads() const noexcept { return heads_; }
+  [[nodiscard]] std::size_t head_dim() const noexcept { return head_dim_; }
   [[nodiscard]] std::size_t weight_bytes() const noexcept;
+
+  /// Projection layers, for planners that freeze per-projection plans.
+  [[nodiscard]] const LinearLayer& wq() const noexcept { return *wq_; }
+  [[nodiscard]] const LinearLayer& wk() const noexcept { return *wk_; }
+  [[nodiscard]] const LinearLayer& wv() const noexcept { return *wv_; }
+  [[nodiscard]] const LinearLayer& wo() const noexcept { return *wo_; }
 
  private:
   std::size_t hidden_;

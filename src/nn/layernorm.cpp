@@ -5,7 +5,7 @@
 
 namespace biq::nn {
 
-void LayerNorm::forward(Matrix& x) const {
+void LayerNorm::forward(MatrixView x) const {
   if (x.rows() != gamma_.size()) {
     throw std::invalid_argument("LayerNorm: dimension mismatch");
   }

@@ -22,8 +22,10 @@ class LayerNorm {
   [[nodiscard]] std::vector<float>& beta() noexcept { return beta_; }
 
   /// Normalizes each column of x in place: per-column mean/variance over
-  /// rows, then scale by gamma and shift by beta.
-  void forward(Matrix& x) const;
+  /// rows, then scale by gamma and shift by beta. Strided view — arena
+  /// slots and buffer windows normalize in place; a Matrix converts
+  /// implicitly.
+  void forward(MatrixView x) const;
 
  private:
   std::vector<float> gamma_;

@@ -46,6 +46,9 @@ class EngineLinear final : public LinearLayer {
   [[nodiscard]] const GemmEngine& engine() const noexcept override {
     return *engine_;
   }
+  [[nodiscard]] const std::vector<float>& bias() const noexcept override {
+    return bias_;
+  }
 
  private:
   ExecContext* ctx_ = nullptr;
@@ -55,6 +58,15 @@ class EngineLinear final : public LinearLayer {
 };
 
 }  // namespace
+
+LinearPlan::LinearPlan(const LinearLayer& layer, std::size_t batch,
+                       ExecContext& ctx)
+    : plan_(layer.engine().plan(batch, ctx)), bias_(&layer.bias()) {}
+
+void LinearPlan::run(ConstMatrixView x, MatrixView y) const {
+  plan_->run(x, y);
+  if (!bias_->empty()) add_bias(y, *bias_);
+}
 
 Linear::Linear(const Matrix& w, std::vector<float> bias, ExecContext* ctx)
     : m_(w.rows()), n_(w.cols()), ctx_(ctx), bias_(std::move(bias)) {

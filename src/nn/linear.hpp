@@ -85,6 +85,35 @@ class LinearLayer {
 
   /// The GemmEngine the layer forwards through.
   [[nodiscard]] virtual const GemmEngine& engine() const noexcept = 0;
+
+  /// The layer's bias vector (empty = no bias). Whole-model planners
+  /// freeze forward passes outside the virtual dispatch, so the bias
+  /// must be reachable through the interface.
+  [[nodiscard]] virtual const std::vector<float>& bias() const noexcept = 0;
+};
+
+/// One layer's frozen forward: the engine's GemmPlan for a fixed batch
+/// plus the layer's bias. This is the building block nn::ModelPlan holds
+/// per projection — run() is bitwise identical to LinearLayer::forward
+/// at the planned batch (same engine plan, same bias add), with zero
+/// per-call planning. Borrows the layer and the context; both must
+/// outlive the plan.
+class LinearPlan {
+ public:
+  LinearPlan() = default;
+  LinearPlan(const LinearLayer& layer, std::size_t batch, ExecContext& ctx);
+
+  /// y = W.x + bias through the frozen recipe. x: in x batch,
+  /// y: out x batch (overwritten); both may be strided windows.
+  void run(ConstMatrixView x, MatrixView y) const;
+
+  [[nodiscard]] std::size_t batch() const noexcept {
+    return plan_ != nullptr ? plan_->batch() : 0;
+  }
+
+ private:
+  std::unique_ptr<GemmPlan> plan_;
+  const std::vector<float>* bias_ = nullptr;
 };
 
 /// fp32 layer; kernel = registry "blocked" (pre-packed blocked GEMM).
@@ -108,6 +137,9 @@ class Linear final : public LinearLayer {
   }
   [[nodiscard]] const GemmEngine& engine() const noexcept override {
     return *engine_;
+  }
+  [[nodiscard]] const std::vector<float>& bias() const noexcept override {
+    return bias_;
   }
 
  private:
@@ -149,6 +181,9 @@ class QuantLinear final : public LinearLayer {
 
   [[nodiscard]] const GemmEngine& engine() const noexcept override {
     return *engine_;
+  }
+  [[nodiscard]] const std::vector<float>& bias() const noexcept override {
+    return bias_;
   }
   [[nodiscard]] unsigned bits() const noexcept { return bits_; }
 

@@ -34,9 +34,11 @@ void LstmCell::step(const float* x_t, float* h, float* c) const {
   Matrix gh(4 * hidden_, 1, /*zero_fill=*/false);
   wx_->forward(xin, gx);
   wh_->forward(hin, gh);
+  apply_gates(gx.col(0), gh.col(0), h, c);
+}
 
-  const float* px = gx.col(0);
-  const float* ph = gh.col(0);
+void LstmCell::apply_gates(const float* px, const float* ph, float* h,
+                           float* c) const noexcept {
   for (std::size_t j = 0; j < hidden_; ++j) {
     const float gi = sigmoid(px[j] + ph[j] + bias_[j]);
     const float gf = sigmoid(px[hidden_ + j] + ph[hidden_ + j] + bias_[hidden_ + j]);
@@ -49,7 +51,7 @@ void LstmCell::step(const float* x_t, float* h, float* c) const {
   }
 }
 
-void Lstm::forward(const Matrix& x, Matrix& h_out) const {
+void Lstm::forward(ConstMatrixView x, MatrixView h_out) const {
   const std::size_t hidden = cell_.hidden_size();
   if (x.rows() != cell_.input_size() || h_out.rows() != hidden ||
       h_out.cols() != x.cols()) {
@@ -63,7 +65,7 @@ void Lstm::forward(const Matrix& x, Matrix& h_out) const {
   }
 }
 
-void Lstm::forward_reverse(const Matrix& x, Matrix& h_out) const {
+void Lstm::forward_reverse(ConstMatrixView x, MatrixView h_out) const {
   const std::size_t hidden = cell_.hidden_size();
   if (x.rows() != cell_.input_size() || h_out.rows() != hidden ||
       h_out.cols() != x.cols()) {
@@ -85,7 +87,7 @@ BiLstm::BiLstm(LstmCell forward_cell, LstmCell backward_cell)
   }
 }
 
-void BiLstm::forward(const Matrix& x, Matrix& h_out) const {
+void BiLstm::forward(ConstMatrixView x, MatrixView h_out) const {
   const std::size_t hidden = hidden_size();
   if (h_out.rows() != 2 * hidden || h_out.cols() != x.cols()) {
     throw std::invalid_argument("BiLstm::forward: shape mismatch");

@@ -32,6 +32,20 @@ class LstmCell {
   /// in place.
   void step(const float* x_t, float* h, float* c) const;
 
+  /// The gate non-linearities over pre-activations px = Wx.x_t and
+  /// ph = Wh.h (both length 4h), updating h and c in place — the shared
+  /// tail of the eager step and the planned step (which computes px/ph
+  /// through cached GEMV plans into planner slots).
+  void apply_gates(const float* px, const float* ph, float* h,
+                   float* c) const noexcept;
+
+  /// Projection layers and bias, for planners freezing the step.
+  [[nodiscard]] const LinearLayer& wx() const noexcept { return *wx_; }
+  [[nodiscard]] const LinearLayer& wh() const noexcept { return *wh_; }
+  [[nodiscard]] const std::vector<float>& gate_bias() const noexcept {
+    return bias_;
+  }
+
  private:
   std::size_t in_, hidden_;
   std::unique_ptr<LinearLayer> wx_, wh_;
@@ -44,11 +58,13 @@ class Lstm {
   explicit Lstm(LstmCell cell) : cell_(std::move(cell)) {}
 
   /// x: in x T, h_out: hidden x T (overwritten; h_out[:, t] is the
-  /// hidden state after step t). Initial h, c are zero.
-  void forward(const Matrix& x, Matrix& h_out) const;
+  /// hidden state after step t). Initial h, c are zero. Strided views —
+  /// a window of a longer sequence buffer forwards without copies
+  /// (matching LinearLayer); Matrix arguments convert implicitly.
+  void forward(ConstMatrixView x, MatrixView h_out) const;
 
   /// Reverse-time variant (scans t = T-1 .. 0).
-  void forward_reverse(const Matrix& x, Matrix& h_out) const;
+  void forward_reverse(ConstMatrixView x, MatrixView h_out) const;
 
   [[nodiscard]] const LstmCell& cell() const noexcept { return cell_; }
 
@@ -62,7 +78,9 @@ class BiLstm {
  public:
   BiLstm(LstmCell forward_cell, LstmCell backward_cell);
 
-  void forward(const Matrix& x, Matrix& h_out) const;
+  /// x: in x T, h_out: 2h x T (overwritten). Strided views; Matrix
+  /// arguments convert implicitly.
+  void forward(ConstMatrixView x, MatrixView h_out) const;
 
   [[nodiscard]] std::size_t hidden_size() const noexcept {
     return fw_.cell().hidden_size();
@@ -70,6 +88,10 @@ class BiLstm {
   [[nodiscard]] std::size_t weight_bytes() const noexcept {
     return fw_.cell().weight_bytes() + bw_.cell().weight_bytes();
   }
+
+  /// Per-direction layers, for planners freezing the whole pass.
+  [[nodiscard]] const Lstm& forward_layer() const noexcept { return fw_; }
+  [[nodiscard]] const Lstm& backward_layer() const noexcept { return bw_; }
 
  private:
   Lstm fw_, bw_;

@@ -15,7 +15,7 @@ void add_bias(MatrixView y, const std::vector<float>& bias) {
   }
 }
 
-void copy_into(const Matrix& src, Matrix& dst) {
+void copy_into(ConstMatrixView src, MatrixView dst) {
   if (src.rows() != dst.rows() || src.cols() != dst.cols()) {
     throw std::invalid_argument("copy_into: shape mismatch");
   }
@@ -26,7 +26,7 @@ void copy_into(const Matrix& src, Matrix& dst) {
   }
 }
 
-void add_into(const Matrix& a, const Matrix& b, Matrix& dst) {
+void add_into(ConstMatrixView a, ConstMatrixView b, MatrixView dst) {
   if (a.rows() != b.rows() || a.cols() != b.cols() || a.rows() != dst.rows() ||
       a.cols() != dst.cols()) {
     throw std::invalid_argument("add_into: shape mismatch");

@@ -15,11 +15,12 @@ namespace biq::nn {
 /// Takes a (possibly strided) view; a Matrix converts implicitly.
 void add_bias(MatrixView y, const std::vector<float>& bias);
 
-/// Column-wise copy of src into dst (shapes must match).
-void copy_into(const Matrix& src, Matrix& dst);
+/// Column-wise copy of src into dst (shapes must match). Views — arena
+/// slots and buffer windows copy without staging.
+void copy_into(ConstMatrixView src, MatrixView dst);
 
-/// dst = a + b element-wise (residual connections).
-void add_into(const Matrix& a, const Matrix& b, Matrix& dst);
+/// dst = a + b element-wise (residual connections). dst may alias a or b.
+void add_into(ConstMatrixView a, ConstMatrixView b, MatrixView dst);
 
 /// Plain transpose (used by attention score math in tests).
 [[nodiscard]] Matrix transpose(const Matrix& a);

@@ -15,11 +15,16 @@ FeedForward::FeedForward(std::unique_ptr<LinearLayer> up,
   }
 }
 
-void FeedForward::forward(ConstMatrixView x, MatrixView y) const {
-  Matrix mid(up_->out_features(), x.cols(), /*zero_fill=*/false);
+void FeedForward::forward_through(ConstMatrixView x, MatrixView mid,
+                                  MatrixView y) const {
   up_->forward(x, mid);
   apply(mid, act_);
   down_->forward(mid, y);
+}
+
+void FeedForward::forward(ConstMatrixView x, MatrixView y) const {
+  Matrix mid(up_->out_features(), x.cols(), /*zero_fill=*/false);
+  forward_through(x, mid, y);
 }
 
 EncoderLayer::EncoderLayer(MultiHeadAttention attention, FeedForward ffn,
@@ -27,7 +32,7 @@ EncoderLayer::EncoderLayer(MultiHeadAttention attention, FeedForward ffn,
     : attention_(std::move(attention)), ffn_(std::move(ffn)), ln1_(hidden),
       ln2_(hidden) {}
 
-void EncoderLayer::forward(Matrix& x) const {
+void EncoderLayer::forward(MatrixView x) const {
   Matrix sub(x.rows(), x.cols(), /*zero_fill=*/false);
   attention_.forward(x, sub);
   add_into(x, sub, x);

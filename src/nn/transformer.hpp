@@ -35,9 +35,19 @@ class FeedForward {
   /// convert implicitly.
   void forward(ConstMatrixView x, MatrixView y) const;
 
+  /// The shared body over a caller-provided intermediate (ffn x T,
+  /// overwritten): up-projection into mid, activation, down-projection
+  /// into y. The whole-model planner routes its arena slot through this
+  /// — the same code path as the eager forward.
+  void forward_through(ConstMatrixView x, MatrixView mid, MatrixView y) const;
+
   [[nodiscard]] std::size_t weight_bytes() const noexcept {
     return up_->weight_bytes() + down_->weight_bytes();
   }
+
+  [[nodiscard]] const LinearLayer& up() const noexcept { return *up_; }
+  [[nodiscard]] const LinearLayer& down() const noexcept { return *down_; }
+  [[nodiscard]] Act activation() const noexcept { return act_; }
 
  private:
   std::unique_ptr<LinearLayer> up_, down_;
@@ -50,12 +60,22 @@ class EncoderLayer {
                std::size_t hidden);
 
   /// Post-LN residual block (original Transformer):
-  /// x <- LN(x + Attn(x)); x <- LN(x + FFN(x)). In place.
-  void forward(Matrix& x) const;
+  /// x <- LN(x + Attn(x)); x <- LN(x + FFN(x)). In place on a strided
+  /// view — a token window of a longer sequence buffer transforms with
+  /// zero copies; a Matrix converts implicitly.
+  void forward(MatrixView x) const;
 
   [[nodiscard]] std::size_t weight_bytes() const noexcept {
     return attention_.weight_bytes() + ffn_.weight_bytes();
   }
+
+  /// Sub-blocks, for planners that freeze the layer's forward pass.
+  [[nodiscard]] const MultiHeadAttention& attention() const noexcept {
+    return attention_;
+  }
+  [[nodiscard]] const FeedForward& ffn() const noexcept { return ffn_; }
+  [[nodiscard]] const LayerNorm& ln1() const noexcept { return ln1_; }
+  [[nodiscard]] const LayerNorm& ln2() const noexcept { return ln2_; }
 
  private:
   MultiHeadAttention attention_;
@@ -68,13 +88,17 @@ class TransformerEncoder {
   TransformerEncoder(TransformerConfig config, std::vector<EncoderLayer> layers)
       : config_(config), layers_(std::move(layers)) {}
 
-  /// x: hidden x T, transformed in place through all layers.
-  void forward(Matrix& x) const {
+  /// x: hidden x T, transformed in place through all layers. Strided
+  /// view; a Matrix converts implicitly.
+  void forward(MatrixView x) const {
     for (const EncoderLayer& layer : layers_) layer.forward(x);
   }
 
   [[nodiscard]] const TransformerConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t layer_count() const noexcept { return layers_.size(); }
+  [[nodiscard]] const std::vector<EncoderLayer>& layers() const noexcept {
+    return layers_;
+  }
 
   [[nodiscard]] std::size_t weight_bytes() const noexcept {
     std::size_t total = 0;

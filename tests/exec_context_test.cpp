@@ -101,6 +101,29 @@ TEST(ScratchArena, GrowsAcrossFramesAndRestabilizes) {
   EXPECT_EQ(arena.heap_allocations(), after_growth);
 }
 
+TEST(ExecContext, ModelBlocksAreStableAndFreedIndividually) {
+  // The model-block API behind nn::ModelPlan: blocks are stable while
+  // others come and go, and freeing returns exactly that block's bytes.
+  ExecContext ctx;
+  EXPECT_EQ(ctx.model_block_bytes(), 0u);
+  float* a = ctx.alloc_model_block(100);
+  float* b = ctx.alloc_model_block(200);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  a[99] = 1.0f;
+  b[199] = 2.0f;
+  EXPECT_EQ(ctx.model_block_bytes(), 300 * sizeof(float));
+  ctx.free_model_block(a);
+  EXPECT_EQ(ctx.model_block_bytes(), 200 * sizeof(float));
+  EXPECT_FLOAT_EQ(b[199], 2.0f);  // surviving block did not move
+  float* c = ctx.alloc_model_block(50);
+  c[49] = 3.0f;
+  EXPECT_FLOAT_EQ(b[199], 2.0f);
+  ctx.free_model_block(b);
+  ctx.free_model_block(c);
+  EXPECT_EQ(ctx.model_block_bytes(), 0u);
+}
+
 // ------------------------------------------------------------- partitioner
 
 TEST(Partitioner, CoversRangeExactlyOnceAtAnyWorkerCount) {
@@ -192,16 +215,19 @@ TEST(ExecContext, WarmGemvRunsServeScratchFromTheArena) {
 }
 
 TEST(ExecContext, WarmPlanRunsPerformZeroHeapAllocations) {
-  // The planned hot path must be allocation-free once warm, for every
-  // LUT engine, in the GEMV, serial-batched and tile-parallel regimes:
-  // no scratch-arena growth AND no operator-new traffic of any kind
-  // (plan-per-call adapters, hidden std::function boxing, ...).
+  // The planned hot path must be allocation-free once warm, in the
+  // GEMV, serial-batched and tile-parallel regimes: no scratch-arena
+  // growth AND no operator-new traffic of any kind (plan-per-call
+  // adapters, hidden std::function boxing, ...). Covers both LUT
+  // engines AND the two engines with transient activation-quantization
+  // phases — int8 sizes its arena frame and xnor its bit-plane
+  // workspace at plan time, so their quantize phases prewarm too.
   EngineConfig cfg;
   cfg.weight_bits = 2;
   Rng rng(17);
   const Matrix w = Matrix::random_normal(96, 112, rng, 0.0f, 0.5f);
 
-  for (const char* name : {"biqgemm", "biqgemm-grouped"}) {
+  for (const char* name : {"biqgemm", "biqgemm-grouped", "int8", "xnor"}) {
     const std::unique_ptr<GemmEngine> engine = make_engine(name, w, cfg);
     struct Regime {
       std::size_t batch;

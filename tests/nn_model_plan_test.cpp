@@ -1,0 +1,376 @@
+// ModelPlan tests: the liveness planner's aliasing discipline, bitwise
+// eager-vs-planned equivalence for every supported model class,
+// replan-on-batch-change through ModelPlanCache, arena-packing savings,
+// and the zero-allocation warm whole-model forward.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "nn/model_plan.hpp"
+#include "nn/tensor.hpp"
+
+// Binary-wide instrumented operator new (same harness as
+// exec_context_test): counts every scalar/array heap allocation so the
+// warm whole-model zero-allocation guarantee can be asserted directly.
+namespace {
+std::atomic<std::size_t> g_new_calls{0};
+
+void* counted_alloc(std::size_t size) {
+  ++g_new_calls;
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace biq::nn {
+namespace {
+
+TransformerConfig tiny() {
+  TransformerConfig cfg;
+  cfg.hidden = 32;
+  cfg.ffn = 64;
+  cfg.heads = 4;
+  cfg.layers = 2;
+  return cfg;
+}
+
+QuantSpec quant2() {
+  QuantSpec spec;
+  spec.weight_bits = 2;
+  return spec;
+}
+
+// ------------------------------------------------------------ ModelPlanner
+
+TEST(ModelPlanner, OverlappingLifetimesNeverShareMemory) {
+  ModelPlanner planner;
+  const ModelSlot a = planner.acquire(10, 3);
+  const ModelSlot b = planner.acquire(7, 7);
+  const ModelSlot c = planner.acquire(100, 1);
+  // All three live: pairwise-disjoint [offset, offset+extent) intervals.
+  const auto disjoint = [](const ModelSlot& s, const ModelSlot& t) {
+    return s.offset() + s.extent() <= t.offset() ||
+           t.offset() + t.extent() <= s.offset();
+  };
+  EXPECT_TRUE(disjoint(a, b));
+  EXPECT_TRUE(disjoint(a, c));
+  EXPECT_TRUE(disjoint(b, c));
+
+  // Release a; a same-size acquire reuses its storage, and stays
+  // disjoint from everything still live.
+  planner.release(a);
+  const ModelSlot d = planner.acquire(10, 3);
+  EXPECT_EQ(d.offset(), a.offset());
+  EXPECT_TRUE(disjoint(d, b));
+  EXPECT_TRUE(disjoint(d, c));
+  EXPECT_EQ(planner.peak_floats(), a.extent() + b.extent() + c.extent());
+}
+
+TEST(ModelPlanner, ReleasedNeighborsCoalesce) {
+  ModelPlanner planner;
+  ModelSlot a = planner.acquire(16, 1);
+  ModelSlot b = planner.acquire(16, 1);
+  ModelSlot c = planner.acquire(16, 1);
+  const std::size_t peak = planner.peak_floats();
+  planner.release(a);
+  planner.release(c);
+  planner.release(b);  // middle release must merge all three
+  const ModelSlot big = planner.acquire(48, 1);
+  EXPECT_EQ(big.offset(), 0u);
+  EXPECT_EQ(planner.peak_floats(), peak);
+}
+
+TEST(ModelPlanner, BestFitPrefersSmallestHole) {
+  ModelPlanner planner;
+  ModelSlot big = planner.acquire(64, 1);
+  const ModelSlot keep1 = planner.acquire(16, 1);
+  ModelSlot small = planner.acquire(16, 1);
+  const ModelSlot keep2 = planner.acquire(16, 1);
+  planner.release(big);
+  planner.release(small);
+  // A 16-float tensor should land in the 16-float hole, not the 64.
+  const ModelSlot fit = planner.acquire(16, 1);
+  EXPECT_EQ(fit.offset(), small.offset());
+  (void)keep1;
+  (void)keep2;
+}
+
+// ------------------------------------------- planned vs eager (bitwise)
+
+TEST(ModelPlan, EncoderPlannedMatchesEagerBitwise) {
+  Rng rng(3);
+  const Matrix input = Matrix::random_normal(32, 6, rng);
+  for (const bool quantized : {false, true}) {
+    ExecContext ctx;
+    const TransformerEncoder enc =
+        make_encoder(tiny(), 42, quantized ? quant2() : QuantSpec{}, &ctx);
+
+    Matrix eager = input;
+    enc.forward(eager);
+
+    const ModelPlan plan(enc, input.cols(), ctx);
+    EXPECT_EQ(plan.batch(), 6u);
+    EXPECT_EQ(plan.input_rows(), 32u);
+    EXPECT_EQ(plan.output_rows(), 32u);
+    Matrix planned(32, 6);
+    plan.run(input, planned);
+    EXPECT_EQ(max_abs_diff(planned, eager), 0.0f)
+        << (quantized ? "quantized" : "fp32");
+  }
+}
+
+TEST(ModelPlan, BiLstmPlannedMatchesEagerBitwise) {
+  const std::size_t in = 12, hidden = 8, frames = 7;
+  Rng rng(4);
+  const Matrix audio = Matrix::random_normal(in, frames, rng);
+  for (const bool quantized : {false, true}) {
+    ExecContext ctx;
+    const QuantSpec spec = quantized ? quant2() : QuantSpec{};
+    const BiLstm model(make_lstm_cell(in, hidden, 31, spec, &ctx),
+                       make_lstm_cell(in, hidden, 32, spec, &ctx));
+
+    Matrix eager(2 * hidden, frames);
+    model.forward(audio, eager);
+
+    const ModelPlan plan(model, frames, ctx);
+    EXPECT_EQ(plan.output_rows(), 2 * hidden);
+    Matrix planned(2 * hidden, frames);
+    plan.run(audio, planned);
+    EXPECT_EQ(max_abs_diff(planned, eager), 0.0f)
+        << (quantized ? "quantized" : "fp32");
+  }
+}
+
+TEST(ModelPlan, LstmPlannedMatchesEagerBitwise) {
+  const std::size_t in = 10, hidden = 6, frames = 5;
+  ExecContext ctx;
+  const Lstm model(make_lstm_cell(in, hidden, 9, quant2(), &ctx));
+  Rng rng(5);
+  const Matrix x = Matrix::random_normal(in, frames, rng);
+
+  Matrix eager(hidden, frames);
+  model.forward(x, eager);
+
+  const ModelPlan plan(model, frames, ctx);
+  Matrix planned(hidden, frames);
+  plan.run(x, planned);
+  EXPECT_EQ(max_abs_diff(planned, eager), 0.0f);
+}
+
+TEST(ModelPlan, AttentionPlannedMatchesEagerBitwise) {
+  ExecContext ctx;
+  const TransformerEncoder enc = make_encoder(tiny(), 17, quant2(), &ctx);
+  const MultiHeadAttention& attn = enc.layers().front().attention();
+  Rng rng(6);
+  const Matrix x = Matrix::random_normal(32, 5, rng);
+
+  Matrix eager(32, 5);
+  attn.forward(x, eager);
+
+  const ModelPlan plan(attn, 5, ctx);
+  Matrix planned(32, 5);
+  plan.run(x, planned);
+  EXPECT_EQ(max_abs_diff(planned, eager), 0.0f);
+}
+
+// --------------------------------------------------- shapes and replan
+
+TEST(ModelPlan, RejectsMismatchedShapes) {
+  ExecContext ctx;
+  const TransformerEncoder enc = make_encoder(tiny(), 1, {}, &ctx);
+  const ModelPlan plan(enc, 4, ctx);
+  Matrix x(32, 4), y(32, 4);
+  Matrix wrong_batch(32, 5), wrong_rows(16, 4);
+  EXPECT_THROW(plan.run(wrong_batch, y), std::invalid_argument);
+  EXPECT_THROW(plan.run(x, wrong_batch), std::invalid_argument);
+  EXPECT_THROW(plan.run(wrong_rows, y), std::invalid_argument);
+  EXPECT_NO_THROW(plan.run(x, y));
+}
+
+TEST(ModelPlanCache, ReplansOnBatchChangeOnly) {
+  ExecContext ctx;
+  const TransformerEncoder enc = make_encoder(tiny(), 23, quant2(), &ctx);
+  ModelPlanCache<TransformerEncoder> cache;
+
+  Rng rng(7);
+  for (const std::size_t tokens : {4u, 4u, 9u, 4u}) {
+    const Matrix x = Matrix::random_normal(32, tokens, rng);
+    Matrix eager = x;
+    enc.forward(eager);
+    Matrix planned(32, tokens);
+    cache.run(enc, x, planned, ctx);
+    ASSERT_NE(cache.plan(), nullptr);
+    EXPECT_EQ(cache.plan()->batch(), tokens);
+    EXPECT_EQ(max_abs_diff(planned, eager), 0.0f) << "tokens=" << tokens;
+  }
+}
+
+TEST(ModelPlanCache, ReplansWhenTheModelChanges) {
+  // Two models with the same shapes and batch: the cache must key on
+  // the model identity, not just (batch, context).
+  ExecContext ctx;
+  const TransformerEncoder a = make_encoder(tiny(), 7, {}, &ctx);
+  const TransformerEncoder b = make_encoder(tiny(), 8, {}, &ctx);
+  ModelPlanCache<TransformerEncoder> cache;
+
+  Rng rng(14);
+  const Matrix x = Matrix::random_normal(32, 4, rng);
+  Matrix ya(32, 4), yb(32, 4);
+  cache.run(a, x, ya, ctx);
+  cache.run(b, x, yb, ctx);
+
+  Matrix eager_b = x;
+  b.forward(eager_b);
+  EXPECT_EQ(max_abs_diff(yb, eager_b), 0.0f)
+      << "cache served model a's stale plan for model b";
+  EXPECT_GT(max_abs_diff(ya, yb), 1e-3f);
+}
+
+TEST(ModelPlanCache, SamePlanServesRepeatedBatches) {
+  ExecContext ctx;
+  const TransformerEncoder enc = make_encoder(tiny(), 23, {}, &ctx);
+  ModelPlanCache<TransformerEncoder> cache;
+  Rng rng(8);
+  const Matrix x = Matrix::random_normal(32, 3, rng);
+  Matrix y(32, 3);
+  cache.run(enc, x, y, ctx);
+  const ModelPlan* first = cache.plan();
+  cache.run(enc, x, y, ctx);
+  EXPECT_EQ(cache.plan(), first);  // no replan on a repeated batch width
+}
+
+// ------------------------------------------------------- arena packing
+
+TEST(ModelPlan, LivenessPackingBeatsUnpackedLayout) {
+  ExecContext ctx;
+  const TransformerEncoder enc = make_encoder(tiny(), 51, {}, &ctx);
+  const ModelPlan plan(enc, 8, ctx);
+  // Two layers' tensors fold into one layer's working set (plus: within
+  // a layer the FFN intermediate reuses the attention scratch).
+  EXPECT_LT(plan.arena_floats(), plan.unpacked_floats() / 2);
+  EXPECT_GT(plan.arena_floats(), 0u);
+  EXPECT_EQ(plan.arena_bytes(), plan.arena_floats() * sizeof(float));
+}
+
+TEST(ModelPlan, CoexistingPlansUseDisjointArenaBlocks) {
+  // Two plans compiled on one context must not alias each other's
+  // activation slots (one model block per plan).
+  ExecContext ctx;
+  const TransformerEncoder enc = make_encoder(tiny(), 77, quant2(), &ctx);
+  const ModelPlan plan_a(enc, 4, ctx);
+  const ModelPlan plan_b(enc, 4, ctx);
+  Rng rng(9);
+  const Matrix x = Matrix::random_normal(32, 4, rng);
+  Matrix ya(32, 4), yb(32, 4);
+  plan_a.run(x, ya);
+  plan_b.run(x, yb);  // must not corrupt plan_a's state
+  Matrix ya2(32, 4);
+  plan_a.run(x, ya2);
+  EXPECT_EQ(max_abs_diff(ya, ya2), 0.0f);
+  EXPECT_EQ(max_abs_diff(ya, yb), 0.0f);
+}
+
+TEST(ModelPlan, DestroyedPlansReturnTheirArenaBlocks) {
+  // Block lifetime equals plan lifetime: replanning on shape changes
+  // must not grow the context's model-block footprint unboundedly.
+  ExecContext ctx;
+  const TransformerEncoder enc = make_encoder(tiny(), 5, {}, &ctx);
+  EXPECT_EQ(ctx.model_block_bytes(), 0u);
+  {
+    const ModelPlan plan_a(enc, 4, ctx);
+    EXPECT_EQ(ctx.model_block_bytes(), plan_a.arena_bytes());
+    const ModelPlan plan_b(enc, 9, ctx);
+    EXPECT_EQ(ctx.model_block_bytes(),
+              plan_a.arena_bytes() + plan_b.arena_bytes());
+  }
+  EXPECT_EQ(ctx.model_block_bytes(), 0u);
+
+  ModelPlanCache<TransformerEncoder> cache;
+  Rng rng(15);
+  for (const std::size_t tokens : {4u, 9u, 4u, 9u, 4u}) {
+    const Matrix x = Matrix::random_normal(32, tokens, rng);
+    Matrix y(32, tokens);
+    cache.run(enc, x, y, ctx);
+  }
+  // Each replan returns the superseded block: the footprint at the end
+  // of the flip sequence equals one live plan, not five.
+  EXPECT_EQ(ctx.model_block_bytes(), cache.plan()->arena_bytes());
+}
+
+// ------------------------------------------- zero-alloc warm forward
+
+TEST(ModelPlan, WarmEncoderForwardPerformsZeroHeapAllocations) {
+  ExecContext ctx;
+  const TransformerEncoder enc = make_encoder(tiny(), 42, quant2(), &ctx);
+  Rng rng(10);
+  const Matrix x = Matrix::random_normal(32, 6, rng);
+  Matrix y(32, 6);
+
+  const ModelPlan plan(enc, 6, ctx);
+  plan.run(x, y);  // first run grows the engines' scratch arenas
+  plan.run(x, y);  // second consolidates overflow blocks
+  const std::size_t arena_warm = ctx.scratch_heap_allocations();
+  const std::size_t new_warm = g_new_calls.load();
+  for (int rep = 0; rep < 8; ++rep) plan.run(x, y);
+  EXPECT_EQ(ctx.scratch_heap_allocations(), arena_warm)
+      << "warm ModelPlan::run grew a scratch arena";
+  EXPECT_EQ(g_new_calls.load(), new_warm)
+      << "warm ModelPlan::run allocated on the heap";
+}
+
+TEST(ModelPlan, WarmBiLstmForwardPerformsZeroHeapAllocations) {
+  const std::size_t in = 24, hidden = 16, frames = 6;
+  ExecContext ctx;
+  const BiLstm model(make_lstm_cell(in, hidden, 61, quant2(), &ctx),
+                     make_lstm_cell(in, hidden, 62, quant2(), &ctx));
+  Rng rng(11);
+  const Matrix x = Matrix::random_normal(in, frames, rng);
+  Matrix y(2 * hidden, frames);
+
+  const ModelPlan plan(model, frames, ctx);
+  plan.run(x, y);
+  plan.run(x, y);
+  const std::size_t arena_warm = ctx.scratch_heap_allocations();
+  const std::size_t new_warm = g_new_calls.load();
+  for (int rep = 0; rep < 8; ++rep) plan.run(x, y);
+  EXPECT_EQ(ctx.scratch_heap_allocations(), arena_warm)
+      << "warm BiLSTM ModelPlan::run grew a scratch arena";
+  EXPECT_EQ(g_new_calls.load(), new_warm)
+      << "warm BiLSTM ModelPlan::run allocated on the heap";
+}
+
+TEST(ModelPlan, WarmTileParallelEncoderForwardPerformsZeroHeapAllocations) {
+  // Same pin with a pool bound to the context: the partitioner's
+  // dispatch and every engine's tile path must stay allocation-free
+  // inside the whole-model plan too.
+  ThreadPool pool(3);
+  ExecContext ctx(&pool);
+  const TransformerEncoder enc = make_encoder(tiny(), 42, quant2(), &ctx);
+  Rng rng(12);
+  const Matrix x = Matrix::random_normal(32, 48, rng);
+  Matrix y(32, 48);
+
+  const ModelPlan plan(enc, 48, ctx);
+  plan.run(x, y);
+  plan.run(x, y);
+  const std::size_t arena_warm = ctx.scratch_heap_allocations();
+  const std::size_t new_warm = g_new_calls.load();
+  for (int rep = 0; rep < 4; ++rep) plan.run(x, y);
+  EXPECT_EQ(ctx.scratch_heap_allocations(), arena_warm);
+  EXPECT_EQ(g_new_calls.load(), new_warm);
+}
+
+}  // namespace
+}  // namespace biq::nn
