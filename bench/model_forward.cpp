@@ -1,15 +1,19 @@
 // Whole-model planned execution: eager layer-by-layer forward (heap-
 // allocated temporaries, per-layer plan caches) vs ModelPlan (all GEMM
 // plans frozen up front, activations liveness-packed into one arena,
-// zero-allocation warm runs) for a Transformer encoder and a BiLSTM.
-// Run with --json to emit BENCH_model_forward.json for the perf
-// trajectory.
+// zero-allocation warm runs) for a Transformer encoder, a BiLSTM, a
+// 4-deep stacked BiLSTM pyramid and an encoder+BiLSTM+head hybrid —
+// the last two composed with nn::Sequential and compiled through the
+// same generic module walker as the single models. Run with --json to
+// emit BENCH_model_forward.json for the perf trajectory.
 //
 //   $ ./model_forward [tokens] [layers] [hidden] [--json]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "nn/model_plan.hpp"
@@ -21,6 +25,54 @@ namespace {
 std::size_t arg_or(int argc, char** argv, int i, std::size_t fallback) {
   if (argc <= i || std::strcmp(argv[i], "--json") == 0) return fallback;
   return std::strtoul(argv[i], nullptr, 10);
+}
+
+std::string arena_cell(const biq::nn::ModelPlan& plan) {
+  return biq::TablePrinter::fmt(
+             static_cast<double>(plan.arena_bytes()) / 1024.0, 1) +
+         " / " +
+         biq::TablePrinter::fmt(
+             static_cast<double>(plan.unpacked_floats() * 4) / 1024.0, 1);
+}
+
+/// 4-deep stacked BiLSTM pyramid: each level's 2h output feeds the next
+/// level, halving the per-direction width (the LAS encoder shape).
+biq::nn::Sequential make_pyramid(std::size_t input, const biq::nn::QuantSpec& spec,
+                                 biq::ExecContext& ctx) {
+  biq::nn::Sequential pyramid;
+  std::size_t rows = input;
+  std::size_t h = input / 2;
+  std::uint64_t seed = 40;
+  for (int level = 0; level < 4; ++level) {
+    pyramid.add(std::make_unique<biq::nn::BiLstm>(
+        biq::nn::make_lstm_cell(rows, h, seed, spec, &ctx),
+        biq::nn::make_lstm_cell(rows, h, seed + 1, spec, &ctx)));
+    seed += 2;
+    rows = 2 * h;
+    h = h > 8 ? h / 2 : h;
+  }
+  return pyramid;
+}
+
+/// Encoder stack -> BiLSTM -> linear head (the hybrid only the generic
+/// walker can compile).
+biq::nn::Sequential make_hybrid(const biq::nn::TransformerConfig& cfg,
+                                const biq::nn::QuantSpec& spec,
+                                biq::ExecContext& ctx) {
+  const std::size_t lstm_hidden = cfg.hidden / 2;
+  biq::nn::Sequential hybrid;
+  hybrid.add(std::make_unique<biq::nn::TransformerEncoder>(
+      biq::nn::make_encoder(cfg, 2020, spec, &ctx)));
+  hybrid.add(std::make_unique<biq::nn::BiLstm>(
+      biq::nn::make_lstm_cell(cfg.hidden, lstm_hidden, 61, spec, &ctx),
+      biq::nn::make_lstm_cell(cfg.hidden, lstm_hidden, 62, spec, &ctx)));
+  biq::Rng wrng(9);
+  const biq::Matrix head =
+      biq::nn::xavier_uniform(cfg.hidden, 2 * lstm_hidden, wrng);
+  hybrid.add(biq::nn::make_linear(head, std::vector<float>(cfg.hidden, 0.0f),
+                                  spec.weight_bits, spec.method, spec.kernel,
+                                  &ctx));
+  return hybrid;
 }
 
 }  // namespace
@@ -77,13 +129,7 @@ int main(int argc, char** argv) {
       table.add_row(
           {"encoder", weights, biq::bench::ms(eager), biq::bench::ms(planned),
            biq::TablePrinter::fmt(eager / planned, 2) + "x",
-           biq::TablePrinter::fmt(
-               static_cast<double>(plan.arena_bytes()) / 1024.0, 1) +
-               " / " +
-               biq::TablePrinter::fmt(static_cast<double>(
-                                          plan.unpacked_floats() * 4) /
-                                          1024.0,
-                                      1)});
+           arena_cell(plan)});
       json.record({biq::bench::jstr("model", "encoder"),
                    biq::bench::jstr("weights", weights),
                    biq::bench::jint("tokens", static_cast<long long>(tokens)),
@@ -115,18 +161,71 @@ int main(int argc, char** argv) {
       table.add_row(
           {"bilstm", weights, biq::bench::ms(eager), biq::bench::ms(planned),
            biq::TablePrinter::fmt(eager / planned, 2) + "x",
-           biq::TablePrinter::fmt(
-               static_cast<double>(plan.arena_bytes()) / 1024.0, 1) +
-               " / " +
-               biq::TablePrinter::fmt(static_cast<double>(
-                                          plan.unpacked_floats() * 4) /
-                                          1024.0,
-                                      1)});
+           arena_cell(plan)});
       json.record({biq::bench::jstr("model", "bilstm"),
                    biq::bench::jstr("weights", weights),
                    biq::bench::jint("frames", static_cast<long long>(tokens)),
                    biq::bench::jint("hidden",
                                     static_cast<long long>(lstm_hidden)),
+                   biq::bench::jnum("eager_ms", eager * 1e3),
+                   biq::bench::jnum("planned_ms", planned * 1e3),
+                   biq::bench::jint("arena_bytes", static_cast<long long>(
+                                                       plan.arena_bytes()))});
+    }
+
+    {
+      // 4-deep BiLSTM pyramid through the generic walker.
+      biq::ExecContext ctx;
+      const biq::nn::Sequential pyramid = make_pyramid(hidden, spec, ctx);
+      const biq::Matrix audio =
+          biq::Matrix::random_normal(hidden, tokens, rng);
+      biq::Matrix out(pyramid.out_shape({hidden, tokens}).rows, tokens);
+
+      const double eager =
+          biq::bench::median_seconds([&] { pyramid.forward(audio, out); });
+      const biq::nn::ModelPlan plan(pyramid, tokens, ctx);
+      plan.run(audio, out);
+      const double planned =
+          biq::bench::median_seconds([&] { plan.run(audio, out); });
+
+      table.add_row({"bilstm-pyramid-4", weights, biq::bench::ms(eager),
+                     biq::bench::ms(planned),
+                     biq::TablePrinter::fmt(eager / planned, 2) + "x",
+                     arena_cell(plan)});
+      json.record({biq::bench::jstr("model", "bilstm_pyramid4"),
+                   biq::bench::jstr("weights", weights),
+                   biq::bench::jint("frames", static_cast<long long>(tokens)),
+                   biq::bench::jint("hidden", static_cast<long long>(hidden)),
+                   biq::bench::jnum("eager_ms", eager * 1e3),
+                   biq::bench::jnum("planned_ms", planned * 1e3),
+                   biq::bench::jint("arena_bytes", static_cast<long long>(
+                                                       plan.arena_bytes()))});
+    }
+
+    {
+      // Encoder + BiLSTM + head hybrid (Sequential over three blocks).
+      biq::ExecContext ctx;
+      const biq::nn::Sequential hybrid = make_hybrid(cfg, spec, ctx);
+      const biq::Matrix input =
+          biq::Matrix::random_normal(hidden, tokens, rng);
+      biq::Matrix out(hidden, tokens);
+
+      const double eager =
+          biq::bench::median_seconds([&] { hybrid.forward(input, out); });
+      const biq::nn::ModelPlan plan(hybrid, tokens, ctx);
+      plan.run(input, out);
+      const double planned =
+          biq::bench::median_seconds([&] { plan.run(input, out); });
+
+      table.add_row({"encoder+bilstm", weights, biq::bench::ms(eager),
+                     biq::bench::ms(planned),
+                     biq::TablePrinter::fmt(eager / planned, 2) + "x",
+                     arena_cell(plan)});
+      json.record({biq::bench::jstr("model", "encoder_bilstm_hybrid"),
+                   biq::bench::jstr("weights", weights),
+                   biq::bench::jint("tokens", static_cast<long long>(tokens)),
+                   biq::bench::jint("layers", layers),
+                   biq::bench::jint("hidden", static_cast<long long>(hidden)),
                    biq::bench::jnum("eager_ms", eager * 1e3),
                    biq::bench::jnum("planned_ms", planned * 1e3),
                    biq::bench::jint("arena_bytes", static_cast<long long>(

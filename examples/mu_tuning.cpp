@@ -11,6 +11,7 @@
 
 #include "core/key_matrix.hpp"
 #include "core/mu_select.hpp"
+#include "engine/exec_context.hpp"
 #include "engine/registry.hpp"
 #include "util/cpu_features.hpp"
 #include "util/stats.hpp"
@@ -42,14 +43,20 @@ int main(int argc, char** argv) {
   unsigned best_mu = 1;
   // One registry-built engine per candidate mu (1-bit quantization, the
   // kernel-comparison configuration); the concrete type never appears.
+  // Each engine is timed through its held GemmPlan — the prepare/execute
+  // split users serve traffic with — so the sweep measures the warm
+  // kernel, not per-call planning overhead.
+  biq::ExecContext ctx;
   biq::EngineConfig cfg;
   cfg.codes = &codes;
   for (unsigned mu = 1; mu <= max_mu; ++mu) {
     cfg.kernel.mu = mu;
     const std::unique_ptr<biq::GemmEngine> engine =
         biq::make_engine("biqgemm", w, cfg);
+    const std::unique_ptr<biq::GemmPlan> plan = engine->plan(batch, ctx);
+    plan->run(x, y);  // warm the scratch arenas before timing
     const auto t = biq::summarize(
-        biq::measure_repetitions([&] { engine->run(x, y); }, 3, 0.1));
+        biq::measure_repetitions([&] { plan->run(x, y); }, 3, 0.1));
     if (t.median < best_time) {
       best_time = t.median;
       best_mu = mu;

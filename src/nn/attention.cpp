@@ -6,6 +6,60 @@
 #include "nn/activations.hpp"
 
 namespace biq::nn {
+namespace {
+
+/// One attention block's frozen forward: per-projection plans plus the
+/// planner slots for q/k/v, the score matrix and the head context —
+/// the same attend() routine as the eager forward, temporaries served
+/// from the arena.
+class AttentionStep final : public ModuleStep {
+ public:
+  AttentionStep(const MultiHeadAttention& attn, ModulePlanContext& mpc)
+      : attn_(&attn) {
+    const std::size_t tokens = mpc.batch();
+    sq_ = mpc.acquire(attn.hidden(), tokens);
+    sk_ = mpc.acquire(attn.hidden(), tokens);
+    sv_ = mpc.acquire(attn.hidden(), tokens);
+    sscores_ = mpc.acquire(tokens, tokens);
+    scontext_ = mpc.acquire(attn.hidden(), tokens);
+    q_ = LinearPlan(attn.wq(), tokens, mpc.exec());
+    k_ = LinearPlan(attn.wk(), tokens, mpc.exec());
+    v_ = LinearPlan(attn.wv(), tokens, mpc.exec());
+    o_ = LinearPlan(attn.wo(), tokens, mpc.exec());
+    for (const ModelSlot* s : {&sscores_, &sq_, &sk_, &sv_, &scontext_}) {
+      mpc.release(*s);
+    }
+  }
+
+  void run_step(float* base, ConstMatrixView x, MatrixView y) const override {
+    const MatrixView q = sq_.view(base);
+    const MatrixView k = sk_.view(base);
+    const MatrixView v = sv_.view(base);
+    q_.run(x, q);
+    k_.run(x, k);
+    v_.run(x, v);
+    const MatrixView context = scontext_.view(base);
+    attn_->attend(q, k, v, sscores_.view(base), context);
+    o_.run(context, y);
+  }
+
+ private:
+  const MultiHeadAttention* attn_;
+  LinearPlan q_, k_, v_, o_;
+  ModelSlot sq_, sk_, sv_, sscores_, scontext_;
+};
+
+}  // namespace
+
+Shape MultiHeadAttention::out_shape(Shape in) const {
+  check_in_rows(in, "MultiHeadAttention");
+  return in;
+}
+
+std::unique_ptr<ModuleStep> MultiHeadAttention::plan_into(
+    ModulePlanContext& mpc) const {
+  return std::make_unique<AttentionStep>(*this, mpc);
+}
 
 MultiHeadAttention::MultiHeadAttention(std::unique_ptr<LinearLayer> wq,
                                        std::unique_ptr<LinearLayer> wk,

@@ -11,7 +11,7 @@
 
 namespace biq::nn {
 
-class MultiHeadAttention {
+class MultiHeadAttention final : public PlannableModule {
  public:
   /// All projections must be hidden x hidden; heads must divide hidden.
   MultiHeadAttention(std::unique_ptr<LinearLayer> wq,
@@ -22,7 +22,17 @@ class MultiHeadAttention {
   /// Self-attention: x is hidden x T (T tokens), y is hidden x T
   /// (overwritten). Views — a token window of a longer sequence buffer
   /// attends in place, zero copies; Matrix arguments convert implicitly.
-  void forward(ConstMatrixView x, MatrixView y) const;
+  void forward(ConstMatrixView x, MatrixView y) const override;
+
+  /// PlannableModule: the frozen step holds the four projection plans
+  /// plus slots for q/k/v, the score matrix and the head context (all
+  /// internal — acquired and released within plan_into).
+  [[nodiscard]] std::size_t in_rows() const noexcept override {
+    return hidden_;
+  }
+  [[nodiscard]] Shape out_shape(Shape in) const override;
+  [[nodiscard]] std::unique_ptr<ModuleStep> plan_into(
+      ModulePlanContext& mpc) const override;
 
   /// The fp32 attention math over already-projected activations: per
   /// head h, scores = softmax(Q_h^T K_h / sqrt(d)) column-wise, then

@@ -3,7 +3,44 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/tensor.hpp"
+
 namespace biq::nn {
+namespace {
+
+class LayerNormStep final : public ModuleStep {
+ public:
+  explicit LayerNormStep(const LayerNorm& ln) : ln_(&ln) {}
+
+  void run_step(float* /*base*/, ConstMatrixView x,
+                MatrixView y) const override {
+    copy_into(x, y);
+    ln_->forward(y);
+  }
+
+ private:
+  const LayerNorm* ln_;
+};
+
+}  // namespace
+
+Shape LayerNorm::out_shape(Shape in) const {
+  check_in_rows(in, "LayerNorm");
+  return in;
+}
+
+std::unique_ptr<ModuleStep> LayerNorm::plan_into(
+    ModulePlanContext& /*mpc*/) const {
+  return std::make_unique<LayerNormStep>(*this);
+}
+
+void LayerNorm::forward(ConstMatrixView x, MatrixView y) const {
+  if (y.rows() != x.rows() || y.cols() != x.cols()) {
+    throw std::invalid_argument("LayerNorm: output shape mismatch");
+  }
+  copy_into(x, y);
+  forward(y);
+}
 
 void LayerNorm::forward(MatrixView x) const {
   if (x.rows() != gamma_.size()) {

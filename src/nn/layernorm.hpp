@@ -8,10 +8,11 @@
 #include <vector>
 
 #include "matrix/matrix.hpp"
+#include "nn/module.hpp"
 
 namespace biq::nn {
 
-class LayerNorm {
+class LayerNorm final : public PlannableModule {
  public:
   explicit LayerNorm(std::size_t dim, float eps = 1e-5f)
       : gamma_(dim, 1.0f), beta_(dim, 0.0f), eps_(eps) {}
@@ -26,6 +27,16 @@ class LayerNorm {
   /// slots and buffer windows normalize in place; a Matrix converts
   /// implicitly.
   void forward(MatrixView x) const;
+
+  /// PlannableModule: shape-preserving, no GEMMs, no internal slots —
+  /// the module form copies x into y and normalizes in place.
+  [[nodiscard]] std::size_t in_rows() const noexcept override {
+    return dim();
+  }
+  [[nodiscard]] Shape out_shape(Shape in) const override;
+  [[nodiscard]] std::unique_ptr<ModuleStep> plan_into(
+      ModulePlanContext& mpc) const override;
+  void forward(ConstMatrixView x, MatrixView y) const override;
 
  private:
   std::vector<float> gamma_;

@@ -57,7 +57,32 @@ class EngineLinear final : public LinearLayer {
   PlanCache plans_;
 };
 
+/// LinearLayer's frozen module step: the held LinearPlan, no slots.
+class LinearStep final : public ModuleStep {
+ public:
+  LinearStep(const LinearLayer& layer, std::size_t batch, ExecContext& ctx)
+      : plan_(layer, batch, ctx) {}
+
+  void run_step(float* /*base*/, ConstMatrixView x,
+                MatrixView y) const override {
+    plan_.run(x, y);
+  }
+
+ private:
+  LinearPlan plan_;
+};
+
 }  // namespace
+
+Shape LinearLayer::out_shape(Shape in) const {
+  check_in_rows(in, "LinearLayer");
+  return {out_features(), in.cols};
+}
+
+std::unique_ptr<ModuleStep> LinearLayer::plan_into(
+    ModulePlanContext& mpc) const {
+  return std::make_unique<LinearStep>(*this, mpc.batch(), mpc.exec());
+}
 
 LinearPlan::LinearPlan(const LinearLayer& layer, std::size_t batch,
                        ExecContext& ctx)

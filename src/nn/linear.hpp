@@ -27,6 +27,7 @@
 
 #include "engine/registry.hpp"
 #include "matrix/matrix.hpp"
+#include "nn/module.hpp"
 
 namespace biq::nn {
 
@@ -55,22 +56,30 @@ class PlanCache {
   mutable std::unique_ptr<GemmPlan> plan_;
 };
 
-class LinearLayer {
+class LinearLayer : public PlannableModule {
  public:
-  virtual ~LinearLayer() = default;
-
   /// y = W.x + bias. x: in x batch, y: out x batch (overwritten). Both
   /// are strided views — slices of larger buffers forward with zero
   /// copies; whole Matrix objects convert implicitly.
   virtual void forward(ConstMatrixView x, MatrixView y,
                        ExecContext& ctx) const = 0;
 
-  /// Context-less form: uses the bound context when the layer has one,
-  /// else the calling thread's serial default.
-  void forward(ConstMatrixView x, MatrixView y) const {
+  /// Context-less form (the PlannableModule eager forward): uses the
+  /// bound context when the layer has one, else the calling thread's
+  /// serial default.
+  void forward(ConstMatrixView x, MatrixView y) const override {
     ExecContext* bound = bound_context();
     forward(x, y, bound != nullptr ? *bound : ExecContext::thread_default());
   }
+
+  /// PlannableModule: a linear layer is a pure projection — its frozen
+  /// step is one LinearPlan and it owns no internal activation slots.
+  [[nodiscard]] std::size_t in_rows() const noexcept override {
+    return in_features();
+  }
+  [[nodiscard]] Shape out_shape(Shape in) const override;
+  [[nodiscard]] std::unique_ptr<ModuleStep> plan_into(
+      ModulePlanContext& mpc) const override;
 
   /// The ExecContext the layer was constructed with (nullptr = none).
   [[nodiscard]] virtual ExecContext* bound_context() const noexcept {

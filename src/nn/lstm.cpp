@@ -51,6 +51,104 @@ void LstmCell::apply_gates(const float* px, const float* ph, float* h,
   }
 }
 
+LstmCell::ScanPlan LstmCell::plan_scan(ModulePlanContext& mpc) const {
+  ScanPlan p;
+  p.cell_ = this;
+  p.sgx_ = mpc.acquire(4 * hidden_, 1);
+  p.sgh_ = mpc.acquire(4 * hidden_, 1);
+  p.sh_ = mpc.acquire(hidden_, 1);
+  p.sc_ = mpc.acquire(hidden_, 1);
+  p.wx_ = LinearPlan(*wx_, 1, mpc.exec());
+  p.wh_ = LinearPlan(*wh_, 1, mpc.exec());
+  return p;
+}
+
+void LstmCell::ScanPlan::release(ModulePlanContext& mpc) const {
+  mpc.release(sgx_);
+  mpc.release(sgh_);
+  mpc.release(sh_);
+  mpc.release(sc_);
+}
+
+void LstmCell::ScanPlan::run(float* base, ConstMatrixView x, MatrixView y,
+                             bool reverse) const {
+  const MatrixView gx = sgx_.view(base);
+  const MatrixView gh = sgh_.view(base);
+  const MatrixView h = sh_.view(base);
+  const MatrixView c = sc_.view(base);
+  h.set_zero();
+  c.set_zero();
+  const std::size_t frames = x.cols();
+  const std::size_t hidden = cell_->hidden_size();
+  for (std::size_t s = 0; s < frames; ++s) {
+    const std::size_t t = reverse ? frames - 1 - s : s;
+    wx_.run(x.col_block(t, 1), gx);
+    wh_.run(h, gh);
+    cell_->apply_gates(gx.col(0), gh.col(0), h.col(0), c.col(0));
+    float* out = y.col(t);
+    const float* hp = h.col(0);
+    for (std::size_t i = 0; i < hidden; ++i) out[i] = hp[i];
+  }
+}
+
+namespace {
+
+class LstmStep final : public ModuleStep {
+ public:
+  explicit LstmStep(LstmCell::ScanPlan scan) : scan_(std::move(scan)) {}
+
+  void run_step(float* base, ConstMatrixView x, MatrixView y) const override {
+    scan_.run(base, x, y, /*reverse=*/false);
+  }
+
+ private:
+  LstmCell::ScanPlan scan_;
+};
+
+class BiLstmStep final : public ModuleStep {
+ public:
+  BiLstmStep(LstmCell::ScanPlan fw, LstmCell::ScanPlan bw, std::size_t hidden)
+      : fw_(std::move(fw)), bw_(std::move(bw)), hidden_(hidden) {}
+
+  void run_step(float* base, ConstMatrixView x, MatrixView y) const override {
+    fw_.run(base, x, y.block(0, hidden_, 0, y.cols()), /*reverse=*/false);
+    bw_.run(base, x, y.block(hidden_, hidden_, 0, y.cols()), /*reverse=*/true);
+  }
+
+ private:
+  LstmCell::ScanPlan fw_, bw_;
+  std::size_t hidden_;
+};
+
+}  // namespace
+
+Shape Lstm::out_shape(Shape in) const {
+  check_in_rows(in, "Lstm");
+  return {cell_.hidden_size(), in.cols};
+}
+
+std::unique_ptr<ModuleStep> Lstm::plan_into(ModulePlanContext& mpc) const {
+  LstmCell::ScanPlan scan = cell_.plan_scan(mpc);
+  scan.release(mpc);  // state slots live only while this step runs
+  return std::make_unique<LstmStep>(std::move(scan));
+}
+
+Shape BiLstm::out_shape(Shape in) const {
+  check_in_rows(in, "BiLstm");
+  return {2 * hidden_size(), in.cols};
+}
+
+std::unique_ptr<ModuleStep> BiLstm::plan_into(ModulePlanContext& mpc) const {
+  // The directions run sequentially, so the backward scan's slots
+  // reuse the forward scan's released storage.
+  LstmCell::ScanPlan fw = fw_.cell().plan_scan(mpc);
+  fw.release(mpc);
+  LstmCell::ScanPlan bw = bw_.cell().plan_scan(mpc);
+  bw.release(mpc);
+  return std::make_unique<BiLstmStep>(std::move(fw), std::move(bw),
+                                      hidden_size());
+}
+
 void Lstm::forward(ConstMatrixView x, MatrixView h_out) const {
   const std::size_t hidden = cell_.hidden_size();
   if (x.rows() != cell_.input_size() || h_out.rows() != hidden ||

@@ -10,6 +10,7 @@
 
 #include "matrix/matrix.hpp"
 #include "nn/linear.hpp"
+#include "nn/module.hpp"
 
 namespace biq::nn {
 
@@ -17,6 +18,31 @@ namespace biq::nn {
 /// forget f, candidate g, output o (rows [0,h), [h,2h), [2h,3h), [3h,4h)).
 class LstmCell {
  public:
+  /// One direction's frozen scan over a sequence: the two GEMV plans of
+  /// the cell plus planner slots for the gate pre-activations and the
+  /// h/c state. Built by plan_scan(); the Lstm/BiLstm module steps
+  /// replay it (reverse scans run t = T-1 .. 0).
+  class ScanPlan {
+   public:
+    ScanPlan() = default;
+
+    /// Returns the scan's slots to the planner (they are live only
+    /// while the owning module's step runs).
+    void release(ModulePlanContext& mpc) const;
+
+    /// x: in x T -> y: h x T, through the frozen GEMV plans and the
+    /// same apply_gates() tail as the eager step.
+    void run(float* base, ConstMatrixView x, MatrixView y,
+             bool reverse) const;
+
+   private:
+    friend class LstmCell;
+    const LstmCell* cell_ = nullptr;
+    LinearPlan wx_, wh_;
+    ModelSlot sgx_, sgh_;  // 4h x 1 gate pre-activations
+    ModelSlot sh_, sc_;    // h x 1 hidden / cell state
+  };
+
   /// input_proj: (4h x in), recurrent_proj: (4h x h), bias length 4h.
   LstmCell(std::unique_ptr<LinearLayer> input_proj,
            std::unique_ptr<LinearLayer> recurrent_proj,
@@ -46,6 +72,11 @@ class LstmCell {
     return bias_;
   }
 
+  /// Freezes one direction's scan: acquires the gate/state slots and
+  /// both GEMV plans (batch 1). The slots are left LIVE — the caller
+  /// releases via ScanPlan::release() once dependent layouts are done.
+  [[nodiscard]] ScanPlan plan_scan(ModulePlanContext& mpc) const;
+
  private:
   std::size_t in_, hidden_;
   std::unique_ptr<LinearLayer> wx_, wh_;
@@ -53,7 +84,7 @@ class LstmCell {
 };
 
 /// Unidirectional layer: runs the cell over a sequence.
-class Lstm {
+class Lstm final : public PlannableModule {
  public:
   explicit Lstm(LstmCell cell) : cell_(std::move(cell)) {}
 
@@ -61,12 +92,21 @@ class Lstm {
   /// hidden state after step t). Initial h, c are zero. Strided views —
   /// a window of a longer sequence buffer forwards without copies
   /// (matching LinearLayer); Matrix arguments convert implicitly.
-  void forward(ConstMatrixView x, MatrixView h_out) const;
+  void forward(ConstMatrixView x, MatrixView h_out) const override;
 
   /// Reverse-time variant (scans t = T-1 .. 0).
   void forward_reverse(ConstMatrixView x, MatrixView h_out) const;
 
   [[nodiscard]] const LstmCell& cell() const noexcept { return cell_; }
+
+  /// PlannableModule: the frozen step is one cell scan (internal slots:
+  /// gate pre-activations + h/c state, reused across all T steps).
+  [[nodiscard]] std::size_t in_rows() const noexcept override {
+    return cell_.input_size();
+  }
+  [[nodiscard]] Shape out_shape(Shape in) const override;
+  [[nodiscard]] std::unique_ptr<ModuleStep> plan_into(
+      ModulePlanContext& mpc) const override;
 
  private:
   LstmCell cell_;
@@ -74,13 +114,22 @@ class Lstm {
 
 /// Bidirectional layer: concatenates forward and backward hidden states
 /// to 2h x T (the LAS encoder building block).
-class BiLstm {
+class BiLstm final : public PlannableModule {
  public:
   BiLstm(LstmCell forward_cell, LstmCell backward_cell);
 
   /// x: in x T, h_out: 2h x T (overwritten). Strided views; Matrix
   /// arguments convert implicitly.
-  void forward(ConstMatrixView x, MatrixView h_out) const;
+  void forward(ConstMatrixView x, MatrixView h_out) const override;
+
+  /// PlannableModule: two cell scans run sequentially, so the backward
+  /// scan's slots reuse the forward scan's released storage.
+  [[nodiscard]] std::size_t in_rows() const noexcept override {
+    return fw_.cell().input_size();
+  }
+  [[nodiscard]] Shape out_shape(Shape in) const override;
+  [[nodiscard]] std::unique_ptr<ModuleStep> plan_into(
+      ModulePlanContext& mpc) const override;
 
   [[nodiscard]] std::size_t hidden_size() const noexcept {
     return fw_.cell().hidden_size();

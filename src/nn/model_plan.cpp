@@ -1,111 +1,22 @@
 #include "nn/model_plan.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 #include <string>
-
-#include "nn/activations.hpp"
-#include "nn/tensor.hpp"
+#include <utility>
 
 namespace biq::nn {
 
-// ------------------------------------------------------------ ModelPlanner
-
-namespace {
-
-constexpr std::size_t kSlotAlignFloats = kDefaultAlignment / sizeof(float);
-
-constexpr std::size_t round_up_floats(std::size_t v) noexcept {
-  return (v + kSlotAlignFloats - 1) / kSlotAlignFloats * kSlotAlignFloats;
-}
-
-}  // namespace
-
-ModelPlanner::Slot ModelPlanner::acquire(std::size_t rows, std::size_t cols) {
-  Slot slot;
-  slot.rows_ = rows;
-  slot.cols_ = cols;
-  slot.extent_ = round_up_floats(rows * cols);
-  if (slot.extent_ == 0) return slot;
-  total_ += slot.extent_;
-
-  // Best fit over the free intervals: the smallest hole that holds the
-  // tensor, so large future tensors keep their chances.
-  std::size_t best = free_.size();
-  for (std::size_t i = 0; i < free_.size(); ++i) {
-    if (free_[i].size >= slot.extent_ &&
-        (best == free_.size() || free_[i].size < free_[best].size)) {
-      best = i;
-    }
-  }
-  if (best != free_.size()) {
-    slot.offset_ = free_[best].offset;
-    free_[best].offset += slot.extent_;
-    free_[best].size -= slot.extent_;
-    if (free_[best].size == 0) {
-      free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(best));
-    }
-    return slot;
-  }
-
-  // No hole fits: grow the high-water mark. A trailing free interval
-  // that touches the end is extended through rather than left as a hole.
-  if (!free_.empty() && free_.back().offset + free_.back().size == end_) {
-    slot.offset_ = free_.back().offset;
-    free_.pop_back();
-  } else {
-    slot.offset_ = end_;
-  }
-  end_ = slot.offset_ + slot.extent_;
-  return slot;
-}
-
-void ModelPlanner::release(const Slot& slot) {
-  if (slot.extent_ == 0) return;
-  const Block block{slot.offset_, slot.extent_};
-  auto it = std::lower_bound(
-      free_.begin(), free_.end(), block.offset,
-      [](const Block& b, std::size_t offset) { return b.offset < offset; });
-  it = free_.insert(it, block);
-  if (it + 1 != free_.end() && it->offset + it->size == (it + 1)->offset) {
-    it->size += (it + 1)->size;
-    free_.erase(it + 1);
-  }
-  if (it != free_.begin()) {
-    const auto prev = it - 1;
-    if (prev->offset + prev->size == it->offset) {
-      prev->size += it->size;
-      free_.erase(it);
-    }
-  }
-}
-
-// ------------------------------------------------------------ ModelPlan
-
-/// Shared skeleton of every compiled model: shape metadata plus the
-/// packed arena block. Concrete impls freeze their layer walks in the
-/// constructor and replay them in execute().
+/// The compiled recipe: shape metadata, the packed arena block, and the
+/// module tree's frozen root step.
 struct ModelPlan::Impl {
   Impl(std::size_t batch, std::size_t in_rows, std::size_t out_rows,
        ExecContext& ctx) noexcept
       : batch(batch), in_rows(in_rows), out_rows(out_rows), ctx(&ctx) {}
-  virtual ~Impl() {
+  ~Impl() {
     if (base != nullptr) ctx->free_model_block(base);
   }
   Impl(const Impl&) = delete;
   Impl& operator=(const Impl&) = delete;
-
-  /// Shapes are already validated; replays the frozen program.
-  virtual void execute(ConstMatrixView x, MatrixView y) const = 0;
-
-  /// Sizes and allocates the plan's activation block from the context —
-  /// the one plan-time heap cost of the activation layout. Returned by
-  /// the destructor: block lifetime equals plan lifetime.
-  void finalize(const ModelPlanner& planner) {
-    arena_floats = planner.peak_floats();
-    unpacked_floats = planner.total_acquired_floats();
-    if (arena_floats != 0) base = ctx->alloc_model_block(arena_floats);
-  }
 
   std::size_t batch;
   std::size_t in_rows;
@@ -114,260 +25,27 @@ struct ModelPlan::Impl {
   std::size_t unpacked_floats = 0;
   float* base = nullptr;
   ExecContext* ctx;
+  std::unique_ptr<ModuleStep> step;
 };
 
-namespace {
+ModelPlan::ModelPlan(const PlannableModule& module, std::size_t batch,
+                     ExecContext& ctx) {
+  const std::size_t in_rows = module.in_rows();
+  const Shape out = module.out_shape({in_rows, batch});
+  impl_ = std::make_unique<Impl>(batch, in_rows, out.rows, ctx);
 
-// --------------------------------------------------- attention sub-plan
-
-/// One attention block's frozen forward: per-projection plans plus the
-/// planner slots for q/k/v, the score matrix and the head context.
-struct AttentionBlockPlan {
-  LinearPlan q, k, v, o;
-  ModelSlot sq, sk, sv, sscores, scontext;
-};
-
-/// Reserves the block's slots (left live — the caller releases) and
-/// freezes its projection plans.
-AttentionBlockPlan plan_attention(const MultiHeadAttention& attn,
-                                  ModelPlanner& planner, std::size_t tokens,
-                                  ExecContext& ctx) {
-  AttentionBlockPlan p;
-  p.sq = planner.acquire(attn.hidden(), tokens);
-  p.sk = planner.acquire(attn.hidden(), tokens);
-  p.sv = planner.acquire(attn.hidden(), tokens);
-  p.sscores = planner.acquire(tokens, tokens);
-  p.scontext = planner.acquire(attn.hidden(), tokens);
-  p.q = LinearPlan(attn.wq(), tokens, ctx);
-  p.k = LinearPlan(attn.wk(), tokens, ctx);
-  p.v = LinearPlan(attn.wv(), tokens, ctx);
-  p.o = LinearPlan(attn.wo(), tokens, ctx);
-  return p;
-}
-
-void release_attention(ModelPlanner& planner, const AttentionBlockPlan& p) {
-  planner.release(p.sscores);
-  planner.release(p.sq);
-  planner.release(p.sk);
-  planner.release(p.sv);
-  planner.release(p.scontext);
-}
-
-/// y = Attn(x) through the frozen block — same attend() routine as the
-/// eager forward, temporaries served from planner slots.
-void run_attention(const MultiHeadAttention& attn,
-                   const AttentionBlockPlan& p, float* base, ConstMatrixView x,
-                   MatrixView y) {
-  const MatrixView q = p.sq.view(base);
-  const MatrixView k = p.sk.view(base);
-  const MatrixView v = p.sv.view(base);
-  p.q.run(x, q);
-  p.k.run(x, k);
-  p.v.run(x, v);
-  const MatrixView context = p.scontext.view(base);
-  attn.attend(q, k, v, p.sscores.view(base), context);
-  p.o.run(context, y);
-}
-
-// ------------------------------------------------------ encoder impl
-
-struct EncoderLayerPlan {
-  AttentionBlockPlan attn;
-  LinearPlan up, down;
-  ModelSlot ssub;  // hidden x T: attention/FFN output before the residual
-  ModelSlot smid;  // ffn x T: the 4n x n intermediate — the big reuse win
-};
-
-class EncoderPlanImpl final : public ModelPlan::Impl {
- public:
-  EncoderPlanImpl(const TransformerEncoder& model, std::size_t tokens,
-                  ExecContext& ctx)
-      : Impl(tokens, model.config().hidden, model.config().hidden, ctx),
-        model_(&model) {
-    ModelPlanner planner;
-    const std::size_t hidden = model.config().hidden;
-    layers_.reserve(model.layer_count());
-    for (const EncoderLayer& layer : model.layers()) {
-      EncoderLayerPlan lp;
-      lp.ssub = planner.acquire(hidden, tokens);
-      lp.attn = plan_attention(layer.attention(), planner, tokens, ctx);
-      release_attention(planner, lp.attn);
-      lp.smid = planner.acquire(layer.ffn().up().out_features(), tokens);
-      lp.up = LinearPlan(layer.ffn().up(), tokens, ctx);
-      lp.down = LinearPlan(layer.ffn().down(), tokens, ctx);
-      planner.release(lp.smid);
-      planner.release(lp.ssub);
-      layers_.push_back(std::move(lp));
-    }
-    finalize(planner);
-  }
-
-  void execute(ConstMatrixView x, MatrixView y) const override {
-    copy_into(x, y);
-    const std::vector<EncoderLayer>& layers = model_->layers();
-    for (std::size_t l = 0; l < layers_.size(); ++l) {
-      const EncoderLayerPlan& lp = layers_[l];
-      const EncoderLayer& layer = layers[l];
-      const MatrixView sub = lp.ssub.view(base);
-
-      run_attention(layer.attention(), lp.attn, base, y, sub);
-      add_into(y, sub, y);
-      layer.ln1().forward(y);
-
-      const MatrixView mid = lp.smid.view(base);
-      lp.up.run(y, mid);
-      apply(mid, layer.ffn().activation());
-      lp.down.run(mid, sub);
-      add_into(y, sub, y);
-      layer.ln2().forward(y);
-    }
-  }
-
- private:
-  const TransformerEncoder* model_;
-  std::vector<EncoderLayerPlan> layers_;
-};
-
-// ------------------------------------------------------ attention impl
-
-class AttentionPlanImpl final : public ModelPlan::Impl {
- public:
-  AttentionPlanImpl(const MultiHeadAttention& model, std::size_t tokens,
-                    ExecContext& ctx)
-      : Impl(tokens, model.hidden(), model.hidden(), ctx), model_(&model) {
-    ModelPlanner planner;
-    attn_ = plan_attention(model, planner, tokens, ctx);
-    release_attention(planner, attn_);
-    finalize(planner);
-  }
-
-  void execute(ConstMatrixView x, MatrixView y) const override {
-    run_attention(*model_, attn_, base, x, y);
-  }
-
- private:
-  const MultiHeadAttention* model_;
-  AttentionBlockPlan attn_;
-};
-
-// ----------------------------------------------------------- lstm impls
-
-/// One direction's frozen scan: the two GEMV plans of the cell plus the
-/// gate pre-activation and state slots.
-struct CellScanPlan {
-  LinearPlan wx, wh;
-  ModelSlot sgx, sgh;  // 4h x 1 gate pre-activations
-  ModelSlot sh, sc;    // h x 1 hidden / cell state
-};
-
-CellScanPlan plan_cell_scan(const LstmCell& cell, ModelPlanner& planner,
-                            ExecContext& ctx) {
-  CellScanPlan p;
-  p.sgx = planner.acquire(4 * cell.hidden_size(), 1);
-  p.sgh = planner.acquire(4 * cell.hidden_size(), 1);
-  p.sh = planner.acquire(cell.hidden_size(), 1);
-  p.sc = planner.acquire(cell.hidden_size(), 1);
-  p.wx = LinearPlan(cell.wx(), 1, ctx);
-  p.wh = LinearPlan(cell.wh(), 1, ctx);
-  return p;
-}
-
-void release_cell_scan(ModelPlanner& planner, const CellScanPlan& p) {
-  planner.release(p.sgx);
-  planner.release(p.sgh);
-  planner.release(p.sh);
-  planner.release(p.sc);
-}
-
-/// Scans the sequence through the frozen cell (reverse scans t = T-1..0)
-/// writing the post-step hidden state into y[:, t] — the same
-/// apply_gates() tail as the eager step, GEMVs through the held plans.
-void run_cell_scan(const LstmCell& cell, const CellScanPlan& p, float* base,
-                   ConstMatrixView x, MatrixView y, bool reverse) {
-  const MatrixView gx = p.sgx.view(base);
-  const MatrixView gh = p.sgh.view(base);
-  const MatrixView h = p.sh.view(base);
-  const MatrixView c = p.sc.view(base);
-  h.set_zero();
-  c.set_zero();
-  const std::size_t frames = x.cols();
-  const std::size_t hidden = cell.hidden_size();
-  for (std::size_t s = 0; s < frames; ++s) {
-    const std::size_t t = reverse ? frames - 1 - s : s;
-    p.wx.run(x.col_block(t, 1), gx);
-    p.wh.run(h, gh);
-    cell.apply_gates(gx.col(0), gh.col(0), h.col(0), c.col(0));
-    float* out = y.col(t);
-    const float* hp = h.col(0);
-    for (std::size_t i = 0; i < hidden; ++i) out[i] = hp[i];
+  // The one generic compile path: the module tree lays out its own
+  // GemmPlans and activation slots; the plan allocates the packed
+  // high-water mark once — the only plan-time heap cost of the layout.
+  ModelPlanner planner;
+  ModulePlanContext mpc(planner, ctx, batch);
+  impl_->step = module.plan_into(mpc);
+  impl_->arena_floats = planner.peak_floats();
+  impl_->unpacked_floats = planner.total_acquired_floats();
+  if (impl_->arena_floats != 0) {
+    impl_->base = ctx.alloc_model_block(impl_->arena_floats);
   }
 }
-
-class LstmPlanImpl final : public ModelPlan::Impl {
- public:
-  LstmPlanImpl(const Lstm& model, std::size_t frames, ExecContext& ctx)
-      : Impl(frames, model.cell().input_size(), model.cell().hidden_size(),
-             ctx),
-        model_(&model) {
-    ModelPlanner planner;
-    scan_ = plan_cell_scan(model.cell(), planner, ctx);
-    release_cell_scan(planner, scan_);
-    finalize(planner);
-  }
-
-  void execute(ConstMatrixView x, MatrixView y) const override {
-    run_cell_scan(model_->cell(), scan_, base, x, y, /*reverse=*/false);
-  }
-
- private:
-  const Lstm* model_;
-  CellScanPlan scan_;
-};
-
-class BiLstmPlanImpl final : public ModelPlan::Impl {
- public:
-  BiLstmPlanImpl(const BiLstm& model, std::size_t frames, ExecContext& ctx)
-      : Impl(frames, model.forward_layer().cell().input_size(),
-             2 * model.hidden_size(), ctx),
-        model_(&model) {
-    ModelPlanner planner;
-    // The directions run sequentially, so the backward scan's slots
-    // reuse the forward scan's released storage.
-    fw_ = plan_cell_scan(model.forward_layer().cell(), planner, ctx);
-    release_cell_scan(planner, fw_);
-    bw_ = plan_cell_scan(model.backward_layer().cell(), planner, ctx);
-    release_cell_scan(planner, bw_);
-    finalize(planner);
-  }
-
-  void execute(ConstMatrixView x, MatrixView y) const override {
-    const std::size_t hidden = model_->hidden_size();
-    run_cell_scan(model_->forward_layer().cell(), fw_, base, x,
-                  y.block(0, hidden, 0, y.cols()), /*reverse=*/false);
-    run_cell_scan(model_->backward_layer().cell(), bw_, base, x,
-                  y.block(hidden, hidden, 0, y.cols()), /*reverse=*/true);
-  }
-
- private:
-  const BiLstm* model_;
-  CellScanPlan fw_, bw_;
-};
-
-}  // namespace
-
-ModelPlan::ModelPlan(const TransformerEncoder& model, std::size_t tokens,
-                     ExecContext& ctx)
-    : impl_(std::make_unique<EncoderPlanImpl>(model, tokens, ctx)) {}
-
-ModelPlan::ModelPlan(const Lstm& model, std::size_t frames, ExecContext& ctx)
-    : impl_(std::make_unique<LstmPlanImpl>(model, frames, ctx)) {}
-
-ModelPlan::ModelPlan(const BiLstm& model, std::size_t frames, ExecContext& ctx)
-    : impl_(std::make_unique<BiLstmPlanImpl>(model, frames, ctx)) {}
-
-ModelPlan::ModelPlan(const MultiHeadAttention& model, std::size_t tokens,
-                     ExecContext& ctx)
-    : impl_(std::make_unique<AttentionPlanImpl>(model, tokens, ctx)) {}
 
 ModelPlan::~ModelPlan() = default;
 ModelPlan::ModelPlan(ModelPlan&&) noexcept = default;
@@ -386,7 +64,7 @@ void ModelPlan::run(ConstMatrixView x, MatrixView y) const {
         ", y " + std::to_string(impl_->out_rows) + "x" +
         std::to_string(impl_->batch));
   }
-  impl_->execute(x, y);
+  impl_->step->run_step(impl_->base, x, y);
 }
 
 std::size_t ModelPlan::batch() const noexcept { return impl_->batch; }

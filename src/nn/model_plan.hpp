@@ -2,11 +2,13 @@
 // GemmEngine::plan (Sec. II-A: everything derivable before activations
 // arrive is computed once) lifted from one GEMM to a whole network.
 //
-// ModelPlan compiles a model (TransformerEncoder, Lstm/BiLstm, or a bare
-// MultiHeadAttention) for one batch width under one ExecContext:
+// ModelPlan compiles ANY PlannableModule tree (src/nn/module.hpp) —
+// a TransformerEncoder, an Lstm/BiLstm, a bare MultiHeadAttention, or
+// an arbitrary Sequential hybrid of them — for one batch width under
+// one ExecContext, through one generic walker:
 //   * every projection's GemmPlan is frozen up front (LinearPlan =
 //     engine plan + bias), so the warm path never plans per call,
-//   * every intermediate activation tensor of the layer graph goes
+//   * every intermediate activation tensor of the module tree goes
 //     through ModelPlanner, a liveness-based packer that assigns offsets
 //     in ONE arena block, reusing storage across tensors whose lifetimes
 //     don't overlap (the 4n x n FFN intermediate and every per-layer
@@ -22,100 +24,28 @@
 
 #include <cstddef>
 #include <memory>
-#include <vector>
 
 #include "engine/exec_context.hpp"
 #include "matrix/view.hpp"
 #include "nn/lstm.hpp"
+#include "nn/module.hpp"
 #include "nn/transformer.hpp"
 
 namespace biq::nn {
 
-/// Liveness-based activation packer. The plan walker declares each
-/// intermediate tensor with acquire() when it comes alive and release()
-/// when its last reader is done (program order IS the liveness
-/// interval); placement is best-fit over the free intervals, so tensors
-/// with non-overlapping lifetimes share storage and peak_floats() is the
-/// high-water mark of the packed layout, not the sum of tensor sizes.
-/// Offsets are 64-byte aligned (16 floats) so every slot is as aligned
-/// as the arena base.
-class ModelPlanner {
- public:
-  /// A planned tensor: {offset into the arena block, rows x cols}. The
-  /// view is resolved against the block base at run time — slots are
-  /// plain value types frozen into the plan.
-  class Slot {
-   public:
-    Slot() = default;
-
-    [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
-    [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
-    [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
-    /// Floats of arena the slot occupies (size rounded up to alignment).
-    [[nodiscard]] std::size_t extent() const noexcept { return extent_; }
-
-    [[nodiscard]] MatrixView view(float* base) const noexcept {
-      return {base + offset_, rows_, cols_, rows_};
-    }
-
-   private:
-    friend class ModelPlanner;
-    std::size_t offset_ = 0;
-    std::size_t rows_ = 0;
-    std::size_t cols_ = 0;
-    std::size_t extent_ = 0;
-  };
-
-  /// Declares a rows x cols fp32 tensor live from now until release().
-  [[nodiscard]] Slot acquire(std::size_t rows, std::size_t cols);
-
-  /// Ends the tensor's lifetime: its interval returns to the free list
-  /// (coalesced with neighbors) and may back later acquires.
-  void release(const Slot& slot);
-
-  /// High-water mark of the packed layout, in floats — the arena block
-  /// size the compiled plan allocates.
-  [[nodiscard]] std::size_t peak_floats() const noexcept { return end_; }
-
-  /// Sum of every acquire()'s extent — what the layout would cost
-  /// without lifetime reuse. peak_floats() <= total; the gap is what the
-  /// liveness packing saved.
-  [[nodiscard]] std::size_t total_acquired_floats() const noexcept {
-    return total_;
-  }
-
- private:
-  struct Block {
-    std::size_t offset;
-    std::size_t size;
-  };
-
-  std::vector<Block> free_;  // sorted by offset, coalesced
-  std::size_t end_ = 0;      // high-water mark in floats
-  std::size_t total_ = 0;
-};
-
-using ModelSlot = ModelPlanner::Slot;
-
-/// One frozen (model, batch, ExecContext) whole-network recipe. Compile
+/// One frozen (module, batch, ExecContext) whole-network recipe. Compile
 /// once for the bound batch; run() any number of times — warm runs
-/// perform zero heap allocations. The plan borrows the model and the
+/// perform zero heap allocations. The plan borrows the module and the
 /// context (both must outlive it) and owns its projections' GemmPlans
 /// plus the activation arena layout; one caller may run it at a time
 /// (it owns the context's scratch and its arena slots while running).
 /// Re-compile when the batch width or the context change.
 class ModelPlan {
  public:
-  /// x: hidden x tokens -> y: hidden x tokens through all layers.
-  ModelPlan(const TransformerEncoder& model, std::size_t tokens,
-            ExecContext& ctx);
-  /// x: in x frames -> y: hidden x frames (forward scan).
-  ModelPlan(const Lstm& model, std::size_t frames, ExecContext& ctx);
-  /// x: in x frames -> y: 2*hidden x frames (both directions; the
-  /// backward pass reuses the forward pass's released slots).
-  ModelPlan(const BiLstm& model, std::size_t frames, ExecContext& ctx);
-  /// x: hidden x tokens -> y: hidden x tokens (one attention block).
-  ModelPlan(const MultiHeadAttention& model, std::size_t tokens,
+  /// Compiles the module tree via the generic walker. `batch` is the
+  /// token/frame count the plan is bound to: x is module.in_rows() x
+  /// batch, y is module.out_shape(...).rows x batch.
+  ModelPlan(const PlannableModule& module, std::size_t batch,
             ExecContext& ctx);
 
   ~ModelPlan();
@@ -125,7 +55,7 @@ class ModelPlan {
   /// The hot path: the whole model's forward through the frozen recipe.
   /// x must be input_rows() x batch(), y output_rows() x batch()
   /// (overwritten); both may be strided windows of larger buffers.
-  /// Bitwise identical to the model's eager forward. Throws
+  /// Bitwise identical to the module's eager forward. Throws
   /// std::invalid_argument naming the offending dims on any mismatch.
   void run(ConstMatrixView x, MatrixView y) const;
 
@@ -143,11 +73,8 @@ class ModelPlan {
   [[nodiscard]] std::size_t unpacked_floats() const noexcept;
   [[nodiscard]] ExecContext& context() const noexcept;
 
-  /// Compiled-model skeleton; public only so the per-model impls in the
-  /// translation unit can derive from it.
-  struct Impl;
-
  private:
+  struct Impl;
   std::unique_ptr<Impl> impl_;
 };
 
@@ -156,7 +83,7 @@ class ModelPlan {
 /// batch width or context change — steady fixed-shape traffic runs the
 /// warm plan, a shape change pays one re-plan (the superseded plan's
 /// activation block returns to the context automatically). The model
-/// must outlive the cache.
+/// must outlive the cache. Model may be any PlannableModule type.
 template <typename Model>
 class ModelPlanCache {
  public:

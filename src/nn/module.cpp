@@ -1,0 +1,232 @@
+#include "nn/module.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "matrix/matrix.hpp"
+#include "nn/tensor.hpp"
+#include "util/aligned_buffer.hpp"
+
+namespace biq::nn {
+
+// ------------------------------------------------------------ ModelPlanner
+
+namespace {
+
+constexpr std::size_t kSlotAlignFloats = kDefaultAlignment / sizeof(float);
+
+constexpr std::size_t round_up_floats(std::size_t v) noexcept {
+  return (v + kSlotAlignFloats - 1) / kSlotAlignFloats * kSlotAlignFloats;
+}
+
+}  // namespace
+
+ModelPlanner::Slot ModelPlanner::acquire(std::size_t rows, std::size_t cols) {
+  Slot slot;
+  slot.rows_ = rows;
+  slot.cols_ = cols;
+  slot.extent_ = round_up_floats(rows * cols);
+  if (slot.extent_ == 0) return slot;
+  total_ += slot.extent_;
+
+  // Best fit over the free intervals: the smallest hole that holds the
+  // tensor, so large future tensors keep their chances.
+  std::size_t best = free_.size();
+  for (std::size_t i = 0; i < free_.size(); ++i) {
+    if (free_[i].size >= slot.extent_ &&
+        (best == free_.size() || free_[i].size < free_[best].size)) {
+      best = i;
+    }
+  }
+  if (best != free_.size()) {
+    slot.offset_ = free_[best].offset;
+    free_[best].offset += slot.extent_;
+    free_[best].size -= slot.extent_;
+    if (free_[best].size == 0) {
+      free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(best));
+    }
+    return slot;
+  }
+
+  // No hole fits: grow the high-water mark. A trailing free interval
+  // that touches the end is extended through rather than left as a hole.
+  if (!free_.empty() && free_.back().offset + free_.back().size == end_) {
+    slot.offset_ = free_.back().offset;
+    free_.pop_back();
+  } else {
+    slot.offset_ = end_;
+  }
+  end_ = slot.offset_ + slot.extent_;
+  return slot;
+}
+
+void ModelPlanner::release(const Slot& slot) {
+  if (slot.extent_ == 0) return;
+  const Block block{slot.offset_, slot.extent_};
+  auto it = std::lower_bound(
+      free_.begin(), free_.end(), block.offset,
+      [](const Block& b, std::size_t offset) { return b.offset < offset; });
+  it = free_.insert(it, block);
+  if (it + 1 != free_.end() && it->offset + it->size == (it + 1)->offset) {
+    it->size += (it + 1)->size;
+    free_.erase(it + 1);
+  }
+  if (it != free_.begin()) {
+    const auto prev = it - 1;
+    if (prev->offset + prev->size == it->offset) {
+      prev->size += it->size;
+      free_.erase(it);
+    }
+  }
+}
+
+// --------------------------------------------------------- PlannableModule
+
+void PlannableModule::check_in_rows(Shape in, const char* who) const {
+  if (in.rows != in_rows()) {
+    throw std::invalid_argument(std::string(who) + ": input has " +
+                                std::to_string(in.rows) + " rows, expected " +
+                                std::to_string(in_rows()));
+  }
+}
+
+// -------------------------------------------------------------- plan_chain
+
+namespace {
+
+/// An empty chain degenerates to the identity map: y = x.
+class IdentityStep final : public ModuleStep {
+ public:
+  void run_step(float* /*base*/, ConstMatrixView x,
+                MatrixView y) const override {
+    copy_into(x, y);
+  }
+};
+
+/// The frozen chain: each stage's step plus the slot its output lands in
+/// (the last stage writes the caller's y directly).
+class ChainStep final : public ModuleStep {
+ public:
+  struct Stage {
+    std::unique_ptr<ModuleStep> step;
+    ModelSlot out;
+    bool to_slot = false;
+  };
+
+  explicit ChainStep(std::vector<Stage> stages) : stages_(std::move(stages)) {}
+
+  void run_step(float* base, ConstMatrixView x, MatrixView y) const override {
+    ConstMatrixView cur = x;
+    for (const Stage& stage : stages_) {
+      if (stage.to_slot) {
+        const MatrixView out = stage.out.view(base);
+        stage.step->run_step(base, cur, out);
+        cur = out;
+      } else {
+        stage.step->run_step(base, cur, y);
+      }
+    }
+  }
+
+ private:
+  std::vector<Stage> stages_;
+};
+
+}  // namespace
+
+std::unique_ptr<ModuleStep> plan_chain(const PlannableModule* const* modules,
+                                       std::size_t count,
+                                       ModulePlanContext& mpc) {
+  // Zero modules = the identity map (a 0-layer encoder is a copy, both
+  // eagerly and planned). Note Sequential still rejects compiling an
+  // empty pipeline in out_shape(), where the output rows are unknowable.
+  if (count == 0) return std::make_unique<IdentityStep>();
+  std::vector<ChainStep::Stage> stages;
+  stages.reserve(count);
+  Shape shape{modules[0]->in_rows(), mpc.batch()};
+  ModelSlot feed;  // the chain slot feeding the current module (i > 0)
+  bool have_feed = false;
+  for (std::size_t i = 0; i < count; ++i) {
+    const PlannableModule& module = *modules[i];
+    shape = module.out_shape(shape);  // validates the seam's rows
+    ChainStep::Stage stage;
+    stage.to_slot = i + 1 < count;
+    // Liveness: the output slot opens before the module's internals are
+    // laid out and the input slot closes after — internals never alias
+    // either side of the module they serve.
+    if (stage.to_slot) stage.out = mpc.acquire(shape.rows, shape.cols);
+    stage.step = module.plan_into(mpc);
+    if (have_feed) mpc.release(feed);
+    feed = stage.out;
+    have_feed = stage.to_slot;
+    stages.push_back(std::move(stage));
+  }
+  return std::make_unique<ChainStep>(std::move(stages));
+}
+
+// -------------------------------------------------------------- Sequential
+
+Sequential::Sequential(std::vector<std::unique_ptr<PlannableModule>> modules) {
+  for (auto& module : modules) add(std::move(module));
+}
+
+Sequential& Sequential::add(std::unique_ptr<PlannableModule> module) {
+  if (module == nullptr) {
+    throw std::invalid_argument("Sequential::add: null module");
+  }
+  if (!modules_.empty() && module->in_rows() != tail_rows_) {
+    throw std::invalid_argument(
+        "Sequential::add: stage consumes " + std::to_string(module->in_rows()) +
+        " rows but the current tail produces " + std::to_string(tail_rows_));
+  }
+  tail_rows_ = module->out_shape({module->in_rows(), 1}).rows;
+  modules_.push_back(std::move(module));
+  return *this;
+}
+
+std::size_t Sequential::in_rows() const noexcept {
+  return modules_.empty() ? 0 : modules_.front()->in_rows();
+}
+
+Shape Sequential::out_shape(Shape in) const {
+  if (modules_.empty()) {
+    throw std::invalid_argument("Sequential::out_shape: empty pipeline");
+  }
+  check_in_rows(in, "Sequential");
+  return {tail_rows_, in.cols};
+}
+
+std::unique_ptr<ModuleStep> Sequential::plan_into(ModulePlanContext& mpc) const {
+  std::vector<const PlannableModule*> chain;
+  chain.reserve(modules_.size());
+  for (const auto& module : modules_) chain.push_back(module.get());
+  return plan_chain(chain.data(), chain.size(), mpc);
+}
+
+void Sequential::forward(ConstMatrixView x, MatrixView y) const {
+  const Shape out = out_shape({x.rows(), x.cols()});
+  if (y.rows() != out.rows || y.cols() != out.cols) {
+    throw std::invalid_argument("Sequential::forward: output shape mismatch");
+  }
+  // Ping-pong between two owned intermediates so the stage being written
+  // is never the one being read.
+  Matrix ping, pong;
+  ConstMatrixView cur = x;
+  Shape shape{x.rows(), x.cols()};
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    const PlannableModule& module = *modules_[i];
+    shape = module.out_shape(shape);
+    if (i + 1 == modules_.size()) {
+      module.forward(cur, y);
+      break;
+    }
+    Matrix& dst = (i % 2 == 0) ? ping : pong;
+    dst = Matrix(shape.rows, shape.cols, /*zero_fill=*/false);
+    module.forward(cur, dst);
+    cur = dst;
+  }
+}
+
+}  // namespace biq::nn

@@ -43,6 +43,113 @@ void EncoderLayer::forward(MatrixView x) const {
   ln2_.forward(x);
 }
 
+void EncoderLayer::forward(ConstMatrixView x, MatrixView y) const {
+  // Same arithmetic sequence as the in-place form; the first residual
+  // add lands in y, after which the layer transforms y in place.
+  Matrix sub(x.rows(), x.cols(), /*zero_fill=*/false);
+  attention_.forward(x, sub);
+  add_into(x, sub, y);
+  ln1_.forward(y);
+
+  ffn_.forward(y, sub);
+  add_into(y, sub, y);
+  ln2_.forward(y);
+}
+
+namespace {
+
+class FeedForwardStep final : public ModuleStep {
+ public:
+  FeedForwardStep(const FeedForward& ffn, ModulePlanContext& mpc)
+      : ffn_(&ffn),
+        smid_(mpc.acquire(ffn.up().out_features(), mpc.batch())),
+        up_(ffn.up(), mpc.batch(), mpc.exec()),
+        down_(ffn.down(), mpc.batch(), mpc.exec()) {
+    mpc.release(smid_);
+  }
+
+  void run_step(float* base, ConstMatrixView x, MatrixView y) const override {
+    const MatrixView mid = smid_.view(base);
+    up_.run(x, mid);
+    apply(mid, ffn_->activation());
+    down_.run(mid, y);
+  }
+
+ private:
+  const FeedForward* ffn_;
+  ModelSlot smid_;
+  LinearPlan up_, down_;
+};
+
+class EncoderLayerStep final : public ModuleStep {
+ public:
+  EncoderLayerStep(const EncoderLayer& layer, ModulePlanContext& mpc)
+      : layer_(&layer), ssub_(mpc.acquire(layer.in_rows(), mpc.batch())) {
+    // ssub_ (the residual branch) is live across both sub-steps; the
+    // attention scratch is released inside its plan_into, so the FFN
+    // intermediate that follows reuses it.
+    attn_ = layer.attention().plan_into(mpc);
+    ffn_ = layer.ffn().plan_into(mpc);
+    mpc.release(ssub_);
+  }
+
+  void run_step(float* base, ConstMatrixView x, MatrixView y) const override {
+    const MatrixView sub = ssub_.view(base);
+    attn_->run_step(base, x, sub);
+    add_into(x, sub, y);
+    layer_->ln1().forward(y);
+
+    ffn_->run_step(base, y, sub);
+    add_into(y, sub, y);
+    layer_->ln2().forward(y);
+  }
+
+ private:
+  const EncoderLayer* layer_;
+  ModelSlot ssub_;
+  std::unique_ptr<ModuleStep> attn_, ffn_;
+};
+
+}  // namespace
+
+Shape FeedForward::out_shape(Shape in) const {
+  check_in_rows(in, "FeedForward");
+  return {down_->out_features(), in.cols};
+}
+
+std::unique_ptr<ModuleStep> FeedForward::plan_into(
+    ModulePlanContext& mpc) const {
+  return std::make_unique<FeedForwardStep>(*this, mpc);
+}
+
+Shape EncoderLayer::out_shape(Shape in) const {
+  check_in_rows(in, "EncoderLayer");
+  return in;
+}
+
+std::unique_ptr<ModuleStep> EncoderLayer::plan_into(
+    ModulePlanContext& mpc) const {
+  return std::make_unique<EncoderLayerStep>(*this, mpc);
+}
+
+Shape TransformerEncoder::out_shape(Shape in) const {
+  check_in_rows(in, "TransformerEncoder");
+  return in;
+}
+
+std::unique_ptr<ModuleStep> TransformerEncoder::plan_into(
+    ModulePlanContext& mpc) const {
+  std::vector<const PlannableModule*> chain;
+  chain.reserve(layers_.size());
+  for (const EncoderLayer& layer : layers_) chain.push_back(&layer);
+  return plan_chain(chain.data(), chain.size(), mpc);
+}
+
+void TransformerEncoder::forward(ConstMatrixView x, MatrixView y) const {
+  copy_into(x, y);
+  forward(y);
+}
+
 TransformerEncoder make_encoder(const TransformerConfig& config,
                                 std::uint64_t seed, const QuantSpec& spec,
                                 ExecContext* ctx) {

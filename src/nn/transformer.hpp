@@ -26,14 +26,23 @@ struct TransformerConfig {
   static TransformerConfig big() { return {1024, 4096, 16, 6}; }
 };
 
-class FeedForward {
+class FeedForward final : public PlannableModule {
  public:
   FeedForward(std::unique_ptr<LinearLayer> up, std::unique_ptr<LinearLayer> down,
               Act act = Act::kGelu);
 
   /// x, y: hidden x T (y overwritten). Strided views; Matrix arguments
   /// convert implicitly.
-  void forward(ConstMatrixView x, MatrixView y) const;
+  void forward(ConstMatrixView x, MatrixView y) const override;
+
+  /// PlannableModule: the frozen step holds the up/down plans plus one
+  /// internal slot for the ffn x T intermediate.
+  [[nodiscard]] std::size_t in_rows() const noexcept override {
+    return up_->in_features();
+  }
+  [[nodiscard]] Shape out_shape(Shape in) const override;
+  [[nodiscard]] std::unique_ptr<ModuleStep> plan_into(
+      ModulePlanContext& mpc) const override;
 
   /// The shared body over a caller-provided intermediate (ffn x T,
   /// overwritten): up-projection into mid, activation, down-projection
@@ -54,7 +63,7 @@ class FeedForward {
   Act act_;
 };
 
-class EncoderLayer {
+class EncoderLayer final : public PlannableModule {
  public:
   EncoderLayer(MultiHeadAttention attention, FeedForward ffn,
                std::size_t hidden);
@@ -64,6 +73,17 @@ class EncoderLayer {
   /// view — a token window of a longer sequence buffer transforms with
   /// zero copies; a Matrix converts implicitly.
   void forward(MatrixView x) const;
+
+  /// PlannableModule: composes the attention and FFN sub-steps around
+  /// one internal residual-branch slot; the FFN intermediate reuses the
+  /// attention scratch (released first) — the big liveness win.
+  [[nodiscard]] std::size_t in_rows() const noexcept override {
+    return ln1_.dim();
+  }
+  [[nodiscard]] Shape out_shape(Shape in) const override;
+  [[nodiscard]] std::unique_ptr<ModuleStep> plan_into(
+      ModulePlanContext& mpc) const override;
+  void forward(ConstMatrixView x, MatrixView y) const override;
 
   [[nodiscard]] std::size_t weight_bytes() const noexcept {
     return attention_.weight_bytes() + ffn_.weight_bytes();
@@ -83,7 +103,7 @@ class EncoderLayer {
   LayerNorm ln1_, ln2_;
 };
 
-class TransformerEncoder {
+class TransformerEncoder final : public PlannableModule {
  public:
   TransformerEncoder(TransformerConfig config, std::vector<EncoderLayer> layers)
       : config_(config), layers_(std::move(layers)) {}
@@ -93,6 +113,16 @@ class TransformerEncoder {
   void forward(MatrixView x) const {
     for (const EncoderLayer& layer : layers_) layer.forward(x);
   }
+
+  /// PlannableModule: a chain of EncoderLayer modules through the
+  /// generic plan_chain walker — no encoder-specific compile path.
+  [[nodiscard]] std::size_t in_rows() const noexcept override {
+    return config_.hidden;
+  }
+  [[nodiscard]] Shape out_shape(Shape in) const override;
+  [[nodiscard]] std::unique_ptr<ModuleStep> plan_into(
+      ModulePlanContext& mpc) const override;
+  void forward(ConstMatrixView x, MatrixView y) const override;
 
   [[nodiscard]] const TransformerConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t layer_count() const noexcept { return layers_.size(); }

@@ -28,7 +28,7 @@ TEST(GemmRef, RejectsShapeMismatch) {
 }
 
 TEST(GemmNaive, MatchesReferenceAcrossShapes) {
-  for (const auto [m, n, b] :
+  for (const auto& [m, n, b] :
        {std::tuple{1, 1, 1}, std::tuple{7, 5, 3}, std::tuple{64, 33, 9},
         std::tuple{130, 70, 2}}) {
     Rng rng(static_cast<std::uint64_t>(m + n + b));

@@ -95,7 +95,9 @@ TEST(QuantLinear, ApproximatesFloatLayerWithinQuantError) {
     q.forward(x, y_q);
     const double err = rel_fro_error(y_q, y_fp);
     EXPECT_LT(err, 1.0) << "bits=" << bits;
-    if (bits >= 3) EXPECT_LT(err, 0.25) << "bits=" << bits;
+    if (bits >= 3) {
+      EXPECT_LT(err, 0.25) << "bits=" << bits;
+    }
   }
 }
 
@@ -239,6 +241,35 @@ TEST(LinearLayer, BoundContextLayerCachesPlanAndReplansOnBatchChange) {
   check(x4);  // steady state reuses the cached batch-4 plan
   check(x7);  // batch change forces a replan
   check(x4);  // and back
+}
+
+TEST(LinearLayer, ModuleInterfaceShapesAndPlannedStep) {
+  // Every LinearLayer is a PlannableModule: shape propagation rejects a
+  // row mismatch, and the frozen module step is bitwise identical to
+  // the eager forward.
+  Rng rng(11);
+  Matrix w = Matrix::random_normal(12, 20, rng);
+  ExecContext ctx;
+  const auto layer = make_linear(w, std::vector<float>(12, 0.25f), 2,
+                                 QuantMethod::kGreedy, {}, &ctx);
+  const PlannableModule& module = *layer;
+  EXPECT_EQ(module.in_rows(), 20u);
+  const Shape out = module.out_shape({20, 5});
+  EXPECT_EQ(out.rows, 12u);
+  EXPECT_EQ(out.cols, 5u);
+  EXPECT_THROW((void)module.out_shape({19, 5}), std::invalid_argument);
+
+  const Matrix x = Matrix::random_normal(20, 5, rng);
+  Matrix eager(12, 5);
+  layer->forward(x, eager);
+
+  ModelPlanner planner;
+  ModulePlanContext mpc(planner, ctx, 5);
+  const auto step = module.plan_into(mpc);
+  EXPECT_EQ(planner.peak_floats(), 0u);  // a projection owns no slots
+  Matrix planned(12, 5);
+  step->run_step(nullptr, x, planned);
+  EXPECT_EQ(max_abs_diff(planned, eager), 0.0f);
 }
 
 }  // namespace

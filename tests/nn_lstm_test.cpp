@@ -163,5 +163,43 @@ TEST(Lstm, ForgetGateBiasInitializedToOne) {
   for (float v : c) EXPECT_GT(v, 0.5f);
 }
 
+TEST(Lstm, ModuleInterfaceShapes) {
+  const Lstm lstm(make_lstm_cell(10, 6, 9, {}));
+  EXPECT_EQ(lstm.in_rows(), 10u);
+  EXPECT_EQ(lstm.out_shape({10, 7}).rows, 6u);
+  EXPECT_EQ(lstm.out_shape({10, 7}).cols, 7u);
+  EXPECT_THROW((void)lstm.out_shape({9, 7}), std::invalid_argument);
+
+  const BiLstm bi(make_lstm_cell(10, 6, 9, {}), make_lstm_cell(10, 6, 10, {}));
+  EXPECT_EQ(bi.in_rows(), 10u);
+  EXPECT_EQ(bi.out_shape({10, 7}).rows, 12u);
+  EXPECT_THROW((void)bi.out_shape({12, 7}), std::invalid_argument);
+}
+
+TEST(Lstm, ScanPlanReplaysTheEagerScan) {
+  // The cell's frozen scan (the piece Lstm/BiLstm module steps replay)
+  // is bitwise identical to the eager sequence walk, both directions.
+  const std::size_t in = 10, hidden = 6, frames = 5;
+  ExecContext ctx;
+  const Lstm lstm(make_lstm_cell(in, hidden, 9, {}, &ctx));
+  Rng rng(5);
+  const Matrix x = Matrix::random_normal(in, frames, rng);
+
+  ModelPlanner planner;
+  ModulePlanContext mpc(planner, ctx, frames);
+  const LstmCell::ScanPlan scan = lstm.cell().plan_scan(mpc);
+  scan.release(mpc);
+  std::vector<float> arena(planner.peak_floats(), 0.0f);
+
+  Matrix eager(hidden, frames), planned(hidden, frames);
+  lstm.forward(x, eager);
+  scan.run(arena.data(), x, planned, /*reverse=*/false);
+  EXPECT_EQ(max_abs_diff(planned, eager), 0.0f);
+
+  lstm.forward_reverse(x, eager);
+  scan.run(arena.data(), x, planned, /*reverse=*/true);
+  EXPECT_EQ(max_abs_diff(planned, eager), 0.0f);
+}
+
 }  // namespace
 }  // namespace biq::nn

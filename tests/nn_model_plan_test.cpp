@@ -4,6 +4,7 @@
 // and the zero-allocation warm whole-model forward.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <new>
@@ -105,6 +106,57 @@ TEST(ModelPlanner, BestFitPrefersSmallestHole) {
   EXPECT_EQ(fit.offset(), small.offset());
   (void)keep1;
   (void)keep2;
+}
+
+TEST(ModelPlanner, FuzzedAcquireReleaseKeepsLiveSlotsDisjoint) {
+  // Randomized lifetime sequences: at every step, no two live slots may
+  // overlap, every offset is alignment-granular, and peak_floats() must
+  // cover every live high-water mark. After a full drain, the free list
+  // must have coalesced back to one interval spanning the whole layout.
+  Rng rng(2020);
+  for (int round = 0; round < 40; ++round) {
+    ModelPlanner planner;
+    std::vector<ModelSlot> live;
+    std::size_t live_floats = 0;
+    std::size_t high_water = 0;
+    for (int op = 0; op < 200; ++op) {
+      if (live.empty() || rng.next_below(3) != 0) {
+        const std::size_t rows = 1 + rng.next_below(40);
+        const std::size_t cols = 1 + rng.next_below(12);
+        const ModelSlot slot = planner.acquire(rows, cols);
+        ASSERT_EQ(slot.offset() % (kDefaultAlignment / sizeof(float)), 0u);
+        ASSERT_GE(slot.extent(), rows * cols);
+        for (const ModelSlot& other : live) {
+          const bool disjoint =
+              slot.offset() + slot.extent() <= other.offset() ||
+              other.offset() + other.extent() <= slot.offset();
+          ASSERT_TRUE(disjoint)
+              << "round " << round << " op " << op << ": live slots overlap "
+              << "([" << slot.offset() << ", " << slot.offset() + slot.extent()
+              << ") vs [" << other.offset() << ", "
+              << other.offset() + other.extent() << "))";
+        }
+        live.push_back(slot);
+        live_floats += slot.extent();
+        high_water = std::max(high_water, live_floats);
+      } else {
+        const std::size_t idx = rng.next_below(live.size());
+        live_floats -= live[idx].extent();
+        planner.release(live[idx]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+      }
+      ASSERT_GE(planner.peak_floats(), live_floats);
+    }
+    EXPECT_GE(planner.peak_floats(), high_water);
+    for (const ModelSlot& slot : live) planner.release(slot);
+    // Drained: one acquire of the whole peak must fit at offset 0
+    // without growing the layout — anything else means the free list
+    // failed to coalesce somewhere in the sequence.
+    const std::size_t peak = planner.peak_floats();
+    const ModelSlot all = planner.acquire(peak, 1);
+    EXPECT_EQ(all.offset(), 0u);
+    EXPECT_EQ(planner.peak_floats(), peak);
+  }
 }
 
 // ------------------------------------------- planned vs eager (bitwise)
@@ -350,6 +402,139 @@ TEST(ModelPlan, WarmBiLstmForwardPerformsZeroHeapAllocations) {
   EXPECT_EQ(g_new_calls.load(), new_warm)
       << "warm BiLSTM ModelPlan::run allocated on the heap";
 }
+
+// ------------------------------------- hybrid / stacked module trees
+
+/// Encoder stack -> BiLSTM -> Linear head: the 3-level hybrid that only
+/// the generic module walker can compile (no per-model walkers remain).
+Sequential make_hybrid(const QuantSpec& spec, ExecContext& ctx,
+                       std::size_t classes) {
+  const std::size_t hidden = tiny().hidden, lstm_hidden = 8;
+  Sequential hybrid;
+  hybrid.add(std::make_unique<TransformerEncoder>(
+      make_encoder(tiny(), 42, spec, &ctx)));
+  hybrid.add(std::make_unique<BiLstm>(
+      make_lstm_cell(hidden, lstm_hidden, 31, spec, &ctx),
+      make_lstm_cell(hidden, lstm_hidden, 32, spec, &ctx)));
+  Rng wrng(13);
+  const Matrix head_w = xavier_uniform(classes, 2 * lstm_hidden, wrng);
+  hybrid.add(make_linear(head_w, std::vector<float>(classes, 0.1f),
+                         spec.weight_bits, spec.method, spec.kernel, &ctx));
+  return hybrid;
+}
+
+TEST(ModelPlan, SequentialHybridPlannedMatchesEagerBitwise) {
+  const std::size_t tokens = 6, classes = 10;
+  Rng rng(21);
+  const Matrix x = Matrix::random_normal(tiny().hidden, tokens, rng);
+  for (const bool quantized : {false, true}) {
+    ExecContext ctx;
+    const Sequential hybrid =
+        make_hybrid(quantized ? quant2() : QuantSpec{}, ctx, classes);
+    EXPECT_EQ(hybrid.size(), 3u);
+    EXPECT_EQ(hybrid.in_rows(), tiny().hidden);
+    EXPECT_EQ(hybrid.out_shape({tiny().hidden, tokens}).rows, classes);
+
+    Matrix eager(classes, tokens);
+    hybrid.forward(x, eager);
+
+    const ModelPlan plan(hybrid, tokens, ctx);
+    EXPECT_EQ(plan.input_rows(), tiny().hidden);
+    EXPECT_EQ(plan.output_rows(), classes);
+    Matrix planned(classes, tokens);
+    plan.run(x, planned);
+    EXPECT_EQ(max_abs_diff(planned, eager), 0.0f)
+        << (quantized ? "quantized" : "fp32");
+  }
+}
+
+TEST(ModelPlan, WarmSequentialHybridForwardPerformsZeroHeapAllocations) {
+  const std::size_t tokens = 6, classes = 10;
+  ExecContext ctx;
+  const Sequential hybrid = make_hybrid(quant2(), ctx, classes);
+  Rng rng(22);
+  const Matrix x = Matrix::random_normal(tiny().hidden, tokens, rng);
+  Matrix y(classes, tokens);
+
+  const ModelPlan plan(hybrid, tokens, ctx);
+  plan.run(x, y);  // first run grows the engines' scratch arenas
+  plan.run(x, y);  // second consolidates overflow blocks
+  const std::size_t arena_warm = ctx.scratch_heap_allocations();
+  const std::size_t new_warm = g_new_calls.load();
+  for (int rep = 0; rep < 8; ++rep) plan.run(x, y);
+  EXPECT_EQ(ctx.scratch_heap_allocations(), arena_warm)
+      << "warm hybrid ModelPlan::run grew a scratch arena";
+  EXPECT_EQ(g_new_calls.load(), new_warm)
+      << "warm hybrid ModelPlan::run allocated on the heap";
+}
+
+TEST(ModelPlan, BiLstmPyramidCompilesThroughTheGenericWalker) {
+  // 4-deep stacked BiLSTM pyramid (the LAS encoder shape): each level's
+  // 2h output feeds the next level's input through chain slots.
+  const std::size_t in = 12, frames = 7;
+  const std::size_t widths[] = {8, 6, 4, 3};
+  Rng rng(23);
+  const Matrix audio = Matrix::random_normal(in, frames, rng);
+  for (const bool quantized : {false, true}) {
+    ExecContext ctx;
+    const QuantSpec spec = quantized ? quant2() : QuantSpec{};
+    Sequential pyramid;
+    std::size_t rows = in;
+    std::uint64_t seed = 100;
+    for (const std::size_t h : widths) {
+      pyramid.add(std::make_unique<BiLstm>(
+          make_lstm_cell(rows, h, seed, spec, &ctx),
+          make_lstm_cell(rows, h, seed + 1, spec, &ctx)));
+      seed += 2;
+      rows = 2 * h;
+    }
+    EXPECT_EQ(pyramid.out_shape({in, frames}).rows, rows);
+
+    Matrix eager(rows, frames);
+    pyramid.forward(audio, eager);
+
+    const ModelPlan plan(pyramid, frames, ctx);
+    Matrix planned(rows, frames);
+    plan.run(audio, planned);
+    EXPECT_EQ(max_abs_diff(planned, eager), 0.0f)
+        << (quantized ? "quantized" : "fp32");
+    // Chain slots and scan state reuse storage across the levels.
+    EXPECT_LT(plan.arena_floats(), plan.unpacked_floats());
+  }
+}
+
+TEST(ModelPlan, ZeroLayerEncoderCompilesToTheIdentityCopy) {
+  // An empty chain is the identity map, planned and eager alike.
+  TransformerConfig cfg = tiny();
+  cfg.layers = 0;
+  ExecContext ctx;
+  const TransformerEncoder enc = make_encoder(cfg, 1, {}, &ctx);
+  Rng rng(24);
+  const Matrix x = Matrix::random_normal(32, 4, rng);
+  Matrix eager(32, 4), planned(32, 4);
+  enc.forward(x, eager);
+  const ModelPlan plan(enc, 4, ctx);
+  plan.run(x, planned);
+  EXPECT_EQ(max_abs_diff(planned, eager), 0.0f);
+  EXPECT_EQ(max_abs_diff(planned, x), 0.0f);
+}
+
+TEST(Sequential, RejectsMismatchedSeams) {
+  ExecContext ctx;
+  Sequential seq;
+  seq.add(std::make_unique<BiLstm>(make_lstm_cell(12, 8, 1, {}, &ctx),
+                                   make_lstm_cell(12, 8, 2, {}, &ctx)));
+  // Tail produces 16 rows; a 12-row consumer must be rejected at add().
+  EXPECT_THROW(
+      seq.add(std::make_unique<BiLstm>(make_lstm_cell(12, 8, 3, {}, &ctx),
+                                       make_lstm_cell(12, 8, 4, {}, &ctx))),
+      std::invalid_argument);
+  // And an empty pipeline cannot be compiled.
+  Sequential empty;
+  EXPECT_THROW(ModelPlan(empty, 4, ctx), std::invalid_argument);
+}
+
+// ------------------------------------------- zero-alloc (tile-parallel)
 
 TEST(ModelPlan, WarmTileParallelEncoderForwardPerformsZeroHeapAllocations) {
   // Same pin with a pool bound to the context: the partitioner's

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "nn/transformer.hpp"
 
@@ -120,6 +121,42 @@ TEST(FeedForward, AppliesActivationBetweenLayers) {
   ffn.forward(x, y);
   EXPECT_NEAR(y(0, 0), 0.0f, 1e-5f);
   EXPECT_NEAR(y(1, 0), 2.0f, 1e-5f);
+}
+
+TEST(Transformer, ModuleInterfaceShapes) {
+  const TransformerEncoder enc = make_encoder(tiny(), 3, {});
+  EXPECT_EQ(enc.in_rows(), 32u);
+  EXPECT_EQ(enc.out_shape({32, 6}).rows, 32u);
+  EXPECT_THROW((void)enc.out_shape({16, 6}), std::invalid_argument);
+
+  const EncoderLayer& layer = enc.layers().front();
+  EXPECT_EQ(layer.in_rows(), 32u);
+  EXPECT_EQ(layer.out_shape({32, 6}).rows, 32u);
+
+  const FeedForward& ffn = layer.ffn();
+  EXPECT_EQ(ffn.in_rows(), 32u);
+  EXPECT_EQ(ffn.out_shape({32, 6}).rows, 32u);
+  EXPECT_THROW((void)ffn.out_shape({64, 6}), std::invalid_argument);
+}
+
+TEST(Transformer, TwoArgForwardMatchesInPlaceForward) {
+  // The PlannableModule eager form (x -> y) must match the historical
+  // in-place form bitwise, for the stack and for a single layer.
+  const TransformerEncoder enc = make_encoder(tiny(), 42, {});
+  Rng rng(2);
+  const Matrix x = Matrix::random_normal(32, 6, rng);
+
+  Matrix in_place = x;
+  enc.forward(in_place);
+  Matrix out(32, 6);
+  enc.forward(x, out);
+  EXPECT_EQ(max_abs_diff(out, in_place), 0.0f);
+
+  Matrix layer_in_place = x;
+  enc.layers().front().forward(layer_in_place);
+  Matrix layer_out(32, 6);
+  enc.layers().front().forward(x, layer_out);
+  EXPECT_EQ(max_abs_diff(layer_out, layer_in_place), 0.0f);
 }
 
 }  // namespace
