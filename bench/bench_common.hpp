@@ -5,10 +5,13 @@
 // BENCH_<name>.json records for the perf trajectory.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <initializer_list>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "engine/gemm_engine.hpp"
@@ -48,6 +51,82 @@ template <typename Fn>
 double median_seconds(Fn&& fn, std::size_t reps = 3, double min_seconds = 0.05) {
   return summarize(measure_repetitions(std::forward<Fn>(fn), reps, min_seconds))
       .median;
+}
+
+// Cross-cutting bench flags, shared by every binary in bench/:
+//   --json       emit machine-readable BENCH_<name>.json (see BenchJson)
+//   --repeats N  cap each measurement at exactly N repetitions (drops
+//                the accumulated-time floor) — CI passes a small N to
+//                bound wall time; without the flag the defaults of
+//                median_seconds are unchanged.
+
+/// The N of `--repeats N`, or 0 when the flag is absent.
+inline std::size_t parse_repeats(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--repeats") {
+      return std::strtoul(argv[i + 1], nullptr, 10);
+    }
+  }
+  return 0;
+}
+
+/// median_seconds honoring an explicit --repeats: repeats == 0 (flag
+/// absent) keeps the defaults; otherwise exactly `repeats` runs.
+template <typename Fn>
+double bench_seconds(Fn&& fn, std::size_t repeats) {
+  return repeats == 0
+             ? median_seconds(std::forward<Fn>(fn))
+             : median_seconds(std::forward<Fn>(fn), repeats, /*min_seconds=*/0.0);
+}
+
+/// Interleaved A/B medians: runs a and b alternately (a,b,a,b,...) and
+/// returns {median(a), median(b)}. Timing the variants as back-to-back
+/// blocks lets slow frequency/container drift decide effects smaller
+/// than the drift (~5% here); alternating rep-by-rep exposes both sides
+/// to the same drift, so the medians isolate what the code changed.
+/// `repeats` counts a/b pairs with bench_seconds' --repeats semantics
+/// (0 = defaults: at least 3 pairs and 50 ms of accumulated time).
+template <typename FnA, typename FnB>
+std::pair<double, double> interleaved_ab_seconds(FnA&& a, FnB&& b,
+                                                 std::size_t repeats) {
+  using clock = std::chrono::steady_clock;
+  const std::size_t min_pairs = repeats == 0 ? 3 : repeats;
+  const double min_seconds = repeats == 0 ? 0.05 : 0.0;
+  std::vector<double> sa, sb;
+  sa.reserve(min_pairs);
+  sb.reserve(min_pairs);
+  double total = 0.0;
+  while (sa.size() < min_pairs || total < min_seconds) {
+    auto t0 = clock::now();
+    a();
+    const double da = std::chrono::duration<double>(clock::now() - t0).count();
+    t0 = clock::now();
+    b();
+    const double db = std::chrono::duration<double>(clock::now() - t0).count();
+    sa.push_back(da);
+    sb.push_back(db);
+    total += da + db;
+    if (sa.size() > 100000) break;  // runaway guard for ~0-cost fns
+  }
+  return {summarize(sa).median, summarize(sb).median};
+}
+
+/// The idx-th (1-based) positional argument as a number, skipping
+/// --json and --repeats <N> wherever they appear — so flag order never
+/// shifts a bench's size arguments.
+inline std::size_t positional_or(int argc, char** argv, int idx,
+                                 std::size_t fallback) {
+  int seen = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a(argv[i]);
+    if (a == "--json") continue;
+    if (a == "--repeats") {
+      ++i;  // skip the flag's value too
+      continue;
+    }
+    if (++seen == idx) return std::strtoul(argv[i], nullptr, 10);
+  }
+  return fallback;
 }
 
 inline std::string us(double seconds, int precision = 1) {
@@ -112,6 +191,10 @@ class BenchJson {
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
 
   void record(std::initializer_list<JsonField> fields) {
+    record(std::vector<JsonField>(fields));
+  }
+
+  void record(const std::vector<JsonField>& fields) {
     if (!enabled_) return;
     std::string obj = "{";
     bool first = true;

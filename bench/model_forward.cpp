@@ -4,13 +4,14 @@
 // zero-allocation warm runs) for a Transformer encoder, a BiLSTM, a
 // 4-deep stacked BiLSTM pyramid and an encoder+BiLSTM+head hybrid —
 // the last two composed with nn::Sequential and compiled through the
-// same generic module walker as the single models. Run with --json to
-// emit BENCH_model_forward.json for the perf trajectory.
+// same generic module walker as the single models. Each model is
+// planned twice — with epilogue fusion (the default) and without — so
+// the fused-vs-unfused gap is its own reported dimension. Run with
+// --json to emit BENCH_model_forward.json for the perf trajectory.
 //
-//   $ ./model_forward [tokens] [layers] [hidden] [--json]
+//   $ ./model_forward [tokens] [layers] [hidden] [--json] [--repeats N]
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,11 +22,6 @@
 #include "util/table_printer.hpp"
 
 namespace {
-
-std::size_t arg_or(int argc, char** argv, int i, std::size_t fallback) {
-  if (argc <= i || std::strcmp(argv[i], "--json") == 0) return fallback;
-  return std::strtoul(argv[i], nullptr, 10);
-}
 
 std::string arena_cell(const biq::nn::ModelPlan& plan) {
   return biq::TablePrinter::fmt(
@@ -75,12 +71,65 @@ biq::nn::Sequential make_hybrid(const biq::nn::TransformerConfig& cfg,
   return hybrid;
 }
 
+/// Times one model three ways (eager, planned fused, planned unfused)
+/// and emits one table row plus two JSON records — identical schema,
+/// distinguished by the "fused" field. `shape_fields` carries the
+/// model name and its size parameters.
+void bench_one(biq::bench::BenchJson& json, biq::TablePrinter& table,
+               const char* name, const char* weights,
+               const biq::nn::PlannableModule& model, biq::ExecContext& ctx,
+               const biq::Matrix& input, std::size_t repeats,
+               std::vector<biq::bench::JsonField> shape_fields) {
+  const std::size_t tokens = input.cols();
+  biq::Matrix out(model.out_shape({input.rows(), tokens}).rows, tokens);
+
+  const double eager =
+      biq::bench::bench_seconds([&] { model.forward(input, out); }, repeats);
+
+  // The fused/unfused gap is a few percent — smaller than the slow
+  // drift of back-to-back timed blocks — so the two plans run
+  // interleaved, rep by rep, and each side reports its own median.
+  const biq::nn::ModelPlan fused(model, tokens, ctx, /*fuse=*/true);
+  const biq::nn::ModelPlan unfused(model, tokens, ctx, /*fuse=*/false);
+  fused.run(input, out);  // warm the arenas before timing
+  unfused.run(input, out);
+  const auto [planned_fused, planned_unfused] =
+      biq::bench::interleaved_ab_seconds([&] { fused.run(input, out); },
+                                         [&] { unfused.run(input, out); },
+                                         repeats);
+
+  table.add_row({name, weights, biq::bench::ms(eager),
+                 biq::bench::ms(planned_fused), biq::bench::ms(planned_unfused),
+                 biq::TablePrinter::fmt(eager / planned_fused, 2) + "x",
+                 arena_cell(fused)});
+
+  struct Variant {
+    const char* fused;
+    double planned;
+    const biq::nn::ModelPlan* plan;
+  };
+  for (const Variant& v : {Variant{"on", planned_fused, &fused},
+                           Variant{"off", planned_unfused, &unfused}}) {
+    std::vector<biq::bench::JsonField> rec = shape_fields;
+    rec.push_back(biq::bench::jstr("weights", weights));
+    rec.push_back(biq::bench::jstr("fused", v.fused));
+    rec.push_back(biq::bench::jnum("eager_ms", eager * 1e3));
+    rec.push_back(biq::bench::jnum("planned_ms", v.planned * 1e3));
+    rec.push_back(biq::bench::jint(
+        "arena_bytes", static_cast<long long>(v.plan->arena_bytes())));
+    rec.push_back(biq::bench::jstr("caveat", "single-core container"));
+    json.record(rec);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t tokens = arg_or(argc, argv, 1, 18);
-  const auto layers = static_cast<unsigned>(arg_or(argc, argv, 2, 2));
-  const std::size_t hidden = arg_or(argc, argv, 3, 256);
+  const std::size_t tokens = biq::bench::positional_or(argc, argv, 1, 18);
+  const auto layers =
+      static_cast<unsigned>(biq::bench::positional_or(argc, argv, 2, 2));
+  const std::size_t hidden = biq::bench::positional_or(argc, argv, 3, 256);
+  const std::size_t repeats = biq::bench::parse_repeats(argc, argv);
 
   biq::bench::BenchJson json(argc, argv, "model_forward");
   biq::bench::print_header(
@@ -98,8 +147,9 @@ int main(int argc, char** argv) {
               cfg.layers, cfg.hidden, cfg.ffn, tokens, hidden, hidden / 2,
               tokens);
 
-  biq::TablePrinter table({"model", "weights", "eager ms", "planned ms",
-                           "planned speedup", "arena KB (packed/unpacked)"});
+  biq::TablePrinter table({"model", "weights", "eager ms", "fused ms",
+                           "unfused ms", "fused speedup",
+                           "arena KB (packed/unpacked)"});
   constexpr std::uint64_t kSeed = 2020;
   biq::Rng rng(7);
 
@@ -114,31 +164,11 @@ int main(int argc, char** argv) {
           biq::nn::make_encoder(cfg, kSeed, spec, &ctx);
       const biq::Matrix input =
           biq::Matrix::random_normal(hidden, tokens, rng);
-      biq::Matrix scratch = input;
-      biq::Matrix out(hidden, tokens);
-
-      const double eager = biq::bench::median_seconds([&] {
-        biq::nn::copy_into(input, scratch);
-        enc.forward(scratch);
-      });
-      const biq::nn::ModelPlan plan(enc, tokens, ctx);
-      plan.run(input, out);  // warm the arenas before timing
-      const double planned =
-          biq::bench::median_seconds([&] { plan.run(input, out); });
-
-      table.add_row(
-          {"encoder", weights, biq::bench::ms(eager), biq::bench::ms(planned),
-           biq::TablePrinter::fmt(eager / planned, 2) + "x",
-           arena_cell(plan)});
-      json.record({biq::bench::jstr("model", "encoder"),
-                   biq::bench::jstr("weights", weights),
-                   biq::bench::jint("tokens", static_cast<long long>(tokens)),
-                   biq::bench::jint("layers", layers),
-                   biq::bench::jint("hidden", static_cast<long long>(hidden)),
-                   biq::bench::jnum("eager_ms", eager * 1e3),
-                   biq::bench::jnum("planned_ms", planned * 1e3),
-                   biq::bench::jint("arena_bytes", static_cast<long long>(
-                                                       plan.arena_bytes()))});
+      bench_one(json, table, "encoder", weights, enc, ctx, input, repeats,
+                {biq::bench::jstr("model", "encoder"),
+                 biq::bench::jint("tokens", static_cast<long long>(tokens)),
+                 biq::bench::jint("layers", layers),
+                 biq::bench::jint("hidden", static_cast<long long>(hidden))});
     }
 
     {
@@ -149,28 +179,11 @@ int main(int argc, char** argv) {
           biq::nn::make_lstm_cell(hidden, lstm_hidden, 32, spec, &ctx));
       const biq::Matrix audio =
           biq::Matrix::random_normal(hidden, tokens, rng);
-      biq::Matrix out(2 * lstm_hidden, tokens);
-
-      const double eager =
-          biq::bench::median_seconds([&] { model.forward(audio, out); });
-      const biq::nn::ModelPlan plan(model, tokens, ctx);
-      plan.run(audio, out);
-      const double planned =
-          biq::bench::median_seconds([&] { plan.run(audio, out); });
-
-      table.add_row(
-          {"bilstm", weights, biq::bench::ms(eager), biq::bench::ms(planned),
-           biq::TablePrinter::fmt(eager / planned, 2) + "x",
-           arena_cell(plan)});
-      json.record({biq::bench::jstr("model", "bilstm"),
-                   biq::bench::jstr("weights", weights),
-                   biq::bench::jint("frames", static_cast<long long>(tokens)),
-                   biq::bench::jint("hidden",
-                                    static_cast<long long>(lstm_hidden)),
-                   biq::bench::jnum("eager_ms", eager * 1e3),
-                   biq::bench::jnum("planned_ms", planned * 1e3),
-                   biq::bench::jint("arena_bytes", static_cast<long long>(
-                                                       plan.arena_bytes()))});
+      bench_one(json, table, "bilstm", weights, model, ctx, audio, repeats,
+                {biq::bench::jstr("model", "bilstm"),
+                 biq::bench::jint("frames", static_cast<long long>(tokens)),
+                 biq::bench::jint("hidden",
+                                  static_cast<long long>(lstm_hidden))});
     }
 
     {
@@ -179,27 +192,11 @@ int main(int argc, char** argv) {
       const biq::nn::Sequential pyramid = make_pyramid(hidden, spec, ctx);
       const biq::Matrix audio =
           biq::Matrix::random_normal(hidden, tokens, rng);
-      biq::Matrix out(pyramid.out_shape({hidden, tokens}).rows, tokens);
-
-      const double eager =
-          biq::bench::median_seconds([&] { pyramid.forward(audio, out); });
-      const biq::nn::ModelPlan plan(pyramid, tokens, ctx);
-      plan.run(audio, out);
-      const double planned =
-          biq::bench::median_seconds([&] { plan.run(audio, out); });
-
-      table.add_row({"bilstm-pyramid-4", weights, biq::bench::ms(eager),
-                     biq::bench::ms(planned),
-                     biq::TablePrinter::fmt(eager / planned, 2) + "x",
-                     arena_cell(plan)});
-      json.record({biq::bench::jstr("model", "bilstm_pyramid4"),
-                   biq::bench::jstr("weights", weights),
-                   biq::bench::jint("frames", static_cast<long long>(tokens)),
-                   biq::bench::jint("hidden", static_cast<long long>(hidden)),
-                   biq::bench::jnum("eager_ms", eager * 1e3),
-                   biq::bench::jnum("planned_ms", planned * 1e3),
-                   biq::bench::jint("arena_bytes", static_cast<long long>(
-                                                       plan.arena_bytes()))});
+      bench_one(json, table, "bilstm-pyramid-4", weights, pyramid, ctx, audio,
+                repeats,
+                {biq::bench::jstr("model", "bilstm_pyramid4"),
+                 biq::bench::jint("frames", static_cast<long long>(tokens)),
+                 biq::bench::jint("hidden", static_cast<long long>(hidden))});
     }
 
     {
@@ -208,28 +205,12 @@ int main(int argc, char** argv) {
       const biq::nn::Sequential hybrid = make_hybrid(cfg, spec, ctx);
       const biq::Matrix input =
           biq::Matrix::random_normal(hidden, tokens, rng);
-      biq::Matrix out(hidden, tokens);
-
-      const double eager =
-          biq::bench::median_seconds([&] { hybrid.forward(input, out); });
-      const biq::nn::ModelPlan plan(hybrid, tokens, ctx);
-      plan.run(input, out);
-      const double planned =
-          biq::bench::median_seconds([&] { plan.run(input, out); });
-
-      table.add_row({"encoder+bilstm", weights, biq::bench::ms(eager),
-                     biq::bench::ms(planned),
-                     biq::TablePrinter::fmt(eager / planned, 2) + "x",
-                     arena_cell(plan)});
-      json.record({biq::bench::jstr("model", "encoder_bilstm_hybrid"),
-                   biq::bench::jstr("weights", weights),
-                   biq::bench::jint("tokens", static_cast<long long>(tokens)),
-                   biq::bench::jint("layers", layers),
-                   biq::bench::jint("hidden", static_cast<long long>(hidden)),
-                   biq::bench::jnum("eager_ms", eager * 1e3),
-                   biq::bench::jnum("planned_ms", planned * 1e3),
-                   biq::bench::jint("arena_bytes", static_cast<long long>(
-                                                       plan.arena_bytes()))});
+      bench_one(json, table, "encoder+bilstm", weights, hybrid, ctx, input,
+                repeats,
+                {biq::bench::jstr("model", "encoder_bilstm_hybrid"),
+                 biq::bench::jint("tokens", static_cast<long long>(tokens)),
+                 biq::bench::jint("layers", layers),
+                 biq::bench::jint("hidden", static_cast<long long>(hidden))});
     }
   }
 
@@ -237,6 +218,9 @@ int main(int argc, char** argv) {
   std::printf("Eager re-allocates every intermediate activation per call and\n"
               "plans per layer; ModelPlan froze all of that at compile time,\n"
               "so the gap is widest where per-call overhead rivals the math\n"
-              "(small models, GEMV-heavy LSTM steps).\n");
+              "(small models, GEMV-heavy LSTM steps). \"fused\" folds bias,\n"
+              "activation and residual adds into the GEMM epilogues;\n"
+              "\"unfused\" runs the same plans with separate seam passes.\n"
+              "Timings are single-core (container) — see the JSON caveat.\n");
   return 0;
 }

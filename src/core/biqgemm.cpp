@@ -62,6 +62,7 @@ struct KernelArgs {
   TilePlan plan;
   const engine::BiqKernels* kernels;  // ISA plane resolved at construction
   BiqGemmProfile* profile;  // non-null only in single-thread runs
+  const EpilogueOp* ep;     // fused output transform (may be empty)
 };
 
 void build_tile(const engine::BiqKernels& kernels, const float* xt, float* lut,
@@ -140,9 +141,19 @@ void run_one_batch_tile(const KernelArgs& a, std::size_t c0, std::size_t lanes,
 
   {
     Stopwatch w;
-    for (std::size_t lane = 0; lane < lanes; ++lane) {
-      float* ycol = a.y.col(c0 + lane);
-      for (std::size_t i = 0; i < a.m; ++i) ycol[i] = ytile[i * lanes + lane];
+    // Write-back from the interleaved tile into y columns — the moment
+    // the tile is complete and still hot. The fused epilogue merges into
+    // the de-interleave itself (the bias add — and, for activation-free
+    // epilogues, the residual add — ride the copy's store), so fusion
+    // costs no extra pass over y; an unfused plan pays those terms as
+    // separate re-streaming passes afterwards.
+    if (a.ep->empty()) {
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        float* ycol = a.y.col(c0 + lane);
+        for (std::size_t i = 0; i < a.m; ++i) ycol[i] = ytile[i * lanes + lane];
+      }
+    } else {
+      a.ep->apply_interleaved(a.y, ytile, a.m, lanes, c0);
     }
     if (a.profile) a.profile->replace_seconds += w.elapsed_seconds();
   }
@@ -178,17 +189,23 @@ class BiqGemmPlan final : public GemmPlan {
   BiqGemmPlan(const BiqGemm& engine, const std::vector<KeyMatrix>& keys,
               const std::vector<std::vector<float>>& alphas,
               const BiqGemmOptions& opt, const engine::BiqKernels& kernels,
-              std::size_t batch, ExecContext& ctx)
-      : GemmPlan(engine.name(), engine.rows(), engine.cols(), batch, ctx),
+              std::size_t batch, ExecContext& ctx, const Epilogue& epilogue)
+      : GemmPlan(engine.name(), engine.rows(), engine.cols(), batch, ctx,
+                 epilogue),
         keys_(&keys), alphas_(&alphas), opt_(&opt), kernels_(&kernels),
         tile_plan_(plan_tiles(engine.rows(), batch, opt, kernels.query_lanes)),
         ntables_(table_count(engine.cols(), opt.mu)) {}
 
  private:
-  void execute(ConstMatrixView x, MatrixView y) const override {
+  void execute(ConstMatrixView x, MatrixView y,
+               const EpilogueOp& ep) const override {
     if (batch() == 1) {
       biqgemv_packed(*keys_, *alphas_, x.col(0), y.col(0), rows(), cols(),
                      *opt_, context(), kernels_);
+      // The GEMV kernel row-splits internally and writes y directly;
+      // its accumulation is complete here, so the epilogue is one pass
+      // over the single output column.
+      if (!ep.empty()) ep.apply(y, 0, rows(), 0, 1);
       return;
     }
     KernelArgs args;
@@ -204,6 +221,7 @@ class BiqGemmPlan final : public GemmPlan {
     args.plan = tile_plan_;
     args.kernels = kernels_;
     args.profile = context().worker_count() == 1 ? opt_->profile : nullptr;
+    args.ep = &ep;
     if (opt_->mu > 8) {
       run_kernel<std::uint16_t>(args, context());
     } else {
@@ -254,13 +272,13 @@ std::size_t BiqGemm::packed_weight_bytes() const noexcept {
   return bytes;
 }
 
-std::unique_ptr<GemmPlan> BiqGemm::plan(std::size_t batch,
-                                        ExecContext& ctx) const {
+std::unique_ptr<GemmPlan> BiqGemm::plan(std::size_t batch, ExecContext& ctx,
+                                        const Epilogue& epilogue) const {
   const engine::BiqKernels& kernels =
       ctx.isa() == KernelIsa::kAuto ? *kernels_
                                     : engine::select_kernels(ctx.isa());
   return std::make_unique<BiqGemmPlan>(*this, keys_, alphas_, opt_, kernels,
-                                       batch, ctx);
+                                       batch, ctx, epilogue);
 }
 
 void biqgemm(const BinaryCodes& codes, const Matrix& x, Matrix& y,

@@ -42,9 +42,12 @@ class BiqGemm final : public GemmEngine {
   /// the GEMV fast path; otherwise batch tiles (or query rows, for small
   /// batches) are partitioned across ctx's pool, and all scratch is
   /// served from ctx's per-worker arenas — repeated runs on a warm
-  /// context never touch the heap.
+  /// context never touch the heap. The epilogue is applied on the tile
+  /// write-back from ytile scratch into y.
   [[nodiscard]] std::unique_ptr<GemmPlan> plan(
-      std::size_t batch, ExecContext& ctx) const override;
+      std::size_t batch, ExecContext& ctx,
+      const Epilogue& epilogue) const override;
+  using GemmEngine::plan;
 
   [[nodiscard]] std::size_t rows() const noexcept override { return m_; }
   [[nodiscard]] std::size_t cols() const noexcept override { return n_; }

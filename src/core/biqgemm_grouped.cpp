@@ -73,8 +73,9 @@ class GroupedPlan final : public GemmPlan {
               const std::vector<std::vector<float>>& alphas, unsigned bits,
               std::size_t num_groups, std::size_t tables_per_group,
               const BiqGemmOptions& opt, const engine::BiqKernels& kernels,
-              std::size_t batch, ExecContext& ctx)
-      : GemmPlan(engine.name(), engine.rows(), engine.cols(), batch, ctx),
+              std::size_t batch, ExecContext& ctx, const Epilogue& epilogue)
+      : GemmPlan(engine.name(), engine.rows(), engine.cols(), batch, ctx,
+                 epilogue),
         keys_(&keys), alphas_(&alphas), kernels_(&kernels), bits_(bits),
         num_groups_(num_groups), tables_per_group_(tables_per_group),
         mu_(opt.mu), row_block_(opt.row_block),
@@ -92,7 +93,8 @@ class GroupedPlan final : public GemmPlan {
     float* ytile;
   };
 
-  void execute(ConstMatrixView x, MatrixView y) const override {
+  void execute(ConstMatrixView x, MatrixView y,
+               const EpilogueOp& ep) const override {
     const std::size_t b = batch();
     const std::size_t m = rows();
     const std::size_t ntiles = (b + lanes_max_ - 1) / lanes_max_;
@@ -153,11 +155,18 @@ class GroupedPlan final : public GemmPlan {
             }
           }
 
-          for (std::size_t lane = 0; lane < lanes; ++lane) {
-            float* ycol = y.col(c0 + lane);
-            for (std::size_t i = 0; i < m; ++i) {
-              ycol[i] = s.ytile[i * lanes + lane];
+          // Tile write-back — the fused epilogue merges into the
+          // de-interleave itself (see EpilogueOp::apply_interleaved), so
+          // fusion costs no extra pass over y.
+          if (ep.empty()) {
+            for (std::size_t lane = 0; lane < lanes; ++lane) {
+              float* ycol = y.col(c0 + lane);
+              for (std::size_t i = 0; i < m; ++i) {
+                ycol[i] = s.ytile[i * lanes + lane];
+              }
             }
+          } else {
+            ep.apply_interleaved(y, s.ytile, m, lanes, c0);
           }
         });
   }
@@ -178,13 +187,14 @@ class GroupedPlan final : public GemmPlan {
 }  // namespace
 
 std::unique_ptr<GemmPlan> BiqGemmGrouped::plan(std::size_t batch,
-                                               ExecContext& ctx) const {
+                                               ExecContext& ctx,
+                                               const Epilogue& epilogue) const {
   const engine::BiqKernels& kernels =
       ctx.isa() == KernelIsa::kAuto ? *kernels_
                                     : engine::select_kernels(ctx.isa());
   return std::make_unique<GroupedPlan>(*this, keys_, alphas_, bits_,
                                        num_groups_, tables_per_group_, opt_,
-                                       kernels, batch, ctx);
+                                       kernels, batch, ctx, epilogue);
 }
 
 }  // namespace biq

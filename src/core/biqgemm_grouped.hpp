@@ -33,7 +33,9 @@ class BiqGemmGrouped final : public GemmEngine {
   /// or query-row blocks when the batch is narrow — are partitioned
   /// across ctx's pool, scratch comes from ctx's per-worker arenas.
   [[nodiscard]] std::unique_ptr<GemmPlan> plan(
-      std::size_t batch, ExecContext& ctx) const override;
+      std::size_t batch, ExecContext& ctx,
+      const Epilogue& epilogue) const override;
+  using GemmEngine::plan;
 
   [[nodiscard]] std::size_t rows() const noexcept override { return m_; }
   [[nodiscard]] std::size_t cols() const noexcept override { return n_; }

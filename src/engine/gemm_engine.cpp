@@ -38,4 +38,41 @@ void GemmPlan::validate(ConstMatrixView x, MatrixView y) const {
   throw std::invalid_argument(msg);
 }
 
+void GemmPlan::validate_residual(ConstMatrixView residual,
+                                 MatrixView y) const {
+  const char* what = nullptr;
+  if (residual.rows() != rows_ || residual.cols() != batch_) {
+    what = "residual";
+  } else if (residual.ld() < residual.rows()) {
+    what = "residual.ld";
+  } else if (rows_ != 0 && batch_ != 0) {
+    // The residual is read while y is being transformed in place, so any
+    // overlap of the two spans would feed half-transformed values back
+    // into the epilogue.
+    const float* rlo = residual.data();
+    const float* rhi = residual.col(batch_ - 1) + rows_;
+    const float* ylo = y.data();
+    const float* yhi = y.col(batch_ - 1) + rows_;
+    if (rlo < yhi && ylo < rhi) what = "residual (overlaps y)";
+  }
+  if (what == nullptr) return;
+  std::string msg(name_);
+  msg += " plan: bad ";
+  msg += what;
+  msg += ": residual is " + dims(residual) + "; planned for " +
+         std::to_string(rows_) + "x" + std::to_string(batch_) +
+         " (ld >= rows, disjoint from y)";
+  throw std::invalid_argument(msg);
+}
+
+void GemmPlan::residual_mismatch(bool provided) const {
+  std::string msg(name_);
+  msg += provided
+             ? " plan: residual operand given, but the plan was not frozen "
+               "with a residual epilogue"
+             : " plan: frozen with a residual epilogue; use "
+               "run(x, y, residual)";
+  throw std::invalid_argument(msg);
+}
+
 }  // namespace biq

@@ -35,6 +35,7 @@
 #include <memory>
 #include <string_view>
 
+#include "engine/epilogue.hpp"
 #include "engine/exec_context.hpp"
 #include "matrix/view.hpp"
 
@@ -47,21 +48,41 @@ namespace biq {
 /// and a plan may be run by one caller at a time (it owns its context's
 /// scratch while running). Re-plan when the batch or the context change —
 /// planning is cheap, just not free.
+///
+/// A plan may carry a fused Epilogue (see engine/epilogue.hpp): bias,
+/// activation and/or a residual add applied inside the engine's output
+/// loop, bitwise identical to separate post-passes in the same order.
+/// Plans frozen with `residual = true` must be run through the 3-arg
+/// run(x, y, residual) overload; plans without, through the 2-arg one.
 class GemmPlan {
  public:
   virtual ~GemmPlan() = default;
   GemmPlan(const GemmPlan&) = delete;
   GemmPlan& operator=(const GemmPlan&) = delete;
 
-  /// The hot path: Y = W . X (or its quantized approximation) through
-  /// the frozen recipe. x must be cols() x batch(), y rows() x batch()
-  /// (overwritten); both may be strided windows of larger buffers.
-  /// Throws std::invalid_argument naming the offending dims on any
-  /// shape/ld mismatch.
+  /// The hot path: Y = epilogue(W . X) through the frozen recipe. x must
+  /// be cols() x batch(), y rows() x batch() (overwritten); both may be
+  /// strided windows of larger buffers. Throws std::invalid_argument
+  /// naming the offending dims on any shape/ld mismatch, and if the plan
+  /// was frozen with a residual epilogue (use the 3-arg overload).
   void run(ConstMatrixView x, MatrixView y) const {
     validate(x, y);
+    if (epilogue_.residual) residual_mismatch(/*provided=*/false);
     if (batch_ == 0 || rows_ == 0) return;
-    execute(x, y);
+    execute(x, y, EpilogueOp(epilogue_, ConstMatrixView()));
+  }
+
+  /// The residual-fused hot path: Y = act(W . X + bias) + residual.
+  /// `residual` must be rows() x batch() and must NOT overlap y (engines
+  /// accumulate into y in place, so an aliased operand would be read
+  /// half-transformed). Only valid on plans frozen with
+  /// Epilogue::residual = true; throws std::invalid_argument otherwise.
+  void run(ConstMatrixView x, MatrixView y, ConstMatrixView residual) const {
+    validate(x, y);
+    if (!epilogue_.residual) residual_mismatch(/*provided=*/true);
+    validate_residual(residual, y);
+    if (batch_ == 0 || rows_ == 0) return;
+    execute(x, y, EpilogueOp(epilogue_, residual));
   }
 
   /// Output features m / input features n of the engine's weight matrix.
@@ -73,24 +94,35 @@ class GemmPlan {
   [[nodiscard]] ExecContext& context() const noexcept { return *ctx_; }
   /// Registry name of the engine that produced the plan.
   [[nodiscard]] std::string_view engine_name() const noexcept { return name_; }
+  /// The fused epilogue the plan was frozen with (may be empty).
+  [[nodiscard]] const Epilogue& epilogue() const noexcept { return epilogue_; }
 
  protected:
   GemmPlan(std::string_view engine_name, std::size_t rows, std::size_t cols,
-           std::size_t batch, ExecContext& ctx) noexcept
+           std::size_t batch, ExecContext& ctx,
+           const Epilogue& epilogue = {}) noexcept
       : name_(engine_name), rows_(rows), cols_(cols), batch_(batch),
-        ctx_(&ctx) {}
+        ctx_(&ctx), epilogue_(epilogue) {}
 
   /// Engine-specific body; shapes are already validated and non-empty.
-  virtual void execute(ConstMatrixView x, MatrixView y) const = 0;
+  /// `ep` is the run's bound epilogue (possibly empty); the engine must
+  /// apply it to every output element exactly once, after that element's
+  /// accumulation completes — per tile, per panel or per column, at the
+  /// engine's convenience (element-wise, so all choices agree bitwise).
+  virtual void execute(ConstMatrixView x, MatrixView y,
+                       const EpilogueOp& ep) const = 0;
 
  private:
   void validate(ConstMatrixView x, MatrixView y) const;
+  void validate_residual(ConstMatrixView residual, MatrixView y) const;
+  [[noreturn]] void residual_mismatch(bool provided) const;
 
   std::string_view name_;  // points at the engine's static name
   std::size_t rows_;
   std::size_t cols_;
   std::size_t batch_;
   ExecContext* ctx_;
+  Epilogue epilogue_;
 };
 
 class GemmEngine {
@@ -99,10 +131,18 @@ class GemmEngine {
 
   /// Freezes the execution recipe for `batch` activation columns under
   /// `ctx` (which supplies the pool, scratch arenas and optional ISA
-  /// override — see exec_context.hpp). The engine and ctx must outlive
-  /// the plan. batch == 1 plans the kernel-specific GEMV fast path.
+  /// override — see exec_context.hpp), with `epilogue` fused into the
+  /// output loop. The engine and ctx must outlive the plan; so must
+  /// epilogue.bias when set. batch == 1 plans the kernel-specific GEMV
+  /// fast path.
   [[nodiscard]] virtual std::unique_ptr<GemmPlan> plan(
-      std::size_t batch, ExecContext& ctx) const = 0;
+      std::size_t batch, ExecContext& ctx, const Epilogue& epilogue) const = 0;
+
+  /// Epilogue-free planning — the common case for raw GEMM callers.
+  [[nodiscard]] std::unique_ptr<GemmPlan> plan(std::size_t batch,
+                                               ExecContext& ctx) const {
+    return plan(batch, ctx, Epilogue{});
+  }
 
   /// One-shot adapter: plan for x.cols() under ctx, run once, discard.
   /// Bitwise identical to plan()->run() — it IS plan()->run(). Callers

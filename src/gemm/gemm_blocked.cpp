@@ -14,20 +14,28 @@ class BlockedPlan final : public GemmPlan {
  public:
   BlockedPlan(const BlockedGemm& engine, const float* packed,
               std::size_t panels, const engine::BlockedKernels& kernels,
-              std::size_t batch, ExecContext& ctx)
-      : GemmPlan(engine.name(), engine.rows(), engine.cols(), batch, ctx),
+              std::size_t batch, ExecContext& ctx, const Epilogue& epilogue)
+      : GemmPlan(engine.name(), engine.rows(), engine.cols(), batch, ctx,
+                 epilogue),
         packed_(packed), panels_(panels), kernels_(&kernels) {}
 
  private:
-  void execute(ConstMatrixView x, MatrixView y) const override {
+  void execute(ConstMatrixView x, MatrixView y,
+               const EpilogueOp& ep) const override {
     y.set_zero();
-    // Panels write disjoint row ranges of Y, so they parallelize freely.
-    engine::for_each_tile(context(), panels_, 1,
-                          [&](unsigned /*worker*/, std::size_t p0,
-                              std::size_t p1) {
-                            kernels_->run_panels(packed_, rows(), cols(), x, y,
-                                                 p0, p1);
-                          });
+    // Panels write disjoint row ranges of Y, so they parallelize freely —
+    // and each worker's epilogue touches only its own rows, while they
+    // are still warm from the accumulation.
+    engine::for_each_tile(
+        context(), panels_, 1,
+        [&](unsigned /*worker*/, std::size_t p0, std::size_t p1) {
+          kernels_->run_panels(packed_, rows(), cols(), x, y, p0, p1);
+          if (!ep.empty()) {
+            ep.apply(y, p0 * engine::kBlockedPanelRows,
+                     std::min(rows(), p1 * engine::kBlockedPanelRows), 0,
+                     batch());
+          }
+        });
   }
 
   const float* packed_;
@@ -60,12 +68,13 @@ BlockedGemm::BlockedGemm(const Matrix& w, KernelIsa isa)
 std::string_view BlockedGemm::isa() const noexcept { return kernels_->isa; }
 
 std::unique_ptr<GemmPlan> BlockedGemm::plan(std::size_t batch,
-                                            ExecContext& ctx) const {
+                                            ExecContext& ctx,
+                                            const Epilogue& epilogue) const {
   const engine::BlockedKernels& kernels =
       ctx.isa() == KernelIsa::kAuto ? *kernels_
                                     : engine::select_blocked_kernels(ctx.isa());
   return std::make_unique<BlockedPlan>(*this, packed_.data(), panels_, kernels,
-                                       batch, ctx);
+                                       batch, ctx, epilogue);
 }
 
 void gemm_blocked(const Matrix& w, const Matrix& x, Matrix& y) {

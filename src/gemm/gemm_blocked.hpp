@@ -39,9 +39,12 @@ class BlockedGemm final : public GemmEngine {
   /// Freezes the microkernel plane (construction default or ctx's ISA
   /// override) for `batch` columns; plan->run computes Y = W . X from
   /// the pre-packed panels, partitioned across ctx's pool through the
-  /// shared tile partitioner.
+  /// shared tile partitioner. The epilogue is applied per row panel,
+  /// right after that panel's accumulation finishes.
   [[nodiscard]] std::unique_ptr<GemmPlan> plan(
-      std::size_t batch, ExecContext& ctx) const override;
+      std::size_t batch, ExecContext& ctx,
+      const Epilogue& epilogue) const override;
+  using GemmEngine::plan;
 
   [[nodiscard]] std::size_t rows() const noexcept override { return m_; }
   [[nodiscard]] std::size_t cols() const noexcept override { return n_; }

@@ -60,7 +60,7 @@ float Int8Gemm::quantize_column(const float* src, std::size_t n,
 }
 
 void Int8Gemm::run_profiled(ConstMatrixView x, MatrixView y, Phases& phases,
-                            ExecContext& ctx) const {
+                            ExecContext& ctx, const EpilogueOp* ep) const {
   if (x.rows() != n_ || y.rows() != m_ || y.cols() != x.cols()) {
     throw std::invalid_argument("Int8Gemm: shape mismatch");
   }
@@ -110,20 +110,25 @@ void Int8Gemm::run_profiled(ConstMatrixView x, MatrixView y, Phases& phases,
   }
 
   // Phase 3: dequantize back to fp32 for the float operators downstream.
+  // A fused epilogue rides this pass: each value is transformed while it
+  // is produced, instead of in a second sweep over y.
   {
     Stopwatch watch;
-    engine::for_each_tile(ctx, b, 1,
-                          [&](unsigned /*worker*/, std::size_t c0,
-                              std::size_t c1) {
-                            for (std::size_t c = c0; c < c1; ++c) {
-                              const float scale = wscale_ * xscales[c];
-                              const std::int32_t* in = acc + c * m_;
-                              float* out = y.col(c);
-                              for (std::size_t i = 0; i < m_; ++i) {
-                                out[i] = scale * static_cast<float>(in[i]);
-                              }
-                            }
-                          });
+    const bool fused = ep != nullptr && !ep->empty();
+    engine::for_each_tile(
+        ctx, b, 1, [&](unsigned /*worker*/, std::size_t c0, std::size_t c1) {
+          for (std::size_t c = c0; c < c1; ++c) {
+            const float scale = wscale_ * xscales[c];
+            const std::int32_t* in = acc + c * m_;
+            float* out = y.col(c);
+            for (std::size_t i = 0; i < m_; ++i) {
+              out[i] = scale * static_cast<float>(in[i]);
+            }
+            // Staged: the dequantized column is L1-hot, and apply()'s
+            // specialized loops beat per-element epilogue dispatch.
+            if (fused) ep->apply(y, 0, m_, c, c + 1);
+          }
+        });
     phases.dequantize_seconds += watch.elapsed_seconds();
   }
 }
@@ -137,8 +142,10 @@ namespace {
 
 class Int8Plan final : public GemmPlan {
  public:
-  Int8Plan(const Int8Gemm& engine, std::size_t batch, ExecContext& ctx)
-      : GemmPlan(engine.name(), engine.rows(), engine.cols(), batch, ctx),
+  Int8Plan(const Int8Gemm& engine, std::size_t batch, ExecContext& ctx,
+           const Epilogue& epilogue)
+      : GemmPlan(engine.name(), engine.rows(), engine.cols(), batch, ctx,
+                 epilogue),
         engine_(&engine) {
     // Plan-time scratch sizing: stage the run's arena frame twice so
     // the first pass grows/spills and the second consolidates the arena
@@ -153,9 +160,10 @@ class Int8Plan final : public GemmPlan {
   }
 
  private:
-  void execute(ConstMatrixView x, MatrixView y) const override {
+  void execute(ConstMatrixView x, MatrixView y,
+               const EpilogueOp& ep) const override {
     Int8Gemm::Phases phases;
-    engine_->run_profiled(x, y, phases, context());
+    engine_->run_profiled(x, y, phases, context(), &ep);
   }
 
   const Int8Gemm* engine_;
@@ -163,9 +171,9 @@ class Int8Plan final : public GemmPlan {
 
 }  // namespace
 
-std::unique_ptr<GemmPlan> Int8Gemm::plan(std::size_t batch,
-                                         ExecContext& ctx) const {
-  return std::make_unique<Int8Plan>(*this, batch, ctx);
+std::unique_ptr<GemmPlan> Int8Gemm::plan(std::size_t batch, ExecContext& ctx,
+                                         const Epilogue& epilogue) const {
+  return std::make_unique<Int8Plan>(*this, batch, ctx, epilogue);
 }
 
 }  // namespace biq

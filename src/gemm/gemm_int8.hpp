@@ -30,9 +30,12 @@ class Int8Gemm final : public GemmEngine {
   /// column-wise to int8, multiplies in int32, dequantizes into fp32 Y.
   /// All three phases split across ctx's pool (integer arithmetic —
   /// bitwise identical at any worker count); transient buffers live in
-  /// ctx's arena.
+  /// ctx's arena. The epilogue is fused into the phase-3 dequantize
+  /// loop, so fp32 values are touched exactly once.
   [[nodiscard]] std::unique_ptr<GemmPlan> plan(
-      std::size_t batch, ExecContext& ctx) const override;
+      std::size_t batch, ExecContext& ctx,
+      const Epilogue& epilogue) const override;
+  using GemmEngine::plan;
 
   /// The three phases separately, for the conversion-overhead ablation:
   /// quantize_input -> multiply_integer -> dequantize_output.
@@ -43,7 +46,7 @@ class Int8Gemm final : public GemmEngine {
   };
   void run_profiled(ConstMatrixView x, MatrixView y, Phases& phases) const;
   void run_profiled(ConstMatrixView x, MatrixView y, Phases& phases,
-                    ExecContext& ctx) const;
+                    ExecContext& ctx, const EpilogueOp* ep = nullptr) const;
 
   [[nodiscard]] std::size_t rows() const noexcept override { return m_; }
   [[nodiscard]] std::size_t cols() const noexcept override { return n_; }

@@ -56,17 +56,22 @@ namespace {
 class NaivePlan final : public GemmPlan {
  public:
   NaivePlan(const NaiveGemm& engine, const Matrix& w, std::size_t batch,
-            ExecContext& ctx)
-      : GemmPlan(engine.name(), engine.rows(), engine.cols(), batch, ctx),
+            ExecContext& ctx, const Epilogue& epilogue)
+      : GemmPlan(engine.name(), engine.rows(), engine.cols(), batch, ctx,
+                 epilogue),
         w_(&w) {}
 
  private:
-  void execute(ConstMatrixView x, MatrixView y) const override {
+  void execute(ConstMatrixView x, MatrixView y,
+               const EpilogueOp& ep) const override {
+    // The epilogue runs per tile, right after the tile's accumulation
+    // finishes — tiles are disjoint, so this matches a whole-matrix pass.
     if (batch() == 1) {
       engine::for_each_tile(context(), w_->rows(), 256,
                             [&](unsigned /*worker*/, std::size_t i0,
                                 std::size_t i1) {
                               naive_rows_single_column(*w_, x, y, i0, i1);
+                              if (!ep.empty()) ep.apply(y, i0, i1, 0, 1);
                             });
       return;
     }
@@ -74,6 +79,7 @@ class NaivePlan final : public GemmPlan {
                           [&](unsigned /*worker*/, std::size_t c0,
                               std::size_t c1) {
                             naive_columns(*w_, x, y, c0, c1);
+                            if (!ep.empty()) ep.apply(y, 0, rows(), c0, c1);
                           });
   }
 
@@ -82,9 +88,9 @@ class NaivePlan final : public GemmPlan {
 
 }  // namespace
 
-std::unique_ptr<GemmPlan> NaiveGemm::plan(std::size_t batch,
-                                          ExecContext& ctx) const {
-  return std::make_unique<NaivePlan>(*this, w_, batch, ctx);
+std::unique_ptr<GemmPlan> NaiveGemm::plan(std::size_t batch, ExecContext& ctx,
+                                          const Epilogue& epilogue) const {
+  return std::make_unique<NaivePlan>(*this, w_, batch, ctx, epilogue);
 }
 
 void gemm_ref(const Matrix& w, const Matrix& x, Matrix& y) {

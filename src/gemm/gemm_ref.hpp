@@ -42,7 +42,9 @@ class NaiveGemm final : public GemmEngine {
   explicit NaiveGemm(Matrix w) : w_(std::move(w)) {}
 
   [[nodiscard]] std::unique_ptr<GemmPlan> plan(
-      std::size_t batch, ExecContext& ctx) const override;
+      std::size_t batch, ExecContext& ctx,
+      const Epilogue& epilogue) const override;
+  using GemmEngine::plan;
 
   [[nodiscard]] std::size_t rows() const noexcept override {
     return w_.rows();

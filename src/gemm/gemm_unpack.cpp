@@ -120,7 +120,8 @@ void gemm_unpack_codes(const std::vector<PackedBits32>& planes,
 
 void gemm_unpack_codes(const std::vector<PackedBits32>& planes,
                        const std::vector<std::vector<float>>& alphas,
-                       ConstMatrixView x, MatrixView y, ExecContext& ctx) {
+                       ConstMatrixView x, MatrixView y, ExecContext& ctx,
+                       const EpilogueOp* ep) {
   if (planes.empty() || planes.size() != alphas.size()) {
     throw std::invalid_argument("gemm_unpack_codes: plane/alpha mismatch");
   }
@@ -145,6 +146,10 @@ void gemm_unpack_codes(const std::vector<PackedBits32>& planes,
                                               r1);
                           });
     const std::vector<float>& alpha = alphas[q];
+    // The epilogue rides the last plane's pass: once row i has absorbed
+    // every plane's contribution its values are final, so the fused
+    // transform runs while the row is still warm.
+    const bool fused = q + 1 == planes.size() && ep != nullptr && !ep->empty();
     engine::for_each_tile(
         ctx, m, kUnpackRowGrain,
         [&](unsigned /*worker*/, std::size_t r0, std::size_t r1) {
@@ -159,6 +164,10 @@ void gemm_unpack_codes(const std::vector<PackedBits32>& planes,
               }
             }
           }
+          // The whole row block has accumulated and is still warm;
+          // apply()'s staged loops transform it in one sweep instead of
+          // per-element dispatch inside the row loop.
+          if (fused) ep->apply(y, r0, r1, 0, b);
         });
   }
 }
@@ -210,13 +219,15 @@ class UnpackPlan final : public GemmPlan {
  public:
   UnpackPlan(const UnpackGemm& engine, const std::vector<PackedBits32>& planes,
              const std::vector<std::vector<float>>& alphas, std::size_t batch,
-             ExecContext& ctx)
-      : GemmPlan(engine.name(), engine.rows(), engine.cols(), batch, ctx),
+             ExecContext& ctx, const Epilogue& epilogue)
+      : GemmPlan(engine.name(), engine.rows(), engine.cols(), batch, ctx,
+                 epilogue),
         planes_(&planes), alphas_(&alphas) {}
 
  private:
-  void execute(ConstMatrixView x, MatrixView y) const override {
-    gemm_unpack_codes(*planes_, *alphas_, x, y, context());
+  void execute(ConstMatrixView x, MatrixView y,
+               const EpilogueOp& ep) const override {
+    gemm_unpack_codes(*planes_, *alphas_, x, y, context(), &ep);
   }
 
   const std::vector<PackedBits32>* planes_;
@@ -225,9 +236,10 @@ class UnpackPlan final : public GemmPlan {
 
 }  // namespace
 
-std::unique_ptr<GemmPlan> UnpackGemm::plan(std::size_t batch,
-                                           ExecContext& ctx) const {
-  return std::make_unique<UnpackPlan>(*this, planes_, alphas_, batch, ctx);
+std::unique_ptr<GemmPlan> UnpackGemm::plan(std::size_t batch, ExecContext& ctx,
+                                           const Epilogue& epilogue) const {
+  return std::make_unique<UnpackPlan>(*this, planes_, alphas_, batch, ctx,
+                                      epilogue);
 }
 
 std::size_t UnpackGemm::weight_bytes() const noexcept {

@@ -34,13 +34,15 @@ void gemm_unpack(const PackedBits32& packed, ConstMatrixView x, MatrixView y,
 
 /// Scaled multi-plane variant (Eq. 2): Y = sum_q alpha_q o (B_q . X)
 /// with every plane packed. This is "GEMM with quantized+packed weights"
-/// end to end.
+/// end to end. A fused epilogue (if given) is applied per row on the
+/// last plane's accumulation pass, while the row is still in cache.
 void gemm_unpack_codes(const std::vector<PackedBits32>& planes,
                        const std::vector<std::vector<float>>& alphas,
                        ConstMatrixView x, MatrixView y);
 void gemm_unpack_codes(const std::vector<PackedBits32>& planes,
                        const std::vector<std::vector<float>>& alphas,
-                       ConstMatrixView x, MatrixView y, ExecContext& ctx);
+                       ConstMatrixView x, MatrixView y, ExecContext& ctx,
+                       const EpilogueOp* ep = nullptr);
 
 /// Bandwidth probe (intentionally incorrect results; see header comment).
 /// The packed word enters the arithmetic as float(word) — an integer
@@ -59,7 +61,9 @@ class UnpackGemm final : public GemmEngine {
   explicit UnpackGemm(const BinaryCodes& codes);
 
   [[nodiscard]] std::unique_ptr<GemmPlan> plan(
-      std::size_t batch, ExecContext& ctx) const override;
+      std::size_t batch, ExecContext& ctx,
+      const Epilogue& epilogue) const override;
+  using GemmEngine::plan;
 
   [[nodiscard]] std::size_t rows() const noexcept override { return m_; }
   [[nodiscard]] std::size_t cols() const noexcept override { return n_; }

@@ -85,7 +85,8 @@ std::size_t XnorGemm::weight_bytes() const noexcept {
 }
 
 void XnorGemm::run_prequantized(const QuantizedActivations& qx, MatrixView y,
-                                ExecContext& ctx) const {
+                                ExecContext& ctx,
+                                const EpilogueOp* ep) const {
   if (qx.n != n_ || y.rows() != m_ || y.cols() != qx.batch) {
     throw std::invalid_argument("XnorGemm: shape mismatch");
   }
@@ -116,6 +117,9 @@ void XnorGemm::run_prequantized(const QuantizedActivations& qx, MatrixView y,
         }
       }
     }
+    // All plane pairs have accumulated: the cell's values are final, so
+    // the fused epilogue runs now, while they are still in cache.
+    if (ep != nullptr && !ep->empty()) ep->apply(y, i0, i1, c, c + 1);
   };
 
   y.set_zero();
@@ -150,8 +154,9 @@ namespace {
 class XnorPlan final : public GemmPlan {
  public:
   XnorPlan(const XnorGemm& engine, unsigned activation_bits, std::size_t batch,
-           ExecContext& ctx)
-      : GemmPlan(engine.name(), engine.rows(), engine.cols(), batch, ctx),
+           ExecContext& ctx, const Epilogue& epilogue)
+      : GemmPlan(engine.name(), engine.rows(), engine.cols(), batch, ctx,
+                 epilogue),
         engine_(&engine),
         // Plan-time activation-quantization sizing: the bit-plane
         // workspace and the residual buffer are allocated once here, so
@@ -162,11 +167,12 @@ class XnorPlan final : public GemmPlan {
         residual_(engine.cols()) {}
 
  private:
-  void execute(ConstMatrixView x, MatrixView y) const override {
+  void execute(ConstMatrixView x, MatrixView y,
+               const EpilogueOp& ep) const override {
     // The plan's single-caller contract makes mutating the held
     // workspace safe; its contents are dead outside execute().
     quantize_activations_into(x, workspace_, residual_.data());
-    engine_->run_prequantized(workspace_, y, context());
+    engine_->run_prequantized(workspace_, y, context(), &ep);
   }
 
   const XnorGemm* engine_;
@@ -176,9 +182,10 @@ class XnorPlan final : public GemmPlan {
 
 }  // namespace
 
-std::unique_ptr<GemmPlan> XnorGemm::plan(std::size_t batch,
-                                         ExecContext& ctx) const {
-  return std::make_unique<XnorPlan>(*this, activation_bits_, batch, ctx);
+std::unique_ptr<GemmPlan> XnorGemm::plan(std::size_t batch, ExecContext& ctx,
+                                         const Epilogue& epilogue) const {
+  return std::make_unique<XnorPlan>(*this, activation_bits_, batch, ctx,
+                                    epilogue);
 }
 
 }  // namespace biq

@@ -55,8 +55,12 @@ class XnorGemm final : public GemmEngine {
   /// plan->run quantizes X on the fly into `activation_bits` planes and
   /// runs the popcount GEMM. Results approximate W.X with both-sides
   /// quantization error, matching what the paper's xnor kernel computes.
+  /// The epilogue is applied per (column, row-range) cell once all plane
+  /// pairs have accumulated.
   [[nodiscard]] std::unique_ptr<GemmPlan> plan(
-      std::size_t batch, ExecContext& ctx) const override;
+      std::size_t batch, ExecContext& ctx,
+      const Epilogue& epilogue) const override;
+  using GemmEngine::plan;
 
   /// One-shot form with an explicit activation depth for this call.
   void run(ConstMatrixView x, MatrixView y, unsigned activation_bits) const;
@@ -67,7 +71,7 @@ class XnorGemm final : public GemmEngine {
   /// splits over batch columns (rows when b == 1) across ctx's pool.
   void run_prequantized(const QuantizedActivations& qx, MatrixView y) const;
   void run_prequantized(const QuantizedActivations& qx, MatrixView y,
-                        ExecContext& ctx) const;
+                        ExecContext& ctx, const EpilogueOp* ep = nullptr) const;
 
   [[nodiscard]] std::size_t rows() const noexcept override { return m_; }
   [[nodiscard]] std::size_t cols() const noexcept override { return n_; }

@@ -1,6 +1,8 @@
 #include "nn/activations.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace biq::nn {
 namespace {
@@ -15,26 +17,22 @@ void for_each_element(MatrixView x, Fn&& fn) noexcept {
 
 }  // namespace
 
-float sigmoid(float v) noexcept { return 1.0f / (1.0f + std::exp(-v)); }
+float sigmoid(float v) noexcept { return epilogue::sigmoid(v); }
 
 void apply_relu(MatrixView x) noexcept {
-  for_each_element(x, [](float v) { return v > 0.0f ? v : 0.0f; });
+  for_each_element(x, [](float v) { return epilogue::relu(v); });
 }
 
 void apply_gelu(MatrixView x) noexcept {
-  constexpr float kSqrt2OverPi = 0.7978845608028654f;
-  for_each_element(x, [](float v) {
-    const float inner = kSqrt2OverPi * (v + 0.044715f * v * v * v);
-    return 0.5f * v * (1.0f + std::tanh(inner));
-  });
+  for_each_element(x, [](float v) { return epilogue::gelu(v); });
 }
 
 void apply_sigmoid(MatrixView x) noexcept {
-  for_each_element(x, [](float v) { return sigmoid(v); });
+  for_each_element(x, [](float v) { return epilogue::sigmoid(v); });
 }
 
 void apply_tanh(MatrixView x) noexcept {
-  for_each_element(x, [](float v) { return std::tanh(v); });
+  for_each_element(x, [](float v) { return epilogue::tanh(v); });
 }
 
 void apply(MatrixView x, Act act) noexcept {
@@ -58,6 +56,57 @@ void softmax_columns(MatrixView x) noexcept {
     }
     const float inv = 1.0f / sum;
     for (std::size_t i = 0; i < x.rows(); ++i) col[i] *= inv;
+  }
+}
+
+// ------------------------------------------------------------- Activation
+
+namespace {
+
+/// The standalone (unfused) activation step: one element-wise pass.
+class ActivationStep final : public ModuleStep {
+ public:
+  explicit ActivationStep(Act act) : act_(act) {}
+
+  void run_step(float* /*base*/, ConstMatrixView x,
+                MatrixView y) const override {
+    const EpilogueAct act = to_epilogue_act(act_);
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      const float* src = x.col(c);
+      float* dst = y.col(c);
+      for (std::size_t i = 0; i < x.rows(); ++i) {
+        dst[i] = epilogue::activate(src[i], act);
+      }
+    }
+  }
+
+ private:
+  Act act_;
+};
+
+}  // namespace
+
+Shape Activation::out_shape(Shape in) const {
+  check_in_rows(in, "Activation");
+  return in;
+}
+
+std::unique_ptr<ModuleStep> Activation::plan_into(
+    ModulePlanContext& /*mpc*/) const {
+  return std::make_unique<ActivationStep>(act_);
+}
+
+void Activation::forward(ConstMatrixView x, MatrixView y) const {
+  if (x.rows() != dim_ || y.rows() != x.rows() || y.cols() != x.cols()) {
+    throw std::invalid_argument("Activation: shape mismatch");
+  }
+  const EpilogueAct act = to_epilogue_act(act_);
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    const float* src = x.col(c);
+    float* dst = y.col(c);
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      dst[i] = epilogue::activate(src[i], act);
+    }
   }
 }
 

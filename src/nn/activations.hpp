@@ -2,16 +2,34 @@
 // throughout (the paper quantizes weights only; Sec. II argues activation
 // quantization costs accuracy and on-the-fly conversion work).
 //
+// The scalar math lives in engine/epilogue.hpp so a non-linearity fused
+// into a GEMM plan's output loop and one applied here as a separate pass
+// are THE SAME arithmetic — bitwise, not approximately.
+//
 // All entry points take strided views, so planner-assigned arena slots
 // and windows of larger buffers transform in place; a whole Matrix
 // converts implicitly.
 #pragma once
 
+#include "engine/epilogue.hpp"
 #include "matrix/matrix.hpp"
+#include "nn/module.hpp"
 
 namespace biq::nn {
 
 enum class Act { kRelu, kGelu, kSigmoid, kTanh };
+
+/// The nn-level activation tag as the engine-level epilogue tag (the two
+/// enums exist so engine/ never depends on nn/).
+[[nodiscard]] constexpr EpilogueAct to_epilogue_act(Act act) noexcept {
+  switch (act) {
+    case Act::kRelu: return EpilogueAct::kRelu;
+    case Act::kGelu: return EpilogueAct::kGelu;
+    case Act::kSigmoid: return EpilogueAct::kSigmoid;
+    case Act::kTanh: return EpilogueAct::kTanh;
+  }
+  return EpilogueAct::kNone;
+}
 
 void apply_relu(MatrixView x) noexcept;
 /// tanh-approximation GELU (as used by BERT-family models).
@@ -26,5 +44,27 @@ void apply(MatrixView x, Act act) noexcept;
 /// Numerically-stable softmax over the rows of each column (columns are
 /// independent distributions) — the attention-weight normalization.
 void softmax_columns(MatrixView x) noexcept;
+
+/// Element-wise activation as a module: y(i, c) = act(x(i, c)). Shape
+/// preserving, no weights, no internal slots. Inside a plan_chain a
+/// Linear -> Activation adjacency is folded into the producer's GEMM
+/// epilogue (the step below never runs); standalone it is a plain
+/// element-wise pass.
+class Activation final : public PlannableModule {
+ public:
+  Activation(std::size_t dim, Act act) : dim_(dim), act_(act) {}
+
+  [[nodiscard]] Act activation() const noexcept { return act_; }
+
+  [[nodiscard]] std::size_t in_rows() const noexcept override { return dim_; }
+  [[nodiscard]] Shape out_shape(Shape in) const override;
+  [[nodiscard]] std::unique_ptr<ModuleStep> plan_into(
+      ModulePlanContext& mpc) const override;
+  void forward(ConstMatrixView x, MatrixView y) const override;
+
+ private:
+  std::size_t dim_;
+  Act act_;
+};
 
 }  // namespace biq::nn

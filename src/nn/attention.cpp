@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "nn/activations.hpp"
+#include "nn/tensor.hpp"
 
 namespace biq::nn {
 namespace {
@@ -14,18 +15,28 @@ namespace {
 /// from the arena.
 class AttentionStep final : public ModuleStep {
  public:
-  AttentionStep(const MultiHeadAttention& attn, ModulePlanContext& mpc)
-      : attn_(&attn) {
+  AttentionStep(const MultiHeadAttention& attn, ModulePlanContext& mpc,
+                const StepFusion& fusion)
+      : attn_(&attn), fuse_(mpc.fuse()),
+        input_residual_(fusion.input_residual) {
     const std::size_t tokens = mpc.batch();
     sq_ = mpc.acquire(attn.hidden(), tokens);
     sk_ = mpc.acquire(attn.hidden(), tokens);
     sv_ = mpc.acquire(attn.hidden(), tokens);
     sscores_ = mpc.acquire(tokens, tokens);
     scontext_ = mpc.acquire(attn.hidden(), tokens);
-    q_ = LinearPlan(attn.wq(), tokens, mpc.exec());
-    k_ = LinearPlan(attn.wk(), tokens, mpc.exec());
-    v_ = LinearPlan(attn.wv(), tokens, mpc.exec());
-    o_ = LinearPlan(attn.wo(), tokens, mpc.exec());
+    // fuse=off plans every projection as a bare GEMM — the biases run as
+    // separate seam passes in run_step, so the A/B isolates the whole
+    // epilogue mechanism, bias included.
+    const LinearFusion plain{EpilogueAct::kNone, false, nullptr, fuse_};
+    q_ = LinearPlan(attn.wq(), tokens, mpc.exec(), plain);
+    k_ = LinearPlan(attn.wk(), tokens, mpc.exec(), plain);
+    v_ = LinearPlan(attn.wv(), tokens, mpc.exec(), plain);
+    // The requested fusion rides the output projection's epilogue: the
+    // block's input x is bound as the residual operand at run time.
+    o_ = LinearPlan(
+        attn.wo(), tokens, mpc.exec(),
+        LinearFusion{fusion.act, fusion.input_residual, nullptr, fuse_});
     for (const ModelSlot* s : {&sscores_, &sq_, &sk_, &sv_, &scontext_}) {
       mpc.release(*s);
     }
@@ -38,13 +49,29 @@ class AttentionStep final : public ModuleStep {
     q_.run(x, q);
     k_.run(x, k);
     v_.run(x, v);
+    if (!fuse_) {
+      seam_bias(q, attn_->wq());
+      seam_bias(k, attn_->wk());
+      seam_bias(v, attn_->wv());
+    }
     const MatrixView context = scontext_.view(base);
     attn_->attend(q, k, v, sscores_.view(base), context);
-    o_.run(context, y);
+    if (input_residual_) {
+      o_.run(context, y, x);  // y = wo(context) + bias + x, one pass
+    } else {
+      o_.run(context, y);
+      if (!fuse_) seam_bias(y, attn_->wo());
+    }
   }
 
  private:
+  static void seam_bias(MatrixView y, const LinearLayer& layer) {
+    if (!layer.bias().empty()) add_bias(y, layer.bias());
+  }
+
   const MultiHeadAttention* attn_;
+  bool fuse_;
+  bool input_residual_;
   LinearPlan q_, k_, v_, o_;
   ModelSlot sq_, sk_, sv_, sscores_, scontext_;
 };
@@ -58,7 +85,12 @@ Shape MultiHeadAttention::out_shape(Shape in) const {
 
 std::unique_ptr<ModuleStep> MultiHeadAttention::plan_into(
     ModulePlanContext& mpc) const {
-  return std::make_unique<AttentionStep>(*this, mpc);
+  return std::make_unique<AttentionStep>(*this, mpc, StepFusion{});
+}
+
+std::unique_ptr<ModuleStep> MultiHeadAttention::plan_into_fused(
+    ModulePlanContext& mpc, const StepFusion& fusion) const {
+  return std::make_unique<AttentionStep>(*this, mpc, fusion);
 }
 
 MultiHeadAttention::MultiHeadAttention(std::unique_ptr<LinearLayer> wq,

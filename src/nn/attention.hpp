@@ -34,6 +34,16 @@ class MultiHeadAttention final : public PlannableModule {
   [[nodiscard]] std::unique_ptr<ModuleStep> plan_into(
       ModulePlanContext& mpc) const override;
 
+  /// The block's output is the wo projection's GEMM, so any trailing
+  /// activation and the input-residual add (projections are square —
+  /// shape-preserving by construction) fold into wo's plan epilogue.
+  [[nodiscard]] bool supports_fusion(
+      const StepFusion& /*fusion*/) const noexcept override {
+    return true;
+  }
+  [[nodiscard]] std::unique_ptr<ModuleStep> plan_into_fused(
+      ModulePlanContext& mpc, const StepFusion& fusion) const override;
+
   /// The fp32 attention math over already-projected activations: per
   /// head h, scores = softmax(Q_h^T K_h / sqrt(d)) column-wise, then
   /// context_h = V_h . scores. q/k/v: hidden x T; scores: T x T scratch

@@ -3,8 +3,6 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "nn/tensor.hpp"
-
 namespace biq::nn {
 namespace {
 
@@ -14,8 +12,7 @@ class LayerNormStep final : public ModuleStep {
 
   void run_step(float* /*base*/, ConstMatrixView x,
                 MatrixView y) const override {
-    copy_into(x, y);
-    ln_->forward(y);
+    ln_->forward(x, y);
   }
 
  private:
@@ -35,34 +32,36 @@ std::unique_ptr<ModuleStep> LayerNorm::plan_into(
 }
 
 void LayerNorm::forward(ConstMatrixView x, MatrixView y) const {
-  if (y.rows() != x.rows() || y.cols() != x.cols()) {
-    throw std::invalid_argument("LayerNorm: output shape mismatch");
-  }
-  copy_into(x, y);
-  forward(y);
-}
-
-void LayerNorm::forward(MatrixView x) const {
   if (x.rows() != gamma_.size()) {
     throw std::invalid_argument("LayerNorm: dimension mismatch");
   }
+  if (y.rows() != x.rows() || y.cols() != x.cols()) {
+    throw std::invalid_argument("LayerNorm: output shape mismatch");
+  }
+  // Direct src -> dst: mean/variance come entirely from src before any
+  // write, and the final pass writes each dst element exactly once — so
+  // y aliasing x (the in-place overload) is exact, not approximate, and
+  // the out-of-place form is bitwise identical to copy-then-normalize.
   const std::size_t d = x.rows();
   for (std::size_t c = 0; c < x.cols(); ++c) {
-    float* col = x.col(c);
+    const float* src = x.col(c);
+    float* dst = y.col(c);
     double mean = 0.0;
-    for (std::size_t i = 0; i < d; ++i) mean += col[i];
+    for (std::size_t i = 0; i < d; ++i) mean += src[i];
     mean /= static_cast<double>(d);
     double var = 0.0;
     for (std::size_t i = 0; i < d; ++i) {
-      const double dv = col[i] - mean;
+      const double dv = src[i] - mean;
       var += dv * dv;
     }
     var /= static_cast<double>(d);
     const float inv = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
     for (std::size_t i = 0; i < d; ++i) {
-      col[i] = gamma_[i] * (static_cast<float>(col[i] - mean) * inv) + beta_[i];
+      dst[i] = gamma_[i] * (static_cast<float>(src[i] - mean) * inv) + beta_[i];
     }
   }
 }
+
+void LayerNorm::forward(MatrixView x) const { forward(x, x); }
 
 }  // namespace biq::nn

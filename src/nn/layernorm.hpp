@@ -25,11 +25,12 @@ class LayerNorm final : public PlannableModule {
   /// Normalizes each column of x in place: per-column mean/variance over
   /// rows, then scale by gamma and shift by beta. Strided view — arena
   /// slots and buffer windows normalize in place; a Matrix converts
-  /// implicitly.
+  /// implicitly. Delegates to the two-view form with y = x.
   void forward(MatrixView x) const;
 
-  /// PlannableModule: shape-preserving, no GEMMs, no internal slots —
-  /// the module form copies x into y and normalizes in place.
+  /// PlannableModule: shape-preserving, no GEMMs, no internal slots.
+  /// The two-view form normalizes src directly into dst (no copy pass);
+  /// y may alias x, and both forms are bitwise identical.
   [[nodiscard]] std::size_t in_rows() const noexcept override {
     return dim();
   }

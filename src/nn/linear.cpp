@@ -27,8 +27,7 @@ class EngineLinear final : public LinearLayer {
 
   void forward(ConstMatrixView x, MatrixView y,
                ExecContext& ctx) const override {
-    plans_.run(*engine_, x, y, ctx, ctx_);
-    if (!bias_.empty()) add_bias(y, bias_);
+    plans_.run(*engine_, bias_, x, y, ctx, ctx_);
   }
   using LinearLayer::forward;
   [[nodiscard]] ExecContext* bound_context() const noexcept override {
@@ -57,19 +56,37 @@ class EngineLinear final : public LinearLayer {
   PlanCache plans_;
 };
 
-/// LinearLayer's frozen module step: the held LinearPlan, no slots.
+/// LinearLayer's frozen module step: the held LinearPlan, no slots. When
+/// the step was planned with input_residual, the module-IR contract is
+/// "add the step's own input" — run_step binds x as the residual.
 class LinearStep final : public ModuleStep {
  public:
-  LinearStep(const LinearLayer& layer, std::size_t batch, ExecContext& ctx)
-      : plan_(layer, batch, ctx) {}
+  LinearStep(const LinearLayer& layer, ModulePlanContext& mpc,
+             const StepFusion& fusion)
+      : layer_(&layer), fuse_(mpc.fuse()),
+        // fuse=off plans a bare GEMM; the bias runs as a separate seam
+        // pass in run_step (peephole act/residual folds only exist when
+        // the context fuses, so they are already off).
+        plan_(layer, mpc.batch(), mpc.exec(),
+              LinearFusion{fusion.act, fusion.input_residual, nullptr,
+                           mpc.fuse()}),
+        input_residual_(fusion.input_residual) {}
 
   void run_step(float* /*base*/, ConstMatrixView x,
                 MatrixView y) const override {
-    plan_.run(x, y);
+    if (input_residual_) {
+      plan_.run(x, y, x);
+    } else {
+      plan_.run(x, y);
+      if (!fuse_ && !layer_->bias().empty()) add_bias(y, layer_->bias());
+    }
   }
 
  private:
+  const LinearLayer* layer_;
+  bool fuse_;
   LinearPlan plan_;
+  bool input_residual_;
 };
 
 }  // namespace
@@ -81,16 +98,32 @@ Shape LinearLayer::out_shape(Shape in) const {
 
 std::unique_ptr<ModuleStep> LinearLayer::plan_into(
     ModulePlanContext& mpc) const {
-  return std::make_unique<LinearStep>(*this, mpc.batch(), mpc.exec());
+  return std::make_unique<LinearStep>(*this, mpc, StepFusion{});
+}
+
+std::unique_ptr<ModuleStep> LinearLayer::plan_into_fused(
+    ModulePlanContext& mpc, const StepFusion& fusion) const {
+  return std::make_unique<LinearStep>(*this, mpc, fusion);
 }
 
 LinearPlan::LinearPlan(const LinearLayer& layer, std::size_t batch,
-                       ExecContext& ctx)
-    : plan_(layer.engine().plan(batch, ctx)), bias_(&layer.bias()) {}
+                       ExecContext& ctx, const LinearFusion& fusion) {
+  const std::vector<float>& bias =
+      fusion.bias != nullptr ? *fusion.bias : layer.bias();
+  Epilogue ep;
+  ep.bias = fusion.fold_bias && !bias.empty() ? bias.data() : nullptr;
+  ep.act = fusion.act;
+  ep.residual = fusion.residual;
+  plan_ = layer.engine().plan(batch, ctx, ep);
+}
 
 void LinearPlan::run(ConstMatrixView x, MatrixView y) const {
   plan_->run(x, y);
-  if (!bias_->empty()) add_bias(y, *bias_);
+}
+
+void LinearPlan::run(ConstMatrixView x, MatrixView y,
+                     ConstMatrixView residual) const {
+  plan_->run(x, y, residual);
 }
 
 Linear::Linear(const Matrix& w, std::vector<float> bias, ExecContext* ctx)
@@ -100,8 +133,7 @@ Linear::Linear(const Matrix& w, std::vector<float> bias, ExecContext* ctx)
 }
 
 void Linear::forward(ConstMatrixView x, MatrixView y, ExecContext& ctx) const {
-  plans_.run(*engine_, x, y, ctx, ctx_);
-  if (!bias_.empty()) add_bias(y, bias_);
+  plans_.run(*engine_, bias_, x, y, ctx, ctx_);
 }
 
 QuantLinear::QuantLinear(const Matrix& w, std::vector<float> bias,
@@ -122,8 +154,7 @@ QuantLinear::QuantLinear(const Matrix& w, std::vector<float> bias,
 
 void QuantLinear::forward(ConstMatrixView x, MatrixView y,
                           ExecContext& ctx) const {
-  plans_.run(*engine_, x, y, ctx, ctx_);
-  if (!bias_.empty()) add_bias(y, bias_);
+  plans_.run(*engine_, bias_, x, y, ctx, ctx_);
 }
 
 std::unique_ptr<LinearLayer> make_linear(const Matrix& w,

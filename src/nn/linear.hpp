@@ -37,19 +37,25 @@ using biq::QuantMethod;  // canonical definition lives in quant/quantize.hpp
 /// the layer's bound context reuse the cached plan (replanning only on a
 /// batch change — the bound context implies exclusive execution state,
 /// which is what makes the mutable cache safe); calls on any other
-/// context plan per call through the engine's one-shot adapter.
+/// context plan per call. Either way the layer's bias rides the plan's
+/// fused epilogue, so the engine's output loop is the bias add — there
+/// is no separate pass. `bias` must be the same vector on every call
+/// (it is: the layer's own), and it must outlive the cache.
 class PlanCache {
  public:
-  void run(const GemmEngine& engine, ConstMatrixView x, MatrixView y,
-           ExecContext& ctx, const ExecContext* bound) const {
+  void run(const GemmEngine& engine, const std::vector<float>& bias,
+           ConstMatrixView x, MatrixView y, ExecContext& ctx,
+           const ExecContext* bound) const {
+    Epilogue ep;
+    ep.bias = bias.empty() ? nullptr : bias.data();
     if (bound == &ctx) {
       if (plan_ == nullptr || plan_->batch() != x.cols()) {
-        plan_ = engine.plan(x.cols(), ctx);
+        plan_ = engine.plan(x.cols(), ctx, ep);
       }
       plan_->run(x, y);
       return;
     }
-    engine.run(x, y, ctx);
+    engine.plan(x.cols(), ctx, ep)->run(x, y);
   }
 
  private:
@@ -81,6 +87,16 @@ class LinearLayer : public PlannableModule {
   [[nodiscard]] std::unique_ptr<ModuleStep> plan_into(
       ModulePlanContext& mpc) const override;
 
+  /// A linear layer's output IS a GEMM plan's output, so any trailing
+  /// activation folds; the input-residual add additionally needs a
+  /// square projection (y and x must be the same shape).
+  [[nodiscard]] bool supports_fusion(
+      const StepFusion& fusion) const noexcept override {
+    return !fusion.input_residual || out_features() == in_features();
+  }
+  [[nodiscard]] std::unique_ptr<ModuleStep> plan_into_fused(
+      ModulePlanContext& mpc, const StepFusion& fusion) const override;
+
   /// The ExecContext the layer was constructed with (nullptr = none).
   [[nodiscard]] virtual ExecContext* bound_context() const noexcept {
     return nullptr;
@@ -101,20 +117,43 @@ class LinearLayer : public PlannableModule {
   [[nodiscard]] virtual const std::vector<float>& bias() const noexcept = 0;
 };
 
-/// One layer's frozen forward: the engine's GemmPlan for a fixed batch
-/// plus the layer's bias. This is the building block nn::ModelPlan holds
+/// Extra work folded into a LinearPlan's GEMM epilogue beyond the
+/// layer's own bias: a trailing activation, a run-time residual operand,
+/// and optionally a bias OVERRIDE (`bias` non-null replaces the layer's
+/// own — how an LSTM cell's gate bias rides its bias-less recurrent
+/// projection). The override must outlive the plan. `fold_bias = false`
+/// plans a bare GEMM with an empty epilogue — the fuse=off arm of the
+/// fusion A/B, where the caller applies bias (and any activation or
+/// residual) as separate seam passes over y instead.
+struct LinearFusion {
+  EpilogueAct act = EpilogueAct::kNone;
+  bool residual = false;
+  const std::vector<float>* bias = nullptr;
+  bool fold_bias = true;
+};
+
+/// One layer's frozen forward: the engine's GemmPlan for a fixed batch,
+/// with the layer's bias — and any requested LinearFusion — folded into
+/// the plan's epilogue. This is the building block nn::ModelPlan holds
 /// per projection — run() is bitwise identical to LinearLayer::forward
-/// at the planned batch (same engine plan, same bias add), with zero
-/// per-call planning. Borrows the layer and the context; both must
+/// at the planned batch (same engine plan, same bias arithmetic), with
+/// zero per-call planning. Borrows the layer and the context; both must
 /// outlive the plan.
 class LinearPlan {
  public:
   LinearPlan() = default;
-  LinearPlan(const LinearLayer& layer, std::size_t batch, ExecContext& ctx);
+  LinearPlan(const LinearLayer& layer, std::size_t batch, ExecContext& ctx,
+             const LinearFusion& fusion = {});
 
-  /// y = W.x + bias through the frozen recipe. x: in x batch,
-  /// y: out x batch (overwritten); both may be strided windows.
+  /// y = act(W.x + bias) through the frozen recipe. x: in x batch,
+  /// y: out x batch (overwritten); both may be strided windows. Only for
+  /// plans without residual fusion (throws otherwise).
   void run(ConstMatrixView x, MatrixView y) const;
+
+  /// y = act(W.x + bias) + residual — the residual-fused hot path. Only
+  /// for plans frozen with fusion.residual = true (throws otherwise);
+  /// `residual` must not overlap y.
+  void run(ConstMatrixView x, MatrixView y, ConstMatrixView residual) const;
 
   [[nodiscard]] std::size_t batch() const noexcept {
     return plan_ != nullptr ? plan_->batch() : 0;
@@ -122,7 +161,6 @@ class LinearPlan {
 
  private:
   std::unique_ptr<GemmPlan> plan_;
-  const std::vector<float>* bias_ = nullptr;
 };
 
 /// fp32 layer; kernel = registry "blocked" (pre-packed blocked GEMM).

@@ -34,18 +34,26 @@ void LstmCell::step(const float* x_t, float* h, float* c) const {
   Matrix gh(4 * hidden_, 1, /*zero_fill=*/false);
   wx_->forward(xin, gx);
   wh_->forward(hin, gh);
-  apply_gates(gx.col(0), gh.col(0), h, c);
+  combine_preactivations(gx.col(0), gh.col(0));
+  apply_gates(gh.col(0), h, c);
 }
 
-void LstmCell::apply_gates(const float* px, const float* ph, float* h,
+void LstmCell::combine_preactivations(const float* px,
+                                      float* ph) const noexcept {
+  // (ph + bias) + px, NOT px + ph + bias: the fused scan's recurrent
+  // GEMV epilogue adds the bias first and the px residual second.
+  for (std::size_t j = 0; j < 4 * hidden_; ++j) {
+    ph[j] = (ph[j] + bias_[j]) + px[j];
+  }
+}
+
+void LstmCell::apply_gates(const float* pre, float* h,
                            float* c) const noexcept {
   for (std::size_t j = 0; j < hidden_; ++j) {
-    const float gi = sigmoid(px[j] + ph[j] + bias_[j]);
-    const float gf = sigmoid(px[hidden_ + j] + ph[hidden_ + j] + bias_[hidden_ + j]);
-    const float gg =
-        std::tanh(px[2 * hidden_ + j] + ph[2 * hidden_ + j] + bias_[2 * hidden_ + j]);
-    const float go =
-        sigmoid(px[3 * hidden_ + j] + ph[3 * hidden_ + j] + bias_[3 * hidden_ + j]);
+    const float gi = sigmoid(pre[j]);
+    const float gf = sigmoid(pre[hidden_ + j]);
+    const float gg = std::tanh(pre[2 * hidden_ + j]);
+    const float go = sigmoid(pre[3 * hidden_ + j]);
     c[j] = gf * c[j] + gi * gg;
     h[j] = go * std::tanh(c[j]);
   }
@@ -54,12 +62,23 @@ void LstmCell::apply_gates(const float* px, const float* ph, float* h,
 LstmCell::ScanPlan LstmCell::plan_scan(ModulePlanContext& mpc) const {
   ScanPlan p;
   p.cell_ = this;
+  p.fused_ = mpc.fuse();
   p.sgx_ = mpc.acquire(4 * hidden_, 1);
   p.sgh_ = mpc.acquire(4 * hidden_, 1);
   p.sh_ = mpc.acquire(hidden_, 1);
   p.sc_ = mpc.acquire(hidden_, 1);
   p.wx_ = LinearPlan(*wx_, 1, mpc.exec());
-  p.wh_ = LinearPlan(*wh_, 1, mpc.exec());
+  if (p.fused_) {
+    // The recurrent layer carries no bias of its own, so the cell's
+    // gate bias rides its plan as an override, and gx arrives as the
+    // run-time residual: gh = (Wh.h + bias) + gx in the GEMV's epilogue.
+    LinearFusion fusion;
+    fusion.residual = true;
+    fusion.bias = &bias_;
+    p.wh_ = LinearPlan(*wh_, 1, mpc.exec(), fusion);
+  } else {
+    p.wh_ = LinearPlan(*wh_, 1, mpc.exec());
+  }
   return p;
 }
 
@@ -83,8 +102,13 @@ void LstmCell::ScanPlan::run(float* base, ConstMatrixView x, MatrixView y,
   for (std::size_t s = 0; s < frames; ++s) {
     const std::size_t t = reverse ? frames - 1 - s : s;
     wx_.run(x.col_block(t, 1), gx);
-    wh_.run(h, gh);
-    cell_->apply_gates(gx.col(0), gh.col(0), h.col(0), c.col(0));
+    if (fused_) {
+      wh_.run(h, gh, gx);  // gh = (Wh.h + bias) + gx, one fused pass
+    } else {
+      wh_.run(h, gh);
+      cell_->combine_preactivations(gx.col(0), gh.col(0));
+    }
+    cell_->apply_gates(gh.col(0), h.col(0), c.col(0));
     float* out = y.col(t);
     const float* hp = h.col(0);
     for (std::size_t i = 0; i < hidden; ++i) out[i] = hp[i];

@@ -38,6 +38,7 @@ class LstmCell {
    private:
     friend class LstmCell;
     const LstmCell* cell_ = nullptr;
+    bool fused_ = false;  // gate bias + gx residual ride wh's epilogue
     LinearPlan wx_, wh_;
     ModelSlot sgx_, sgh_;  // 4h x 1 gate pre-activations
     ModelSlot sh_, sc_;    // h x 1 hidden / cell state
@@ -58,12 +59,17 @@ class LstmCell {
   /// in place.
   void step(const float* x_t, float* h, float* c) const;
 
-  /// The gate non-linearities over pre-activations px = Wx.x_t and
-  /// ph = Wh.h (both length 4h), updating h and c in place — the shared
-  /// tail of the eager step and the planned step (which computes px/ph
-  /// through cached GEMV plans into planner slots).
-  void apply_gates(const float* px, const float* ph, float* h,
-                   float* c) const noexcept;
+  /// Combines the two projections into the gate pre-activations, in
+  /// place on ph: ph[j] = (ph[j] + bias[j]) + px[j] — the exact
+  /// arithmetic order of the fused path, where the gate bias and the px
+  /// residual ride the recurrent GEMV's epilogue, so fused and unfused
+  /// scans are bitwise identical.
+  void combine_preactivations(const float* px, float* ph) const noexcept;
+
+  /// The gate non-linearities over the COMBINED pre-activations
+  /// pre = (Wh.h + bias) + Wx.x_t (length 4h), updating h and c in
+  /// place — the shared tail of the eager step and both planned scans.
+  void apply_gates(const float* pre, float* h, float* c) const noexcept;
 
   /// Projection layers and bias, for planners freezing the step.
   [[nodiscard]] const LinearLayer& wx() const noexcept { return *wx_; }

@@ -44,9 +44,13 @@ class ModelPlan {
  public:
   /// Compiles the module tree via the generic walker. `batch` is the
   /// token/frame count the plan is bound to: x is module.in_rows() x
-  /// batch, y is module.out_shape(...).rows x batch.
+  /// batch, y is module.out_shape(...).rows x batch. `fuse` enables
+  /// epilogue fusion (bias/activation/residual folded into producer
+  /// GEMM plans — the default); fuse = false compiles every seam as a
+  /// separate pass, for A/B comparisons. Outputs are bitwise identical
+  /// either way (the fused arithmetic order is the contract).
   ModelPlan(const PlannableModule& module, std::size_t batch,
-            ExecContext& ctx);
+            ExecContext& ctx, bool fuse = true);
 
   ~ModelPlan();
   ModelPlan(ModelPlan&&) noexcept;

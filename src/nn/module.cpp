@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "matrix/matrix.hpp"
+#include "nn/activations.hpp"
 #include "nn/tensor.hpp"
 #include "util/aligned_buffer.hpp"
 
@@ -92,6 +93,14 @@ void PlannableModule::check_in_rows(Shape in, const char* who) const {
   }
 }
 
+std::unique_ptr<ModuleStep> PlannableModule::plan_into_fused(
+    ModulePlanContext& mpc, const StepFusion& fusion) const {
+  if (fusion.empty()) return plan_into(mpc);
+  throw std::logic_error(
+      "plan_into_fused: module does not support the requested fusion "
+      "(probe supports_fusion first)");
+}
+
 // -------------------------------------------------------------- plan_chain
 
 namespace {
@@ -151,17 +160,37 @@ std::unique_ptr<ModuleStep> plan_chain(const PlannableModule* const* modules,
   for (std::size_t i = 0; i < count; ++i) {
     const PlannableModule& module = *modules[i];
     shape = module.out_shape(shape);  // validates the seam's rows
+    // Peephole: fold a trailing Activation into the producer's GEMM
+    // epilogue. The fold is decided BEFORE the output slot is acquired
+    // (Activation is shape-preserving, so the slot's shape is the
+    // same either way); the fused pair consumes two chain positions
+    // and the intermediate between them never exists.
+    std::size_t consumed = 1;
+    StepFusion fusion;
+    if (mpc.fuse() && i + 1 < count) {
+      const auto* act = dynamic_cast<const Activation*>(modules[i + 1]);
+      if (act != nullptr) {
+        const StepFusion probe{to_epilogue_act(act->activation()), false};
+        if (module.supports_fusion(probe)) {
+          shape = modules[i + 1]->out_shape(shape);  // validates the seam
+          fusion = probe;
+          consumed = 2;
+        }
+      }
+    }
     ChainStep::Stage stage;
-    stage.to_slot = i + 1 < count;
+    stage.to_slot = i + consumed < count;
     // Liveness: the output slot opens before the module's internals are
     // laid out and the input slot closes after — internals never alias
     // either side of the module they serve.
     if (stage.to_slot) stage.out = mpc.acquire(shape.rows, shape.cols);
-    stage.step = module.plan_into(mpc);
+    stage.step = fusion.empty() ? module.plan_into(mpc)
+                                : module.plan_into_fused(mpc, fusion);
     if (have_feed) mpc.release(feed);
     feed = stage.out;
     have_feed = stage.to_slot;
     stages.push_back(std::move(stage));
+    i += consumed - 1;
   }
   return std::make_unique<ChainStep>(std::move(stages));
 }
@@ -204,6 +233,71 @@ std::unique_ptr<ModuleStep> Sequential::plan_into(ModulePlanContext& mpc) const 
   for (const auto& module : modules_) chain.push_back(module.get());
   return plan_chain(chain.data(), chain.size(), mpc);
 }
+
+// ---------------------------------------------------------------- Residual
+
+namespace {
+
+/// Fallback residual step (inner module can't fuse the add): inner
+/// output lands in a planner slot, then one add pass — same operand
+/// order as the fused epilogue (inner(x) + x).
+class ResidualStep final : public ModuleStep {
+ public:
+  ResidualStep(const PlannableModule& inner, ModulePlanContext& mpc)
+      : stmp_(mpc.acquire(inner.in_rows(), mpc.batch())) {
+    step_ = inner.plan_into(mpc);
+    mpc.release(stmp_);
+  }
+
+  void run_step(float* base, ConstMatrixView x, MatrixView y) const override {
+    const MatrixView tmp = stmp_.view(base);
+    step_->run_step(base, x, tmp);
+    add_into(tmp, x, y);
+  }
+
+ private:
+  ModelSlot stmp_;
+  std::unique_ptr<ModuleStep> step_;
+};
+
+}  // namespace
+
+Residual::Residual(std::unique_ptr<PlannableModule> inner)
+    : inner_(std::move(inner)) {
+  if (inner_ == nullptr) {
+    throw std::invalid_argument("Residual: null inner module");
+  }
+  const std::size_t rows = inner_->in_rows();
+  if (inner_->out_shape({rows, 1}).rows != rows) {
+    throw std::invalid_argument(
+        "Residual: inner module must be shape-preserving");
+  }
+}
+
+Shape Residual::out_shape(Shape in) const {
+  check_in_rows(in, "Residual");
+  return inner_->out_shape(in);
+}
+
+std::unique_ptr<ModuleStep> Residual::plan_into(ModulePlanContext& mpc) const {
+  const StepFusion fusion{EpilogueAct::kNone, /*input_residual=*/true};
+  if (mpc.fuse() && inner_->supports_fusion(fusion)) {
+    return inner_->plan_into_fused(mpc, fusion);
+  }
+  return std::make_unique<ResidualStep>(*inner_, mpc);
+}
+
+void Residual::forward(ConstMatrixView x, MatrixView y) const {
+  const Shape out = out_shape({x.rows(), x.cols()});
+  if (y.rows() != out.rows || y.cols() != out.cols) {
+    throw std::invalid_argument("Residual::forward: output shape mismatch");
+  }
+  Matrix tmp(out.rows, out.cols, /*zero_fill=*/false);
+  inner_->forward(x, tmp);
+  add_into(tmp, x, y);
+}
+
+// -------------------------------------------------------------- Sequential
 
 void Sequential::forward(ConstMatrixView x, MatrixView y) const {
   const Shape out = out_shape({x.rows(), x.cols()});

@@ -27,6 +27,7 @@
 #include <memory>
 #include <vector>
 
+#include "engine/epilogue.hpp"
 #include "matrix/view.hpp"
 
 namespace biq {
@@ -107,18 +108,36 @@ class ModelPlanner {
 
 using ModelSlot = ModelPlanner::Slot;
 
+/// What a consumer asks a producer module to absorb into its own output
+/// loop (the GEMM epilogue): a trailing element-wise activation and/or
+/// the add of the producer's OWN input (y = module(x) + x — the residual
+/// shape every seam in this codebase has). Fusion changes where the
+/// arithmetic runs, never what it computes: a fused step is bitwise
+/// identical to the unfused step followed by the separate passes.
+struct StepFusion {
+  EpilogueAct act = EpilogueAct::kNone;
+  bool input_residual = false;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return act == EpilogueAct::kNone && !input_residual;
+  }
+};
+
 /// The compile-time context handed to every plan_into: the shared
-/// planner, the ExecContext the frozen GemmPlans bind to, and the batch
-/// width (tokens / frames) the whole model is compiled for.
+/// planner, the ExecContext the frozen GemmPlans bind to, the batch
+/// width (tokens / frames) the whole model is compiled for, and whether
+/// the walk may fold epilogues into producer plans (`fuse`, default on —
+/// off compiles the unfused program, for parity tests and benches).
 class ModulePlanContext {
  public:
   ModulePlanContext(ModelPlanner& planner, ExecContext& ctx,
-                    std::size_t batch) noexcept
-      : planner_(&planner), ctx_(&ctx), batch_(batch) {}
+                    std::size_t batch, bool fuse = true) noexcept
+      : planner_(&planner), ctx_(&ctx), batch_(batch), fuse_(fuse) {}
 
   [[nodiscard]] ModelPlanner& planner() noexcept { return *planner_; }
   [[nodiscard]] ExecContext& exec() const noexcept { return *ctx_; }
   [[nodiscard]] std::size_t batch() const noexcept { return batch_; }
+  [[nodiscard]] bool fuse() const noexcept { return fuse_; }
 
   [[nodiscard]] ModelSlot acquire(std::size_t rows, std::size_t cols) {
     return planner_->acquire(rows, cols);
@@ -129,6 +148,7 @@ class ModulePlanContext {
   ModelPlanner* planner_;
   ExecContext* ctx_;
   std::size_t batch_;
+  bool fuse_;
 };
 
 /// One module's frozen forward: held GemmPlans plus arena slots, replayed
@@ -168,6 +188,25 @@ class PlannableModule {
   [[nodiscard]] virtual std::unique_ptr<ModuleStep> plan_into(
       ModulePlanContext& mpc) const = 0;
 
+  /// Whether plan_into_fused can absorb `fusion` into the module's own
+  /// output loop. Default: only the empty request. Modules whose output
+  /// is produced by a GemmPlan override this (LinearLayer, FeedForward,
+  /// MultiHeadAttention); input_residual additionally requires a
+  /// shape-preserving module. Callers probe BEFORE acquiring the output
+  /// slot, so a fold decision never disturbs the slot discipline.
+  [[nodiscard]] virtual bool supports_fusion(
+      const StepFusion& fusion) const noexcept {
+    return fusion.empty();
+  }
+
+  /// plan_into with `fusion` folded into the step's final GEMM epilogue:
+  /// the step computes act(module(x) + bias) [+ x]. Contract: non-null
+  /// whenever supports_fusion(fusion) is true; the default handles only
+  /// the empty request (delegating to plan_into) and throws
+  /// std::logic_error otherwise.
+  [[nodiscard]] virtual std::unique_ptr<ModuleStep> plan_into_fused(
+      ModulePlanContext& mpc, const StepFusion& fusion) const;
+
   /// Eager forward: x is in_rows() x b, y is out_shape's rows x b
   /// (overwritten). The reference semantics planned execution must match
   /// bitwise. x and y must be distinct buffers unless the module
@@ -188,6 +227,11 @@ class PlannableModule {
 /// compile path — Sequential, TransformerEncoder and ModelPlan all walk
 /// through it. An empty chain compiles to the identity copy (a 0-layer
 /// encoder is a copy); a row mismatch at any seam throws.
+///
+/// Peephole (when mpc.fuse()): a producer followed by an Activation it
+/// supports_fusion() for is folded into ONE fused step — the activation
+/// runs inside the producer's GEMM epilogue, the Activation's step and
+/// the intermediate slot between them are never materialized.
 [[nodiscard]] std::unique_ptr<ModuleStep> plan_chain(
     const PlannableModule* const* modules, std::size_t count,
     ModulePlanContext& mpc);
@@ -221,6 +265,33 @@ class Sequential final : public PlannableModule {
  private:
   std::vector<std::unique_ptr<PlannableModule>> modules_;
   std::size_t tail_rows_ = 0;  // output rows of the last stage
+};
+
+/// Residual wrapper: y = inner(x) + x. The inner module must be shape
+/// preserving (out rows == in rows; checked at construction). When the
+/// plan is compiled with fusion and the inner module supports it, the
+/// add runs inside the inner module's final GEMM epilogue — no extra
+/// slot, no separate add pass; otherwise (and on the eager path) the
+/// inner output lands in a temporary and one add pass follows, in the
+/// same operand order (inner(x) + x), so both paths agree bitwise.
+class Residual final : public PlannableModule {
+ public:
+  explicit Residual(std::unique_ptr<PlannableModule> inner);
+
+  [[nodiscard]] const PlannableModule& inner() const noexcept {
+    return *inner_;
+  }
+
+  [[nodiscard]] std::size_t in_rows() const noexcept override {
+    return inner_->in_rows();
+  }
+  [[nodiscard]] Shape out_shape(Shape in) const override;
+  [[nodiscard]] std::unique_ptr<ModuleStep> plan_into(
+      ModulePlanContext& mpc) const override;
+  void forward(ConstMatrixView x, MatrixView y) const override;
+
+ private:
+  std::unique_ptr<PlannableModule> inner_;
 };
 
 }  // namespace biq::nn

@@ -32,51 +32,73 @@ EncoderLayer::EncoderLayer(MultiHeadAttention attention, FeedForward ffn,
     : attention_(std::move(attention)), ffn_(std::move(ffn)), ln1_(hidden),
       ln2_(hidden) {}
 
-void EncoderLayer::forward(MatrixView x) const {
+void EncoderLayer::forward_into(ConstMatrixView x, MatrixView y) const {
+  // Residual operand order is sublayer-output + input — the order the
+  // fused GEMM epilogue produces — so eager stays bitwise identical to
+  // the planned fused path. y may alias x: every write is element-wise
+  // after its reads, and the final LayerNorm reads only `sub`.
   Matrix sub(x.rows(), x.cols(), /*zero_fill=*/false);
   attention_.forward(x, sub);
-  add_into(x, sub, x);
-  ln1_.forward(x);
-
-  ffn_.forward(x, sub);
-  add_into(x, sub, x);
-  ln2_.forward(x);
-}
-
-void EncoderLayer::forward(ConstMatrixView x, MatrixView y) const {
-  // Same arithmetic sequence as the in-place form; the first residual
-  // add lands in y, after which the layer transforms y in place.
-  Matrix sub(x.rows(), x.cols(), /*zero_fill=*/false);
-  attention_.forward(x, sub);
-  add_into(x, sub, y);
+  add_into(sub, x, y);
   ln1_.forward(y);
 
   ffn_.forward(y, sub);
-  add_into(y, sub, y);
-  ln2_.forward(y);
+  add_into(sub, y, sub);
+  ln2_.forward(sub, y);
+}
+
+void EncoderLayer::forward(MatrixView x) const { forward_into(x, x); }
+
+void EncoderLayer::forward(ConstMatrixView x, MatrixView y) const {
+  if (y.rows() != x.rows() || y.cols() != x.cols()) {
+    throw std::invalid_argument("EncoderLayer::forward: shape mismatch");
+  }
+  forward_into(x, y);
 }
 
 namespace {
 
 class FeedForwardStep final : public ModuleStep {
  public:
-  FeedForwardStep(const FeedForward& ffn, ModulePlanContext& mpc)
-      : ffn_(&ffn),
+  FeedForwardStep(const FeedForward& ffn, ModulePlanContext& mpc,
+                  const StepFusion& fusion)
+      : ffn_(&ffn), fuse_(mpc.fuse()),
+        input_residual_(fusion.input_residual),
         smid_(mpc.acquire(ffn.up().out_features(), mpc.batch())),
-        up_(ffn.up(), mpc.batch(), mpc.exec()),
-        down_(ffn.down(), mpc.batch(), mpc.exec()) {
+        // fuse=off plans both projections as bare GEMMs; bias and
+        // activation run as separate seam passes in run_step, so the
+        // A/B isolates the whole epilogue mechanism.
+        up_(ffn.up(), mpc.batch(), mpc.exec(),
+            LinearFusion{fuse_ ? to_epilogue_act(ffn.activation())
+                               : EpilogueAct::kNone,
+                         false, nullptr, fuse_}),
+        down_(ffn.down(), mpc.batch(), mpc.exec(),
+              LinearFusion{fusion.act, fusion.input_residual, nullptr,
+                           fuse_}) {
     mpc.release(smid_);
   }
 
   void run_step(float* base, ConstMatrixView x, MatrixView y) const override {
     const MatrixView mid = smid_.view(base);
-    up_.run(x, mid);
-    apply(mid, ffn_->activation());
-    down_.run(mid, y);
+    up_.run(x, mid);  // bias + activation ride the up plan's epilogue (fused)
+    if (!fuse_) {
+      if (!ffn_->up().bias().empty()) add_bias(mid, ffn_->up().bias());
+      apply(mid, ffn_->activation());
+    }
+    if (input_residual_) {
+      down_.run(mid, y, x);  // y = down(mid) + bias + x, one pass
+    } else {
+      down_.run(mid, y);
+      if (!fuse_ && !ffn_->down().bias().empty()) {
+        add_bias(y, ffn_->down().bias());
+      }
+    }
   }
 
  private:
   const FeedForward* ffn_;
+  bool fuse_;
+  bool input_residual_;
   ModelSlot smid_;
   LinearPlan up_, down_;
 };
@@ -85,27 +107,47 @@ class EncoderLayerStep final : public ModuleStep {
  public:
   EncoderLayerStep(const EncoderLayer& layer, ModulePlanContext& mpc)
       : layer_(&layer), ssub_(mpc.acquire(layer.in_rows(), mpc.batch())) {
+    // Both residual adds ride the sub-blocks' output-projection
+    // epilogues when the context allows fusion and the sub-blocks can
+    // take it; otherwise plan the plain steps plus separate add passes.
+    const StepFusion residual{EpilogueAct::kNone, /*input_residual=*/true};
+    fused_ = mpc.fuse() && layer.attention().supports_fusion(residual) &&
+             layer.ffn().supports_fusion(residual);
     // ssub_ (the residual branch) is live across both sub-steps; the
     // attention scratch is released inside its plan_into, so the FFN
     // intermediate that follows reuses it.
-    attn_ = layer.attention().plan_into(mpc);
-    ffn_ = layer.ffn().plan_into(mpc);
+    if (fused_) {
+      attn_ = layer.attention().plan_into_fused(mpc, residual);
+      ffn_ = layer.ffn().plan_into_fused(mpc, residual);
+    } else {
+      attn_ = layer.attention().plan_into(mpc);
+      ffn_ = layer.ffn().plan_into(mpc);
+    }
     mpc.release(ssub_);
   }
 
   void run_step(float* base, ConstMatrixView x, MatrixView y) const override {
     const MatrixView sub = ssub_.view(base);
-    attn_->run_step(base, x, sub);
-    add_into(x, sub, y);
+    if (fused_) {
+      attn_->run_step(base, x, y);  // y = attn(x) + x, fused epilogue
+    } else {
+      attn_->run_step(base, x, sub);
+      add_into(sub, x, y);
+    }
     layer_->ln1().forward(y);
 
-    ffn_->run_step(base, y, sub);
-    add_into(y, sub, y);
-    layer_->ln2().forward(y);
+    if (fused_) {
+      ffn_->run_step(base, y, sub);  // sub = ffn(y) + y, fused epilogue
+    } else {
+      ffn_->run_step(base, y, sub);
+      add_into(sub, y, sub);
+    }
+    layer_->ln2().forward(sub, y);
   }
 
  private:
   const EncoderLayer* layer_;
+  bool fused_ = false;
   ModelSlot ssub_;
   std::unique_ptr<ModuleStep> attn_, ffn_;
 };
@@ -119,7 +161,12 @@ Shape FeedForward::out_shape(Shape in) const {
 
 std::unique_ptr<ModuleStep> FeedForward::plan_into(
     ModulePlanContext& mpc) const {
-  return std::make_unique<FeedForwardStep>(*this, mpc);
+  return std::make_unique<FeedForwardStep>(*this, mpc, StepFusion{});
+}
+
+std::unique_ptr<ModuleStep> FeedForward::plan_into_fused(
+    ModulePlanContext& mpc, const StepFusion& fusion) const {
+  return std::make_unique<FeedForwardStep>(*this, mpc, fusion);
 }
 
 Shape EncoderLayer::out_shape(Shape in) const {

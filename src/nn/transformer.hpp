@@ -44,6 +44,18 @@ class FeedForward final : public PlannableModule {
   [[nodiscard]] std::unique_ptr<ModuleStep> plan_into(
       ModulePlanContext& mpc) const override;
 
+  /// The block's output is the down-projection's GEMM, and the block is
+  /// shape-preserving by construction — any trailing activation and the
+  /// input-residual add fold into that plan's epilogue. (The internal
+  /// activation between up and down folds into the UP projection's
+  /// epilogue regardless — see FeedForwardStep.)
+  [[nodiscard]] bool supports_fusion(
+      const StepFusion& /*fusion*/) const noexcept override {
+    return true;
+  }
+  [[nodiscard]] std::unique_ptr<ModuleStep> plan_into_fused(
+      ModulePlanContext& mpc, const StepFusion& fusion) const override;
+
   /// The shared body over a caller-provided intermediate (ffn x T,
   /// overwritten): up-projection into mid, activation, down-projection
   /// into y. The whole-model planner routes its arena slot through this
@@ -69,9 +81,11 @@ class EncoderLayer final : public PlannableModule {
                std::size_t hidden);
 
   /// Post-LN residual block (original Transformer):
-  /// x <- LN(x + Attn(x)); x <- LN(x + FFN(x)). In place on a strided
+  /// x <- LN(Attn(x) + x); x <- LN(FFN(x) + x). In place on a strided
   /// view — a token window of a longer sequence buffer transforms with
-  /// zero copies; a Matrix converts implicitly.
+  /// zero copies; a Matrix converts implicitly. The residual operand
+  /// order (sublayer output first, then the input) matches the fused
+  /// GEMM epilogue, keeping eager and planned paths bitwise identical.
   void forward(MatrixView x) const;
 
   /// PlannableModule: composes the attention and FFN sub-steps around
@@ -98,6 +112,9 @@ class EncoderLayer final : public PlannableModule {
   [[nodiscard]] const LayerNorm& ln2() const noexcept { return ln2_; }
 
  private:
+  /// The one body both public forwards run: y may alias x.
+  void forward_into(ConstMatrixView x, MatrixView y) const;
+
   MultiHeadAttention attention_;
   FeedForward ffn_;
   LayerNorm ln1_, ln2_;

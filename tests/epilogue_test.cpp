@@ -1,0 +1,291 @@
+// Epilogue fusion parity: for EVERY registered engine, a plan frozen
+// with an Epilogue (bias / activation / residual, in any combination)
+// is bitwise identical to the same engine's plain plan followed by the
+// equivalent separate passes in the fused arithmetic order
+// (y = act(raw + bias) + residual). Covers batch = 1 (the GEMV paths),
+// wide batches, strided views of larger buffers, and 1-vs-N-thread
+// contexts; plus the run-overload and residual-aliasing error contracts.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/epilogue.hpp"
+#include "engine/registry.hpp"
+
+namespace biq {
+namespace {
+
+/// The reference seam passes, in the exact order the fused epilogue
+/// applies per element: bias, then activation, then residual.
+void apply_separate(MatrixView y, const Epilogue& ep, ConstMatrixView res) {
+  for (std::size_t c = 0; c < y.cols(); ++c) {
+    float* yc = y.col(c);
+    for (std::size_t i = 0; i < y.rows(); ++i) {
+      float v = yc[i];
+      if (ep.bias != nullptr) v += ep.bias[i];
+      v = epilogue::activate(v, ep.act);
+      if (ep.residual) v += res(i, c);
+      yc[i] = v;
+    }
+  }
+}
+
+void expect_bitwise(ConstMatrixView a, ConstMatrixView b, const char* what) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      ASSERT_EQ(a(i, c), b(i, c))
+          << what << " differs at (" << i << ", " << c << ")";
+    }
+  }
+}
+
+struct Combo {
+  const char* name;
+  bool bias;
+  EpilogueAct act;
+  bool residual;
+};
+
+constexpr Combo kCombos[] = {
+    {"bias", true, EpilogueAct::kNone, false},
+    {"gelu", false, EpilogueAct::kGelu, false},
+    {"bias+sigmoid", true, EpilogueAct::kSigmoid, false},
+    {"bias+relu+residual", true, EpilogueAct::kRelu, true},
+    {"bias+gelu+residual", true, EpilogueAct::kGelu, true},
+    {"bias+tanh+residual", true, EpilogueAct::kTanh, true},
+};
+
+class EpilogueParity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EpilogueParity, FusedMatchesSeparatePasses) {
+  const std::string name = GetParam();
+  constexpr std::size_t m = 37, n = 29;
+  Rng rng(0xE91 + std::hash<std::string>{}(name) % 1000);
+  const Matrix w = Matrix::random_normal(m, n, rng);
+  EngineConfig cfg;
+  cfg.weight_bits = 2;
+  const auto engine = make_engine(name, w, cfg);
+
+  std::vector<float> bias(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    bias[i] = 0.5f * static_cast<float>(i % 7) - 1.5f;
+  }
+
+  for (const std::size_t b : {std::size_t{1}, std::size_t{8}}) {
+    const Matrix x = Matrix::random_normal(n, b, rng);
+    const Matrix res = Matrix::random_normal(m, b, rng);
+    Matrix y_fused(m, b), y_ref(m, b);
+    ExecContext ctx;
+
+    for (const Combo& combo : kCombos) {
+      Epilogue ep;
+      ep.bias = combo.bias ? bias.data() : nullptr;
+      ep.act = combo.act;
+      ep.residual = combo.residual;
+
+      const auto fused = engine->plan(b, ctx, ep);
+      if (combo.residual) {
+        fused->run(x, y_fused, res);
+      } else {
+        fused->run(x, y_fused);
+      }
+
+      engine->plan(b, ctx)->run(x, y_ref);
+      apply_separate(y_ref, ep, res);
+
+      expect_bitwise(y_fused, y_ref,
+                     (name + " b=" + std::to_string(b) + " " + combo.name)
+                         .c_str());
+    }
+  }
+}
+
+TEST_P(EpilogueParity, StridedViewsMatchDense) {
+  const std::string name = GetParam();
+  constexpr std::size_t m = 21, n = 18, b = 5;
+  Rng rng(0xABC);
+  const Matrix w = Matrix::random_normal(m, n, rng);
+  EngineConfig cfg;
+  cfg.weight_bits = 2;
+  const auto engine = make_engine(name, w, cfg);
+
+  std::vector<float> bias(m, 0.75f);
+  Epilogue ep;
+  ep.bias = bias.data();
+  ep.act = EpilogueAct::kGelu;
+  ep.residual = true;
+
+  // Everything a window of a larger buffer: x, y AND the residual.
+  Matrix x_big = Matrix::random_normal(n + 6, b + 4, rng);
+  Matrix res_big = Matrix::random_normal(m + 5, b + 3, rng);
+  Matrix y_big(m + 7, b + 2);
+  const ConstMatrixView x = x_big.block(4, n, 3, b);
+  const ConstMatrixView res = res_big.block(2, m, 1, b);
+  const MatrixView y = y_big.block(5, m, 1, b);
+
+  ExecContext ctx;
+  engine->plan(b, ctx, ep)->run(x, y, res);
+
+  // Dense copies through the same fused plan shape.
+  Matrix xd(n, b), resd(m, b), yd(m, b);
+  for (std::size_t c = 0; c < b; ++c) {
+    for (std::size_t i = 0; i < n; ++i) xd(i, c) = x(i, c);
+    for (std::size_t i = 0; i < m; ++i) resd(i, c) = res(i, c);
+  }
+  engine->plan(b, ctx, ep)->run(xd, yd, resd);
+
+  expect_bitwise(y, yd, name.c_str());
+}
+
+TEST_P(EpilogueParity, ThreadCountInvariant) {
+  const std::string name = GetParam();
+  constexpr std::size_t m = 64, n = 33, b = 7;
+  Rng rng(0x7EA);
+  const Matrix w = Matrix::random_normal(m, n, rng);
+  EngineConfig cfg;
+  cfg.weight_bits = 2;
+  const auto engine = make_engine(name, w, cfg);
+
+  std::vector<float> bias(m, -0.25f);
+  Epilogue ep;
+  ep.bias = bias.data();
+  ep.act = EpilogueAct::kRelu;
+  ep.residual = true;
+
+  const Matrix x = Matrix::random_normal(n, b, rng);
+  const Matrix res = Matrix::random_normal(m, b, rng);
+
+  Matrix y_serial(m, b);
+  {
+    ExecContext ctx;
+    engine->plan(b, ctx, ep)->run(x, y_serial, res);
+  }
+  Matrix y_pool(m, b);
+  {
+    ThreadPool pool(3);
+    ExecContext ctx(&pool);
+    engine->plan(b, ctx, ep)->run(x, y_pool, res);
+  }
+  expect_bitwise(y_serial, y_pool, name.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, EpilogueParity,
+    ::testing::ValuesIn(EngineRegistry::instance().names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string s = info.param;
+      for (char& c : s) {
+        if (c == '-') c = '_';
+      }
+      return s;
+    });
+
+TEST(EpilogueContract, RunOverloadMustMatchFrozenResidual) {
+  constexpr std::size_t m = 8, n = 6, b = 2;
+  Rng rng(11);
+  const Matrix w = Matrix::random_normal(m, n, rng);
+  const auto engine = make_engine("blocked", w);
+  const Matrix x = Matrix::random_normal(n, b, rng);
+  const Matrix res = Matrix::random_normal(m, b, rng);
+  Matrix y(m, b);
+  ExecContext ctx;
+
+  Epilogue with_res;
+  with_res.residual = true;
+  const auto residual_plan = engine->plan(b, ctx, with_res);
+  EXPECT_THROW(residual_plan->run(x, y), std::invalid_argument);
+  EXPECT_NO_THROW(residual_plan->run(x, y, res));
+
+  const auto plain_plan = engine->plan(b, ctx);
+  EXPECT_THROW(plain_plan->run(x, y, res), std::invalid_argument);
+  EXPECT_NO_THROW(plain_plan->run(x, y));
+}
+
+TEST(EpilogueContract, ResidualMustNotAliasOutput) {
+  constexpr std::size_t m = 8, n = 6, b = 3;
+  Rng rng(12);
+  const Matrix w = Matrix::random_normal(m, n, rng);
+  const auto engine = make_engine("blocked", w);
+  const Matrix x = Matrix::random_normal(n, b, rng);
+  Matrix y(m, b);
+  ExecContext ctx;
+
+  Epilogue ep;
+  ep.residual = true;
+  const auto plan = engine->plan(b, ctx, ep);
+  // Full alias and partial overlap (a shifted window of y's storage)
+  // must both be rejected — engines accumulate into y in place.
+  EXPECT_THROW(plan->run(x, y, y), std::invalid_argument);
+  Matrix big(m + 2, b);
+  const MatrixView yv = big.block(0, m, 0, b);
+  const ConstMatrixView overlapping = big.block(1, m, 0, b);
+  EXPECT_THROW(plan->run(x, yv, overlapping), std::invalid_argument);
+}
+
+// apply_interleaved is the LUT engines' merged de-interleave write-back:
+// for every bias/act/residual combo it must equal a plain de-interleave
+// copy followed by apply() over the same region — bitwise.
+TEST(EpilogueContract, ApplyInterleavedMatchesCopyThenApply) {
+  constexpr std::size_t m = 23, batch = 11, lanes = 4, c0 = 3;
+  Rng rng(0xA11);
+  const Matrix res = Matrix::random_normal(m, batch, rng);
+  const Matrix raw = Matrix::random_normal(m, batch, rng);
+  std::vector<float> bias(m);
+  for (std::size_t i = 0; i < m; ++i) bias[i] = 0.1f * static_cast<float>(i);
+
+  // The interleaved accumulator block for columns [c0, c0 + lanes):
+  // tile[i * lanes + lane] = raw(i, c0 + lane).
+  std::vector<float> tile(m * lanes);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      tile[i * lanes + lane] = raw(i, c0 + lane);
+    }
+  }
+
+  for (const Combo& combo : kCombos) {
+    SCOPED_TRACE(combo.name);
+    Epilogue ep;
+    ep.bias = combo.bias ? bias.data() : nullptr;
+    ep.act = combo.act;
+    ep.residual = combo.residual;
+    const EpilogueOp op(ep, res.view());
+
+    Matrix got(m, batch, /*zero_fill=*/true);
+    op.apply_interleaved(got.view(), tile.data(), m, lanes, c0);
+
+    Matrix want(m, batch, /*zero_fill=*/true);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      float* yc = want.view().col(c0 + lane);
+      for (std::size_t i = 0; i < m; ++i) yc[i] = tile[i * lanes + lane];
+    }
+    op.apply(want.view(), 0, m, c0, c0 + lanes);
+
+    expect_bitwise(got, want, combo.name);
+  }
+}
+
+TEST(EpilogueContract, ResidualShapeMismatchThrows) {
+  constexpr std::size_t m = 8, n = 6, b = 2;
+  Rng rng(13);
+  const Matrix w = Matrix::random_normal(m, n, rng);
+  const auto engine = make_engine("naive", w);
+  const Matrix x = Matrix::random_normal(n, b, rng);
+  Matrix y(m, b);
+  ExecContext ctx;
+
+  Epilogue ep;
+  ep.residual = true;
+  const auto plan = engine->plan(b, ctx, ep);
+  const Matrix wrong_rows = Matrix::random_normal(m + 1, b, rng);
+  const Matrix wrong_cols = Matrix::random_normal(m, b + 1, rng);
+  EXPECT_THROW(plan->run(x, y, wrong_rows), std::invalid_argument);
+  EXPECT_THROW(plan->run(x, y, wrong_cols), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace biq

@@ -57,6 +57,42 @@ TEST(Activations, DispatchEnum) {
   EXPECT_EQ(x(0, 0), 0.0f);
 }
 
+TEST(Activations, GeluNumericalEdges) {
+  // Large magnitudes: tanh saturates to +-1 exactly, so gelu must come
+  // back finite — identity for large positive, exactly 0 for large
+  // negative — with no NaN from the x^3 term's growth.
+  Matrix x = filled({1e4f, -1e4f, 30.0f, -30.0f, 0.0f, -0.0f}, 6, 1);
+  apply_gelu(x);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_TRUE(std::isfinite(x(i, 0))) << "row " << i;
+  }
+  EXPECT_FLOAT_EQ(x(0, 0), 1e4f);
+  EXPECT_FLOAT_EQ(x(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(x(2, 0), 30.0f);
+  EXPECT_FLOAT_EQ(x(3, 0), 0.0f);
+  // Signed zeros: gelu(+-0) = +-0 * 0.5 * (1 + tanh 0), preserving sign.
+  EXPECT_EQ(x(4, 0), 0.0f);
+  EXPECT_FALSE(std::signbit(x(4, 0)));
+  EXPECT_TRUE(std::signbit(x(5, 0)));
+}
+
+TEST(Activations, SigmoidNumericalEdges) {
+  // exp(-(-1e4)) overflows to +inf; 1/(1+inf) must still give exactly 0,
+  // and the large-positive side exactly 1 — saturation, never NaN.
+  Matrix x = filled({1e4f, -1e4f, 88.0f, -88.0f, 0.0f, -0.0f}, 6, 1);
+  apply_sigmoid(x);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_TRUE(std::isfinite(x(i, 0))) << "row " << i;
+  }
+  EXPECT_EQ(x(0, 0), 1.0f);
+  EXPECT_EQ(x(1, 0), 0.0f);
+  EXPECT_NEAR(x(2, 0), 1.0f, 1e-6f);
+  EXPECT_NEAR(x(3, 0), 0.0f, 1e-6f);
+  // sigmoid(+-0) is exactly one half either way.
+  EXPECT_FLOAT_EQ(x(4, 0), 0.5f);
+  EXPECT_FLOAT_EQ(x(5, 0), 0.5f);
+}
+
 TEST(Softmax, ColumnsSumToOne) {
   Rng rng(1);
   Matrix x = Matrix::random_normal(9, 4, rng);
@@ -84,6 +120,35 @@ TEST(Softmax, UniformInputGivesUniformOutput) {
   x.fill(0.3f);
   softmax_columns(x);
   for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(x(i, 0), 0.2f, 1e-6f);
+}
+
+TEST(Softmax, AllEqualColumnsAreExactlyUniform) {
+  // Peak-subtraction makes every shifted logit exactly 0, so each
+  // column is exp(0)/n = 1/n EXACTLY — including at extreme magnitudes
+  // where naive exp would overflow or flush to zero.
+  for (const float v : {0.0f, -0.0f, 1e6f, -1e6f, 3.25f}) {
+    Matrix x(4, 3);
+    x.fill(v);
+    softmax_columns(x);
+    for (std::size_t c = 0; c < 3; ++c) {
+      for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(x(i, c), 0.25f) << "v=" << v;
+      }
+    }
+  }
+}
+
+TEST(Softmax, ExtremeLogitsProduceNoNaN) {
+  Matrix x = filled({1e8f, -1e8f, 0.0f, -0.0f}, 4, 1);
+  softmax_columns(x);
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(std::isfinite(x(i, 0))) << "row " << i;
+    EXPECT_GE(x(i, 0), 0.0f);
+    sum += x(i, 0);
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-6f);
+  EXPECT_NEAR(x(0, 0), 1.0f, 1e-6f);  // the dominant logit takes all
 }
 
 TEST(LayerNorm, NormalizesToZeroMeanUnitVar) {

@@ -237,6 +237,106 @@ TEST(ModelPlan, AttentionPlannedMatchesEagerBitwise) {
   EXPECT_EQ(max_abs_diff(planned, eager), 0.0f);
 }
 
+// ------------------------------------------- fused vs unfused parity
+
+TEST(ModelPlan, FusedAndUnfusedEncoderMatchEagerBitwise) {
+  // The fused arithmetic order IS the contract: eager, the fused plan
+  // (default) and the unfused plan (separate seam passes) must agree
+  // bitwise, for fp32 and quantized weights alike.
+  Rng rng(31);
+  const Matrix input = Matrix::random_normal(32, 6, rng);
+  for (const bool quantized : {false, true}) {
+    ExecContext ctx;
+    const TransformerEncoder enc =
+        make_encoder(tiny(), 42, quantized ? quant2() : QuantSpec{}, &ctx);
+    Matrix eager = input;
+    enc.forward(eager);
+
+    const ModelPlan fused(enc, input.cols(), ctx, /*fuse=*/true);
+    const ModelPlan unfused(enc, input.cols(), ctx, /*fuse=*/false);
+    Matrix yf(32, 6), yu(32, 6);
+    fused.run(input, yf);
+    unfused.run(input, yu);
+    EXPECT_EQ(max_abs_diff(yf, eager), 0.0f)
+        << "fused " << (quantized ? "quantized" : "fp32");
+    EXPECT_EQ(max_abs_diff(yu, eager), 0.0f)
+        << "unfused " << (quantized ? "quantized" : "fp32");
+  }
+}
+
+TEST(ModelPlan, FusedAndUnfusedBiLstmMatchEagerBitwise) {
+  const std::size_t in = 12, hidden = 8, frames = 7;
+  Rng rng(32);
+  const Matrix audio = Matrix::random_normal(in, frames, rng);
+  for (const bool quantized : {false, true}) {
+    ExecContext ctx;
+    const QuantSpec spec = quantized ? quant2() : QuantSpec{};
+    const BiLstm model(make_lstm_cell(in, hidden, 31, spec, &ctx),
+                       make_lstm_cell(in, hidden, 32, spec, &ctx));
+    Matrix eager(2 * hidden, frames);
+    model.forward(audio, eager);
+
+    const ModelPlan fused(model, frames, ctx, /*fuse=*/true);
+    const ModelPlan unfused(model, frames, ctx, /*fuse=*/false);
+    Matrix yf(2 * hidden, frames), yu(2 * hidden, frames);
+    fused.run(audio, yf);
+    unfused.run(audio, yu);
+    EXPECT_EQ(max_abs_diff(yf, eager), 0.0f)
+        << "fused " << (quantized ? "quantized" : "fp32");
+    EXPECT_EQ(max_abs_diff(yu, eager), 0.0f)
+        << "unfused " << (quantized ? "quantized" : "fp32");
+  }
+}
+
+TEST(ModelPlan, FusionNeverGrowsTheArena) {
+  // Fusion only removes seam passes and (in chains) intermediate slots
+  // — it must never cost activation memory.
+  ExecContext ctx;
+  const TransformerEncoder enc = make_encoder(tiny(), 42, quant2(), &ctx);
+  const ModelPlan fused(enc, 8, ctx, /*fuse=*/true);
+  const ModelPlan unfused(enc, 8, ctx, /*fuse=*/false);
+  EXPECT_LE(fused.arena_floats(), unfused.arena_floats());
+}
+
+TEST(ModelPlan, ChainFoldsLinearActivationAndDropsTheSlot) {
+  // Sequential{Linear, Activation, Linear}: the peephole folds the
+  // Activation into the first Linear's GEMM epilogue, so the
+  // intermediate between them never exists — one fewer chain slot —
+  // and the output still matches eager bitwise.
+  const std::size_t in = 20, mid = 24, out = 16, batch = 5;
+  Rng rng(33), wrng(34);
+  const Matrix x = Matrix::random_normal(in, batch, rng);
+  for (const bool quantized : {false, true}) {
+    ExecContext ctx;
+    const QuantSpec spec = quantized ? quant2() : QuantSpec{};
+    Sequential seq;
+    seq.add(make_linear(xavier_uniform(mid, in, wrng),
+                        std::vector<float>(mid, 0.25f), spec.weight_bits,
+                        spec.method, spec.kernel, &ctx));
+    seq.add(std::make_unique<Activation>(mid, Act::kGelu));
+    seq.add(make_linear(xavier_uniform(out, mid, wrng),
+                        std::vector<float>(out, -0.5f), spec.weight_bits,
+                        spec.method, spec.kernel, &ctx));
+
+    Matrix eager(out, batch);
+    seq.forward(x, eager);
+
+    const ModelPlan fused(seq, batch, ctx, /*fuse=*/true);
+    const ModelPlan unfused(seq, batch, ctx, /*fuse=*/false);
+    Matrix yf(out, batch), yu(out, batch);
+    fused.run(x, yf);
+    unfused.run(x, yu);
+    EXPECT_EQ(max_abs_diff(yf, eager), 0.0f)
+        << "fused " << (quantized ? "quantized" : "fp32");
+    EXPECT_EQ(max_abs_diff(yu, eager), 0.0f)
+        << "unfused " << (quantized ? "quantized" : "fp32");
+    // Unfused: two chain slots (post-Linear and post-Activation).
+    // Fused: the pair is one stage, so exactly one slot remains.
+    EXPECT_LT(fused.arena_floats(), unfused.arena_floats());
+    EXPECT_LT(fused.unpacked_floats(), unfused.unpacked_floats());
+  }
+}
+
 // --------------------------------------------------- shapes and replan
 
 TEST(ModelPlan, RejectsMismatchedShapes) {
