@@ -3,14 +3,19 @@
 // Tc,mm ~ 2^mu * mu per table). The paper's claim: DP is ~mu times
 // cheaper; within a full BiQGEMM invocation the gap shrinks because the
 // query phase dominates (Fig. 8).
+#include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/biqgemm.hpp"
 #include "core/lut_builder.hpp"
 #include "core/mu_select.hpp"
+#include "engine/registry.hpp"
+#include "gemm/gemm_tmac.hpp"
 #include "quant/greedy.hpp"
+#include "quant/lowbit.hpp"
 #include "util/aligned_buffer.hpp"
 #include "util/rng.hpp"
 #include "util/table_printer.hpp"
@@ -73,6 +78,77 @@ void end_to_end() {
   std::printf("%s\n", table.to_markdown().c_str());
 }
 
+// BiQGEMM's alpha-row build vs the T-MAC group build, per batch column
+// of n activations, plus what that build costs amortized against the
+// engine's own n x n GEMV. The table constructions differ: BiQGEMM
+// builds n/mu tables of 2^mu fp32 partial sums from raw floats; T-MAC
+// builds ngroups 16-entry int16 tables from an int8-quantized column
+// (storage 2: n/2 groups, each table jointly covering 2 activations;
+// storage 4: n groups). Entry counts per column at mu=8:
+//   biqgemm  (n/8) * 256 = 32n fp32   tmac s2  (n/2) * 16 = 8n int16
+//                                     tmac s4   n    * 16 = 16n int16
+void tmac_vs_biq_build() {
+  std::printf("-- per-column build cost: BiQGEMM alpha-row (mu=8) vs T-MAC "
+              "group tables --\n");
+  biq::TablePrinter table({"builder", "n", "tables", "entries", "build us",
+                           "% of own GEMV"});
+  for (std::size_t n : {1024u, 4096u}) {
+    biq::Rng rng(n);
+    biq::Matrix w = biq::Matrix::random_normal(n, n, rng, 0.0f, 0.05f);
+    biq::Matrix x = biq::Matrix::random_normal(n, 1, rng);
+    biq::Matrix y(n, 1);
+
+    // The full GEMV each build is a phase of — the amortization base.
+    const auto gemv_us = [&](const char* engine_name, unsigned bits) {
+      biq::EngineConfig cfg;
+      cfg.weight_bits = bits;
+      const auto engine = biq::make_engine(engine_name, w, cfg);
+      biq::ExecContext ctx;
+      const auto plan = engine->plan(1, ctx);
+      return biq::bench::median_seconds([&] { plan->run(x, y); });
+    };
+
+    // BiQGEMM: n/mu DP tables of 2^mu fp32 entries from the raw column.
+    constexpr unsigned mu = 8;
+    const std::size_t biq_tables = n / mu;
+    biq::AlignedBuffer<float> flut(std::size_t{1} << mu);
+    const double t_biq = biq::bench::median_seconds([&] {
+      for (std::size_t t = 0; t < biq_tables; ++t) {
+        biq::build_lut_dp(x.data() + t * mu, mu, mu, flut.data());
+      }
+    });
+    const double g_biq = gemv_us("biqgemm", 1);
+    table.add_row({"biqgemm dp mu=8", std::to_string(n),
+                   std::to_string(biq_tables),
+                   std::to_string(biq_tables * (std::size_t{1} << mu)),
+                   biq::bench::us(t_biq, 1),
+                   biq::TablePrinter::fmt(100.0 * t_biq / g_biq, 1) + "%"});
+
+    // T-MAC: int8-quantize the column once (that cost is part of the
+    // build phase, so it is timed too), then fill the group tables.
+    for (unsigned storage : {2u, 4u}) {
+      const std::size_t ngroups =
+          storage == 2 ? (n + 1) / 2 : n;  // codes per nibble: 2 vs 1
+      std::vector<std::int8_t> xq(n);
+      biq::AlignedBuffer<std::uint8_t> lut(ngroups * 32);
+      const double t_tmac = biq::bench::median_seconds([&] {
+        biq::quantize_column_int8(x.data(), n, xq.data());
+        biq::tmac_build_column_lut(xq.data(), n, storage, ngroups, lut.data());
+      });
+      const double g_tmac = gemv_us("tmac-lut", storage);
+      table.add_row({std::string("tmac group s") + std::to_string(storage),
+                     std::to_string(n), std::to_string(ngroups),
+                     std::to_string(ngroups * 16), biq::bench::us(t_tmac, 1),
+                     biq::TablePrinter::fmt(100.0 * t_tmac / g_tmac, 1) + "%"});
+    }
+  }
+  std::printf("%s\n", table.to_markdown().c_str());
+  std::printf(
+      "Both builds run once per batch column and amortize over the n\n"
+      "output rows of that column's GEMV; the %% column is the build's\n"
+      "share of its engine's full held-plan GEMV at the same n.\n\n");
+}
+
 }  // namespace
 
 int main() {
@@ -80,6 +156,7 @@ int main() {
       "ablation_lut_build — Algorithm 1 DP vs GEMM-style LUT construction",
       "paper Sec. III-B / Eq. 6: Tc,dp is mu times smaller than Tc,mm");
   builder_only();
+  tmac_vs_biq_build();
   end_to_end();
   return 0;
 }

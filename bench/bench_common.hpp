@@ -54,11 +54,15 @@ double median_seconds(Fn&& fn, std::size_t reps = 3, double min_seconds = 0.05) 
 }
 
 // Cross-cutting bench flags, shared by every binary in bench/:
-//   --json       emit machine-readable BENCH_<name>.json (see BenchJson)
-//   --repeats N  cap each measurement at exactly N repetitions (drops
-//                the accumulated-time floor) — CI passes a small N to
-//                bound wall time; without the flag the defaults of
-//                median_seconds are unchanged.
+//   --json          emit machine-readable BENCH_<name>.json (see BenchJson)
+//   --repeats N     cap each measurement at exactly N repetitions (drops
+//                   the accumulated-time floor) — CI passes a small N to
+//                   bound wall time; without the flag the defaults of
+//                   median_seconds are unchanged.
+//   --engines a,b,c restrict an engine sweep to the named engines — CI
+//                   times the LUT-family subset without paying for all
+//                   registered engines; without the flag sweeps are
+//                   unchanged.
 
 /// The N of `--repeats N`, or 0 when the flag is absent.
 inline std::size_t parse_repeats(int argc, char** argv) {
@@ -68,6 +72,35 @@ inline std::size_t parse_repeats(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+/// The comma-separated names of `--engines a,b,c`, or empty when the
+/// flag is absent (= no filter).
+inline std::vector<std::string> parse_engines(int argc, char** argv) {
+  std::vector<std::string> out;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) != "--engines") continue;
+    std::string_view list(argv[i + 1]);
+    while (!list.empty()) {
+      const std::size_t comma = list.find(',');
+      const std::string_view name = list.substr(0, comma);
+      if (!name.empty()) out.emplace_back(name);
+      if (comma == std::string_view::npos) break;
+      list.remove_prefix(comma + 1);
+    }
+  }
+  return out;
+}
+
+/// True when `name` passes the --engines filter (an empty filter — flag
+/// absent — passes everything).
+inline bool engine_enabled(const std::vector<std::string>& filter,
+                           std::string_view name) {
+  if (filter.empty()) return true;
+  for (const std::string& f : filter) {
+    if (f == name) return true;
+  }
+  return false;
 }
 
 /// median_seconds honoring an explicit --repeats: repeats == 0 (flag
@@ -112,15 +145,15 @@ std::pair<double, double> interleaved_ab_seconds(FnA&& a, FnB&& b,
 }
 
 /// The idx-th (1-based) positional argument as a number, skipping
-/// --json and --repeats <N> wherever they appear — so flag order never
-/// shifts a bench's size arguments.
+/// --json, --repeats <N> and --engines <list> wherever they appear — so
+/// flag order never shifts a bench's size arguments.
 inline std::size_t positional_or(int argc, char** argv, int idx,
                                  std::size_t fallback) {
   int seen = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string_view a(argv[i]);
     if (a == "--json") continue;
-    if (a == "--repeats") {
+    if (a == "--repeats" || a == "--engines") {
       ++i;  // skip the flag's value too
       continue;
     }

@@ -8,7 +8,9 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "core/biqgemm.hpp"
 #include "core/lut_builder.hpp"
 #include "engine/registry.hpp"
@@ -94,7 +96,9 @@ void engine_run_bench(benchmark::State& state, const std::string& name,
   biq::Rng rng(n + b);
   biq::Matrix w = biq::Matrix::random_normal(n, n, rng);
   biq::EngineConfig cfg;
-  cfg.weight_bits = 1;
+  // tmac-lut runs at its headline 2-bit layout; the binary-plane engines
+  // at the paper's 1-bit depth.
+  cfg.weight_bits = name == "tmac-lut" ? 2 : 1;
   const std::unique_ptr<biq::GemmEngine> engine = biq::make_engine(name, w, cfg);
   biq::Matrix x = biq::Matrix::random_normal(n, b, rng);
   biq::Matrix y(n, b);
@@ -112,16 +116,17 @@ void engine_run_bench(benchmark::State& state, const std::string& name,
                  " b=" + std::to_string(b));
 }
 
-void register_engine_benchmarks() {
+void register_engine_benchmarks(const std::vector<std::string>& filter) {
   struct Shape {
     std::size_t n, b;
   };
   // Slow exhaustive baselines (naive, unpack, xnor at depth 1) get the
   // small shape only; the packed/LUT engines also run the larger ones.
   for (const std::string& name : biq::EngineRegistry::instance().names()) {
+    if (!biq::bench::engine_enabled(filter, name)) continue;
     std::vector<Shape> shapes = {{512, 32}};
     if (name == "biqgemm" || name == "biqgemm-grouped" || name == "blocked" ||
-        name == "int8") {
+        name == "int8" || name == "tmac-lut") {
       shapes.push_back({1024, 1});
       shapes.push_back({1024, 32});
     }
@@ -142,7 +147,19 @@ void register_engine_benchmarks() {
 
 int main(int argc, char** argv) {
   std::printf("%s\n", biq::describe_machine().c_str());
-  register_engine_benchmarks();
+  register_engine_benchmarks(biq::bench::parse_engines(argc, argv));
+  // Strip --engines <list> before handing argv to google-benchmark,
+  // which rejects flags it does not recognize.
+  std::vector<char*> kept;
+  for (int i = 0; i < argc; ++i) {
+    if (i + 1 < argc && std::string_view(argv[i]) == "--engines") {
+      ++i;
+      continue;
+    }
+    kept.push_back(argv[i]);
+  }
+  argc = static_cast<int>(kept.size());
+  argv = kept.data();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -10,3 +10,4 @@
 #define BIQ_KERNELS_NS kern_scalar
 #include "engine/biq_kernels_impl.hpp"
 #include "engine/blocked_kernels_impl.hpp"
+#include "engine/tmac_kernels_impl.hpp"

@@ -42,6 +42,22 @@ const BlockedKernels* avx512_blocked_plane() noexcept {
 #endif
 }
 
+const TmacKernels* avx2_tmac_plane() noexcept {
+#if BIQ_HAVE_AVX2_TU
+  return &kern_avx2::tmac_kernels();
+#else
+  return nullptr;
+#endif
+}
+
+const TmacKernels* avx512_tmac_plane() noexcept {
+#if BIQ_HAVE_AVX512_TU
+  return &kern_avx512::tmac_kernels();
+#else
+  return nullptr;
+#endif
+}
+
 /// BIQ_ISA override, parsed once (empty = no override).
 KernelIsa env_override() {
   static const KernelIsa cached = [] {
@@ -118,6 +134,16 @@ const BlockedKernels& select_blocked_kernels(KernelIsa isa) {
     case KernelIsa::kAvx512: return *avx512_blocked_plane();
     case KernelIsa::kAvx2: return *avx2_blocked_plane();
     default: return kern_scalar::blocked_kernels();
+  }
+}
+
+const TmacKernels& select_tmac_kernels(KernelIsa isa) {
+  if (isa == KernelIsa::kAuto) return select_tmac_kernels(resolve_auto());
+  if (!isa_available(isa)) throw_unavailable(isa);
+  switch (isa) {
+    case KernelIsa::kAvx512: return *avx512_tmac_plane();
+    case KernelIsa::kAvx2: return *avx2_tmac_plane();
+    default: return kern_scalar::tmac_kernels();
   }
 }
 

@@ -97,6 +97,39 @@ struct BlockedKernels {
                      std::size_t panel_end) = nullptr;
 };
 
+/// Output rows per packed weight tile of the grouped-LUT (tmac-lut)
+/// engine. Shared between the packer in gemm_tmac.cpp and the per-ISA
+/// lookup-accumulate kernels — the tile layout is ISA-independent: for
+/// each activation group g the tile stores 16 bytes, byte k holding row
+/// k's nibble code in the low half and row k+16's in the high half.
+inline constexpr std::size_t kTmacTileRows = 32;
+
+/// One lookup-accumulate pass of the grouped-LUT engine: one weight
+/// tile (kTmacTileRows output rows) against one batch column's tables.
+struct TmacTileArgs {
+  /// ngroups * 16 bytes of packed nibble codes for this row tile.
+  const std::uint8_t* wtile = nullptr;
+  /// ngroups * 32 bytes of per-group tables in split byte planes:
+  /// entry v of group g is the int16 whose low byte is lut[g*32 + v]
+  /// and high byte lut[g*32 + 16 + v] — the layout _mm256_shuffle_epi8
+  /// consumes directly (two 16-byte in-register tables per group).
+  const std::uint8_t* lut = nullptr;
+  std::size_t ngroups = 0;
+  /// kTmacTileRows int32 row sums, written (not accumulated) by the
+  /// kernel.
+  std::int32_t* acc = nullptr;
+};
+
+/// Per-ISA plane of the grouped-LUT lookup-accumulate kernel,
+/// dispatched exactly like BiqKernels. The AVX-512 TU reuses the
+/// 256-bit AVX2 body under EVEX encoding (in-register 16-entry table
+/// lookup is a VPSHUFB shape; widening it needs AVX-512BW, which the
+/// library's -mavx512f plane does not assume).
+struct TmacKernels {
+  const char* isa = "";
+  void (*accumulate_tile)(const TmacTileArgs&) = nullptr;
+};
+
 /// True when the plane is linked into this binary.
 [[nodiscard]] bool isa_compiled(KernelIsa isa) noexcept;
 
@@ -111,21 +144,27 @@ struct BlockedKernels {
 /// Same resolution rules for the blocked dense microkernel plane.
 [[nodiscard]] const BlockedKernels& select_blocked_kernels(KernelIsa isa);
 
+/// Same resolution rules for the grouped-LUT lookup-accumulate plane.
+[[nodiscard]] const TmacKernels& select_tmac_kernels(KernelIsa isa);
+
 // Per-TU entry points (used by dispatch.cpp and the dispatch tests).
 namespace kern_scalar {
 [[nodiscard]] const BiqKernels& kernels() noexcept;
 [[nodiscard]] const BlockedKernels& blocked_kernels() noexcept;
+[[nodiscard]] const TmacKernels& tmac_kernels() noexcept;
 }
 #if BIQ_HAVE_AVX2_TU
 namespace kern_avx2 {
 [[nodiscard]] const BiqKernels& kernels() noexcept;
 [[nodiscard]] const BlockedKernels& blocked_kernels() noexcept;
+[[nodiscard]] const TmacKernels& tmac_kernels() noexcept;
 }
 #endif
 #if BIQ_HAVE_AVX512_TU
 namespace kern_avx512 {
 [[nodiscard]] const BiqKernels& kernels() noexcept;
 [[nodiscard]] const BlockedKernels& blocked_kernels() noexcept;
+[[nodiscard]] const TmacKernels& tmac_kernels() noexcept;
 }
 #endif
 

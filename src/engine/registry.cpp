@@ -8,6 +8,7 @@
 #include "gemm/gemm_blocked.hpp"
 #include "gemm/gemm_int8.hpp"
 #include "gemm/gemm_ref.hpp"
+#include "gemm/gemm_tmac.hpp"
 #include "gemm/gemm_unpack.hpp"
 #include "gemm/xnor_gemm.hpp"
 #include "quant/grouped.hpp"
@@ -71,6 +72,13 @@ EngineRegistry::EngineRegistry() {
        [](const Matrix& w, const EngineConfig& cfg) {
          return std::make_unique<XnorGemm>(codes_for(w, cfg),
                                            cfg.activation_bits);
+       }});
+  add({"tmac-lut",
+       "grouped-LUT GEMM: 1-4-bit integer weight codes, int8 activations",
+       /*quantized=*/true,
+       [](const Matrix& w, const EngineConfig& cfg) {
+         return std::make_unique<TmacLutGemm>(w, cfg.weight_bits,
+                                              cfg.kernel.isa);
        }});
 }
 

@@ -1,0 +1,286 @@
+#include "gemm/gemm_tmac.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+#include "engine/partition.hpp"
+
+namespace biq {
+namespace {
+
+using engine::kTmacTileRows;
+
+/// Sign-extends the low `storage_bits` of a nibble field.
+int decode_code(unsigned v, unsigned storage_bits) noexcept {
+  const unsigned half = 1u << (storage_bits - 1);
+  return static_cast<int>(v) - (v >= half ? (1 << storage_bits) : 0);
+}
+
+/// The run's transient arena frame — one definition shared by the hot
+/// path and the plan-time prewarm so the prewarmed high-water mark can
+/// never desynchronize from what the run actually allocates. lut0 is
+/// the calling thread's table buffer; workers > 0 carve their own from
+/// their own arenas on the columns-parallel path.
+struct TmacFrame {
+  std::int8_t* xq;
+  float* xscales;
+  std::uint8_t* lut0;
+};
+
+TmacFrame stage_tmac_frame(ScratchArena& arena, std::size_t n, std::size_t b,
+                           std::size_t lut_bytes) {
+  arena.reset();
+  TmacFrame f;
+  f.xq = arena.alloc<std::int8_t>(n * b);
+  f.xscales = arena.alloc<float>(b);
+  f.lut0 = arena.alloc<std::uint8_t>(lut_bytes);
+  return f;
+}
+
+/// True when run() splits work column-wise (each worker building its
+/// own tables) instead of serial-columns / parallel-row-tiles.
+bool columns_parallel(const ExecContext& ctx, std::size_t b) noexcept {
+  return ctx.worker_count() > 1 && b >= ctx.worker_count();
+}
+
+}  // namespace
+
+int TmacPacked::code_at(std::size_t row, std::size_t col) const noexcept {
+  const std::size_t g = col / codes_per_nibble;
+  const std::size_t t = row / kTmacTileRows;
+  const std::size_t k = row % kTmacTileRows;
+  const std::uint8_t byte = tile(t)[g * 16 + (k % 16)];
+  const unsigned nibble = k < 16 ? (byte & 0x0F) : (byte >> 4);
+  if (codes_per_nibble == 2) {
+    const unsigned sub = static_cast<unsigned>(col % 2);
+    return decode_code((nibble >> (2 * sub)) & 0x3, 2);
+  }
+  return decode_code(nibble, 4);
+}
+
+TmacPacked pack_tmac(const LowBitQuantized& q) {
+  TmacPacked p;
+  p.rows = q.rows;
+  p.cols = q.cols;
+  p.bits = q.bits;
+  p.storage_bits = q.storage_bits;
+  p.codes_per_nibble = q.storage_bits == 2 ? 2 : 1;
+  p.ngroups = (q.cols + p.codes_per_nibble - 1) / p.codes_per_nibble;
+  p.ntiles = (q.rows + kTmacTileRows - 1) / kTmacTileRows;
+  p.scales = q.scales;
+  p.bytes =
+      AlignedBuffer<std::uint8_t>(p.ntiles * p.ngroups * 16, /*zero_fill=*/true);
+
+  // Two's-complement field of one code; rows / cols past the matrix
+  // pack as 0 so padded lanes select zero-valued table entries.
+  const auto nibble_of = [&](std::size_t row, std::size_t g) -> unsigned {
+    if (row >= q.rows) return 0;
+    if (p.codes_per_nibble == 2) {
+      const std::size_t c0 = 2 * g, c1 = 2 * g + 1;
+      const unsigned f0 =
+          c0 < q.cols ? (static_cast<unsigned>(q.codes[row * q.cols + c0]) & 0x3)
+                      : 0u;
+      const unsigned f1 =
+          c1 < q.cols ? (static_cast<unsigned>(q.codes[row * q.cols + c1]) & 0x3)
+                      : 0u;
+      return f0 | (f1 << 2);
+    }
+    return static_cast<unsigned>(q.codes[row * q.cols + g]) & 0xF;
+  };
+
+  for (std::size_t t = 0; t < p.ntiles; ++t) {
+    std::uint8_t* dst = p.bytes.data() + t * p.ngroups * 16;
+    const std::size_t row0 = t * kTmacTileRows;
+    for (std::size_t g = 0; g < p.ngroups; ++g) {
+      for (std::size_t k = 0; k < 16; ++k) {
+        dst[g * 16 + k] = static_cast<std::uint8_t>(
+            nibble_of(row0 + k, g) | (nibble_of(row0 + 16 + k, g) << 4));
+      }
+    }
+  }
+  return p;
+}
+
+void tmac_build_column_lut(const std::int8_t* xq, std::size_t n,
+                           unsigned storage_bits, std::size_t ngroups,
+                           std::uint8_t* lut) noexcept {
+  if (storage_bits == 2) {
+    for (std::size_t g = 0; g < ngroups; ++g) {
+      const int a0 = 2 * g < n ? xq[2 * g] : 0;
+      const int a1 = 2 * g + 1 < n ? xq[2 * g + 1] : 0;
+      std::uint8_t* lo = lut + g * 32;
+      std::uint8_t* hi = lo + 16;
+      for (unsigned v = 0; v < 16; ++v) {
+        const int e = decode_code(v & 0x3, 2) * a0 + decode_code(v >> 2, 2) * a1;
+        lo[v] = static_cast<std::uint8_t>(e & 0xFF);
+        hi[v] = static_cast<std::uint8_t>((e >> 8) & 0xFF);
+      }
+    }
+    return;
+  }
+  for (std::size_t g = 0; g < ngroups; ++g) {
+    const int a = g < n ? xq[g] : 0;
+    std::uint8_t* lo = lut + g * 32;
+    std::uint8_t* hi = lo + 16;
+    for (unsigned v = 0; v < 16; ++v) {
+      const int e = decode_code(v, 4) * a;
+      lo[v] = static_cast<std::uint8_t>(e & 0xFF);
+      hi[v] = static_cast<std::uint8_t>((e >> 8) & 0xFF);
+    }
+  }
+}
+
+TmacLutGemm::TmacLutGemm(const Matrix& w, unsigned weight_bits, KernelIsa isa)
+    : packed_(pack_tmac(quantize_lowbit(w, weight_bits))),
+      kernels_(&engine::select_tmac_kernels(isa)) {}
+
+Matrix TmacLutGemm::dequantize() const {
+  Matrix out(packed_.rows, packed_.cols);
+  for (std::size_t i = 0; i < packed_.rows; ++i) {
+    for (std::size_t k = 0; k < packed_.cols; ++k) {
+      out(i, k) =
+          packed_.scales[i] * static_cast<float>(packed_.code_at(i, k));
+    }
+  }
+  return out;
+}
+
+void TmacLutGemm::execute_batch(ConstMatrixView x, MatrixView y,
+                                ExecContext& ctx,
+                                const engine::TmacKernels& kernels,
+                                const EpilogueOp& ep) const {
+  const std::size_t n = packed_.cols;
+  const std::size_t b = x.cols();
+  const std::size_t lut_bytes = packed_.ngroups * 32;
+  const TmacFrame frame = stage_tmac_frame(ctx.scratch(0), n, b, lut_bytes);
+
+  // Phase 1: dynamic activation quantization (fp32 -> int8 per column).
+  engine::for_each_tile(ctx, b, 1,
+                        [&](unsigned /*worker*/, std::size_t c0,
+                            std::size_t c1) {
+                          for (std::size_t c = c0; c < c1; ++c) {
+                            frame.xscales[c] = quantize_column_int8(
+                                x.col(c), n, frame.xq + c * n);
+                          }
+                        });
+
+  // Phase 2: per column, build the tables once, then amortize them over
+  // every output-row tile; dequantize and the fused epilogue ride the
+  // tile write-back so each fp32 value is touched exactly once.
+  const bool fused = !ep.empty();
+  const auto run_column = [&](std::size_t c, const std::uint8_t* lut,
+                              std::size_t t0, std::size_t t1) {
+    const float xs = frame.xscales[c];
+    float* out = y.col(c);
+    const float* sc = packed_.scales.data();
+    for (std::size_t t = t0; t < t1; ++t) {
+      alignas(32) std::int32_t acc[kTmacTileRows];
+      engine::TmacTileArgs args;
+      args.wtile = packed_.tile(t);
+      args.lut = lut;
+      args.ngroups = packed_.ngroups;
+      args.acc = acc;
+      kernels.accumulate_tile(args);
+      const std::size_t i0 = t * kTmacTileRows;
+      const std::size_t i1 = std::min(packed_.rows, i0 + kTmacTileRows);
+      for (std::size_t i = i0; i < i1; ++i) {
+        out[i] = sc[i] * xs * static_cast<float>(acc[i - i0]);
+      }
+      if (fused) ep.apply(y, i0, i1, c, c + 1);
+    }
+  };
+
+  if (columns_parallel(ctx, b)) {
+    // Wide batch: columns are independent (disjoint y columns), so each
+    // worker builds its own tables — worker 0 reuses the frame's
+    // buffer, the rest carve one from their own arena per chunk.
+    engine::for_each_tile(
+        ctx, b, 1, [&](unsigned worker, std::size_t c0, std::size_t c1) {
+          std::uint8_t* lut = frame.lut0;
+          if (worker != 0) {
+            ScratchArena& arena = ctx.scratch(worker);
+            arena.reset();
+            lut = arena.alloc<std::uint8_t>(lut_bytes);
+          }
+          for (std::size_t c = c0; c < c1; ++c) {
+            tmac_build_column_lut(frame.xq + c * n, n, packed_.storage_bits,
+                                  packed_.ngroups, lut);
+            run_column(c, lut, 0, packed_.ntiles);
+          }
+        });
+    return;
+  }
+
+  // Narrow batch (b == 1 GEMV included): one shared table per column,
+  // row tiles split across the pool. Tiles write disjoint y rows and
+  // only read the tables, and each (row, column)'s integer chain is
+  // fixed, so any worker count produces bitwise-identical output.
+  for (std::size_t c = 0; c < b; ++c) {
+    tmac_build_column_lut(frame.xq + c * n, n, packed_.storage_bits,
+                          packed_.ngroups, frame.lut0);
+    engine::for_each_tile(ctx, packed_.ntiles, 1,
+                          [&](unsigned /*worker*/, std::size_t t0,
+                              std::size_t t1) {
+                            run_column(c, frame.lut0, t0, t1);
+                          });
+  }
+}
+
+namespace {
+
+class TmacPlanImpl final : public GemmPlan {
+ public:
+  TmacPlanImpl(const TmacLutGemm& engine, std::size_t batch, ExecContext& ctx,
+               const Epilogue& epilogue,
+               const engine::TmacKernels& construction_kernels)
+      : GemmPlan(engine.name(), engine.rows(), engine.cols(), batch, ctx,
+                 epilogue),
+        engine_(&engine),
+        kernels_(ctx.isa() == KernelIsa::kAuto
+                     ? &construction_kernels
+                     : &engine::select_tmac_kernels(ctx.isa())) {
+    // Plan-time scratch sizing (same trick as Int8Plan): stage the
+    // run's arena frame twice so the first pass grows/spills and the
+    // second consolidates to the frame's high-water mark — the warm
+    // state two real runs would reach, paid off the serving path. The
+    // columns-parallel path additionally prewarms every worker's table
+    // buffer.
+    if (batch != 0 && engine.rows() != 0) {
+      const std::size_t lut_bytes = engine.packed().ngroups * 32;
+      for (int pass = 0; pass < 2; ++pass) {
+        (void)stage_tmac_frame(ctx.scratch(0), engine.cols(), batch,
+                               lut_bytes);
+      }
+      if (columns_parallel(ctx, batch)) {
+        for (unsigned w = 1; w < ctx.worker_count(); ++w) {
+          for (int pass = 0; pass < 2; ++pass) {
+            ctx.scratch(w).reset();
+            (void)ctx.scratch(w).alloc<std::uint8_t>(lut_bytes);
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  void execute(ConstMatrixView x, MatrixView y,
+               const EpilogueOp& ep) const override {
+    engine_->execute_batch(x, y, context(), *kernels_, ep);
+  }
+
+  const TmacLutGemm* engine_;
+  const engine::TmacKernels* kernels_;
+};
+
+}  // namespace
+
+std::unique_ptr<GemmPlan> TmacLutGemm::plan(std::size_t batch,
+                                            ExecContext& ctx,
+                                            const Epilogue& epilogue) const {
+  return std::make_unique<TmacPlanImpl>(*this, batch, ctx, epilogue,
+                                        *kernels_);
+}
+
+}  // namespace biq

@@ -24,7 +24,7 @@ namespace {
 
 constexpr const char* kBuiltins[] = {
     "biqgemm", "biqgemm-grouped", "blocked", "naive",
-    "int8",    "unpack",          "xnor"};
+    "int8",    "unpack",          "xnor",    "tmac-lut"};
 
 TEST(EngineRegistry, ListsAllBuiltinEngines) {
   EngineRegistry& reg = EngineRegistry::instance();
@@ -59,7 +59,7 @@ double tolerance_for(const std::string& name) {
   static const std::map<std::string, double> tol = {
       {"naive", 1e-5},   {"blocked", 1e-5},        {"int8", 0.05},
       {"biqgemm", 0.30}, {"biqgemm-grouped", 0.30}, {"unpack", 0.30},
-      {"xnor", 0.60}};
+      {"xnor", 0.60},    {"tmac-lut", 0.30}};
   const auto it = tol.find(name);
   return it != tol.end() ? it->second : 0.30;
 }
