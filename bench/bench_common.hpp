@@ -63,6 +63,10 @@ double median_seconds(Fn&& fn, std::size_t reps = 3, double min_seconds = 0.05) 
 //                   times the LUT-family subset without paying for all
 //                   registered engines; without the flag sweeps are
 //                   unchanged.
+//   --threads N     worker-thread count for benches that execute on an
+//                   ExecContext-bound ThreadPool (model_forward,
+//                   serve_load); without the flag each bench keeps its
+//                   own default (usually serial).
 
 /// The N of `--repeats N`, or 0 when the flag is absent.
 inline std::size_t parse_repeats(int argc, char** argv) {
@@ -72,6 +76,18 @@ inline std::size_t parse_repeats(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+/// The N of `--threads N`, or `fallback` when the flag is absent.
+inline unsigned parse_threads(int argc, char** argv, unsigned fallback = 1) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--threads") {
+      const unsigned n =
+          static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
+      return n == 0 ? fallback : n;
+    }
+  }
+  return fallback;
 }
 
 /// The comma-separated names of `--engines a,b,c`, or empty when the
@@ -145,15 +161,15 @@ std::pair<double, double> interleaved_ab_seconds(FnA&& a, FnB&& b,
 }
 
 /// The idx-th (1-based) positional argument as a number, skipping
-/// --json, --repeats <N> and --engines <list> wherever they appear — so
-/// flag order never shifts a bench's size arguments.
+/// --json, --repeats <N>, --engines <list> and --threads <N> wherever
+/// they appear — so flag order never shifts a bench's size arguments.
 inline std::size_t positional_or(int argc, char** argv, int idx,
                                  std::size_t fallback) {
   int seen = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string_view a(argv[i]);
     if (a == "--json") continue;
-    if (a == "--repeats" || a == "--engines") {
+    if (a == "--repeats" || a == "--engines" || a == "--threads") {
       ++i;  // skip the flag's value too
       continue;
     }

@@ -10,6 +10,7 @@
 // --json to emit BENCH_model_forward.json for the perf trajectory.
 //
 //   $ ./model_forward [tokens] [layers] [hidden] [--json] [--repeats N]
+//                     [--threads N]
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -19,6 +20,7 @@
 #include "bench_common.hpp"
 #include "nn/model_plan.hpp"
 #include "nn/tensor.hpp"
+#include "threading/thread_pool.hpp"
 #include "util/table_printer.hpp"
 
 namespace {
@@ -78,7 +80,7 @@ biq::nn::Sequential make_hybrid(const biq::nn::TransformerConfig& cfg,
 void bench_one(biq::bench::BenchJson& json, biq::TablePrinter& table,
                const char* name, const char* weights,
                const biq::nn::PlannableModule& model, biq::ExecContext& ctx,
-               const biq::Matrix& input, std::size_t repeats,
+               const biq::Matrix& input, std::size_t repeats, unsigned threads,
                std::vector<biq::bench::JsonField> shape_fields) {
   const std::size_t tokens = input.cols();
   biq::Matrix out(model.out_shape({input.rows(), tokens}).rows, tokens);
@@ -117,7 +119,10 @@ void bench_one(biq::bench::BenchJson& json, biq::TablePrinter& table,
     rec.push_back(biq::bench::jnum("planned_ms", v.planned * 1e3));
     rec.push_back(biq::bench::jint(
         "arena_bytes", static_cast<long long>(v.plan->arena_bytes())));
-    rec.push_back(biq::bench::jstr("caveat", "single-core container"));
+    rec.push_back(biq::bench::jint("threads", threads));
+    if (threads <= 1) {
+      rec.push_back(biq::bench::jstr("caveat", "single-core container"));
+    }
     json.record(rec);
   }
 }
@@ -130,6 +135,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned>(biq::bench::positional_or(argc, argv, 2, 2));
   const std::size_t hidden = biq::bench::positional_or(argc, argv, 3, 256);
   const std::size_t repeats = biq::bench::parse_repeats(argc, argv);
+  const unsigned threads = biq::bench::parse_threads(argc, argv);
 
   biq::bench::BenchJson json(argc, argv, "model_forward");
   biq::bench::print_header(
@@ -147,6 +153,12 @@ int main(int argc, char** argv) {
               cfg.layers, cfg.hidden, cfg.ffn, tokens, hidden, hidden / 2,
               tokens);
 
+  // One pool for every context: the contexts run strictly one at a
+  // time here, so sharing the (single-master) fork-join pool is safe.
+  const std::unique_ptr<biq::ThreadPool> pool =
+      threads > 1 ? std::make_unique<biq::ThreadPool>(threads) : nullptr;
+  if (threads > 1) std::printf("threads: %u\n\n", threads);
+
   biq::TablePrinter table({"model", "weights", "eager ms", "fused ms",
                            "unfused ms", "fused speedup",
                            "arena KB (packed/unpacked)"});
@@ -159,12 +171,12 @@ int main(int argc, char** argv) {
     spec.weight_bits = bits;
 
     {
-      biq::ExecContext ctx;
+      biq::ExecContext ctx(pool.get());
       const biq::nn::TransformerEncoder enc =
           biq::nn::make_encoder(cfg, kSeed, spec, &ctx);
       const biq::Matrix input =
           biq::Matrix::random_normal(hidden, tokens, rng);
-      bench_one(json, table, "encoder", weights, enc, ctx, input, repeats,
+      bench_one(json, table, "encoder", weights, enc, ctx, input, repeats, threads,
                 {biq::bench::jstr("model", "encoder"),
                  biq::bench::jint("tokens", static_cast<long long>(tokens)),
                  biq::bench::jint("layers", layers),
@@ -173,13 +185,13 @@ int main(int argc, char** argv) {
 
     {
       const std::size_t lstm_hidden = hidden / 2;
-      biq::ExecContext ctx;
+      biq::ExecContext ctx(pool.get());
       const biq::nn::BiLstm model(
           biq::nn::make_lstm_cell(hidden, lstm_hidden, 31, spec, &ctx),
           biq::nn::make_lstm_cell(hidden, lstm_hidden, 32, spec, &ctx));
       const biq::Matrix audio =
           biq::Matrix::random_normal(hidden, tokens, rng);
-      bench_one(json, table, "bilstm", weights, model, ctx, audio, repeats,
+      bench_one(json, table, "bilstm", weights, model, ctx, audio, repeats, threads,
                 {biq::bench::jstr("model", "bilstm"),
                  biq::bench::jint("frames", static_cast<long long>(tokens)),
                  biq::bench::jint("hidden",
@@ -188,12 +200,12 @@ int main(int argc, char** argv) {
 
     {
       // 4-deep BiLSTM pyramid through the generic walker.
-      biq::ExecContext ctx;
+      biq::ExecContext ctx(pool.get());
       const biq::nn::Sequential pyramid = make_pyramid(hidden, spec, ctx);
       const biq::Matrix audio =
           biq::Matrix::random_normal(hidden, tokens, rng);
       bench_one(json, table, "bilstm-pyramid-4", weights, pyramid, ctx, audio,
-                repeats,
+                repeats, threads,
                 {biq::bench::jstr("model", "bilstm_pyramid4"),
                  biq::bench::jint("frames", static_cast<long long>(tokens)),
                  biq::bench::jint("hidden", static_cast<long long>(hidden))});
@@ -201,12 +213,12 @@ int main(int argc, char** argv) {
 
     {
       // Encoder + BiLSTM + head hybrid (Sequential over three blocks).
-      biq::ExecContext ctx;
+      biq::ExecContext ctx(pool.get());
       const biq::nn::Sequential hybrid = make_hybrid(cfg, spec, ctx);
       const biq::Matrix input =
           biq::Matrix::random_normal(hidden, tokens, rng);
       bench_one(json, table, "encoder+bilstm", weights, hybrid, ctx, input,
-                repeats,
+                repeats, threads,
                 {biq::bench::jstr("model", "encoder_bilstm_hybrid"),
                  biq::bench::jint("tokens", static_cast<long long>(tokens)),
                  biq::bench::jint("layers", layers),

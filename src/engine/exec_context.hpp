@@ -18,6 +18,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
 #include <type_traits>
 #include <vector>
 
@@ -107,6 +109,23 @@ class ExecContext {
 
   ExecContext(const ExecContext&) = delete;
   ExecContext& operator=(const ExecContext&) = delete;
+
+  /// Teardown-ordering guard: a live model block here means a ModelPlan
+  /// (or a plan cache / pool holding one) outlives this context — that
+  /// plan's destructor would call free_model_block on a dead context, a
+  /// use-after-free. Fail loudly at the earlier, still-defined point
+  /// instead of corrupting memory later: destroy plans (and the caches,
+  /// pools and servers that own them) BEFORE their ExecContext.
+  ~ExecContext() {
+    if (!model_blocks_.empty()) {
+      std::fprintf(stderr,
+                   "ExecContext destroyed with %zu live model block(s): a "
+                   "ModelPlan outlived its ExecContext; destroy plans (and "
+                   "plan caches/pools) before the context they bind to\n",
+                   model_blocks_.size());
+      std::abort();
+    }
+  }
 
   [[nodiscard]] ThreadPool* pool() const noexcept { return pool_; }
   [[nodiscard]] unsigned worker_count() const noexcept {

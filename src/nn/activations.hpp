@@ -60,6 +60,10 @@ class Activation final : public PlannableModule {
   [[nodiscard]] Shape out_shape(Shape in) const override;
   [[nodiscard]] std::unique_ptr<ModuleStep> plan_into(
       ModulePlanContext& mpc) const override;
+  /// Element-wise: trivially column-independent.
+  [[nodiscard]] bool columns_independent() const noexcept override {
+    return true;
+  }
   void forward(ConstMatrixView x, MatrixView y) const override;
 
  private:

@@ -34,6 +34,10 @@ class LayerNorm final : public PlannableModule {
   [[nodiscard]] std::size_t in_rows() const noexcept override {
     return dim();
   }
+  /// Mean/variance are per column over rows — columns never interact.
+  [[nodiscard]] bool columns_independent() const noexcept override {
+    return true;
+  }
   [[nodiscard]] Shape out_shape(Shape in) const override;
   [[nodiscard]] std::unique_ptr<ModuleStep> plan_into(
       ModulePlanContext& mpc) const override;

@@ -87,6 +87,15 @@ class LinearLayer : public PlannableModule {
   [[nodiscard]] std::unique_ptr<ModuleStep> plan_into(
       ModulePlanContext& mpc) const override;
 
+  /// y(:, c) = W.x(:, c) + bias for every column c — a projection never
+  /// mixes columns, so batching independent requests along the column
+  /// axis is exact (every engine computes each column's dot products
+  /// with per-column accumulators, so a column's bits do not depend on
+  /// its neighbors or the batch width).
+  [[nodiscard]] bool columns_independent() const noexcept override {
+    return true;
+  }
+
   /// A linear layer's output IS a GEMM plan's output, so any trailing
   /// activation folds; the input-residual add additionally needs a
   /// square projection (y and x must be the same shape).

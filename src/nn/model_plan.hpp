@@ -23,7 +23,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "engine/exec_context.hpp"
 #include "matrix/view.hpp"
@@ -83,30 +85,85 @@ class ModelPlan {
 };
 
 /// Batch-adaptive wrapper (the PlanCache pattern one level up): serves
-/// run() from a compiled ModelPlan, re-compiling only when the model,
-/// batch width or context change — steady fixed-shape traffic runs the
-/// warm plan, a shape change pays one re-plan (the superseded plan's
-/// activation block returns to the context automatically). The model
-/// must outlive the cache. Model may be any PlannableModule type.
+/// run() from compiled ModelPlans held per batch width, so traffic that
+/// alternates between a few widths (a server answering bucket-padded
+/// requests) replans NOTHING once every width has been seen. The cache
+/// is LRU-bounded: at most `capacity` plans are live at once — each
+/// holds an activation arena block on the context, so an unbounded
+/// cache would grow the context's footprint with every distinct batch
+/// width ever requested. The default capacity keeps all power-of-two
+/// buckets up to 128 resident, which is exactly the working set of the
+/// serve PlanPool built on top. A model or context change clears the
+/// cache (plans are only valid for the pair they were compiled for).
+/// The model must outlive the cache. Model may be any PlannableModule
+/// type. Like plan compilation itself this is control-path state: one
+/// caller at a time.
 template <typename Model>
 class ModelPlanCache {
  public:
+  /// Plans for batches 1, 2, 4, ..., 128 all stay resident.
+  static constexpr std::size_t kDefaultCapacity = 8;
+
+  explicit ModelPlanCache(std::size_t capacity = kDefaultCapacity) noexcept
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
   void run(const Model& model, ConstMatrixView x, MatrixView y,
            ExecContext& ctx) {
-    if (plan_ == nullptr || model_ != &model || plan_->batch() != x.cols() ||
-        &plan_->context() != &ctx) {
-      plan_ = std::make_unique<ModelPlan>(model, x.cols(), ctx);
-      model_ = &model;
-    }
-    plan_->run(x, y);
+    plan_for(model, x.cols(), ctx).run(x, y);
   }
 
-  /// The currently compiled plan (nullptr before the first run).
-  [[nodiscard]] const ModelPlan* plan() const noexcept { return plan_.get(); }
+  /// The plan for `batch`, compiled on first use and cached. When the
+  /// cache is full the least-recently-used plan is evicted (its arena
+  /// block returns to the context).
+  [[nodiscard]] const ModelPlan& plan_for(const Model& model,
+                                          std::size_t batch,
+                                          ExecContext& ctx) {
+    if (model_ != &model || ctx_ != &ctx) {
+      entries_.clear();
+      mru_ = nullptr;
+      model_ = &model;
+      ctx_ = &ctx;
+    }
+    for (Entry& e : entries_) {
+      if (e.plan->batch() == batch) {
+        e.stamp = ++clock_;
+        mru_ = e.plan.get();
+        return *mru_;
+      }
+    }
+    if (entries_.size() >= capacity_) {
+      std::size_t victim = 0;
+      for (std::size_t i = 1; i < entries_.size(); ++i) {
+        if (entries_[i].stamp < entries_[victim].stamp) victim = i;
+      }
+      entries_[victim] = std::move(entries_.back());
+      entries_.pop_back();
+    }
+    entries_.push_back(
+        Entry{std::make_unique<ModelPlan>(model, batch, ctx), ++clock_});
+    mru_ = entries_.back().plan.get();
+    return *mru_;
+  }
+
+  /// The most-recently-used plan (nullptr before the first run).
+  [[nodiscard]] const ModelPlan* plan() const noexcept { return mru_; }
+
+  /// Live cached plans (<= capacity()).
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
  private:
-  std::unique_ptr<ModelPlan> plan_;
+  struct Entry {
+    std::unique_ptr<ModelPlan> plan;
+    std::uint64_t stamp;  // last-use tick; smallest = LRU victim
+  };
+
+  std::size_t capacity_;
+  std::vector<Entry> entries_;
   const Model* model_ = nullptr;
+  const ExecContext* ctx_ = nullptr;
+  const ModelPlan* mru_ = nullptr;
+  std::uint64_t clock_ = 0;
 };
 
 }  // namespace biq::nn

@@ -188,6 +188,20 @@ class PlannableModule {
   [[nodiscard]] virtual std::unique_ptr<ModuleStep> plan_into(
       ModulePlanContext& mpc) const = 0;
 
+  /// True when every output column depends ONLY on the same-index input
+  /// column — no cross-column mixing anywhere in the module. For such
+  /// modules the batch (column) axis carries independent samples, so
+  /// concatenating requests along it, padding to a larger width, and
+  /// slicing columns back out is EXACT (the serving layer's dynamic
+  /// batching relies on this; src/serve/ rejects modules that return
+  /// false). Column-wise projections (Linear), element-wise maps
+  /// (Activation) and per-column normalization (LayerNorm) qualify;
+  /// attention (tokens attend across columns) and recurrence (columns
+  /// are time steps) do not. Default is the conservative false.
+  [[nodiscard]] virtual bool columns_independent() const noexcept {
+    return false;
+  }
+
   /// Whether plan_into_fused can absorb `fusion` into the module's own
   /// output loop. Default: only the empty request. Modules whose output
   /// is produced by a GemmPlan override this (LinearLayer, FeedForward,
@@ -258,6 +272,13 @@ class Sequential final : public PlannableModule {
   [[nodiscard]] Shape out_shape(Shape in) const override;
   [[nodiscard]] std::unique_ptr<ModuleStep> plan_into(
       ModulePlanContext& mpc) const override;
+  /// A pipeline preserves column independence iff every stage does.
+  [[nodiscard]] bool columns_independent() const noexcept override {
+    for (const auto& m : modules_) {
+      if (!m->columns_independent()) return false;
+    }
+    return true;
+  }
   /// Eager composition: heap-allocated ping-pong intermediates per
   /// boundary (the planned path packs these into the arena instead).
   void forward(ConstMatrixView x, MatrixView y) const override;
@@ -284,6 +305,11 @@ class Residual final : public PlannableModule {
 
   [[nodiscard]] std::size_t in_rows() const noexcept override {
     return inner_->in_rows();
+  }
+  /// y = inner(x) + x mixes nothing across columns beyond what the
+  /// inner module itself does.
+  [[nodiscard]] bool columns_independent() const noexcept override {
+    return inner_->columns_independent();
   }
   [[nodiscard]] Shape out_shape(Shape in) const override;
   [[nodiscard]] std::unique_ptr<ModuleStep> plan_into(

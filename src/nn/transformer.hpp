@@ -44,6 +44,12 @@ class FeedForward final : public PlannableModule {
   [[nodiscard]] std::unique_ptr<ModuleStep> plan_into(
       ModulePlanContext& mpc) const override;
 
+  /// Two projections and an element-wise activation: per-token (per
+  /// column), so an FFN/MLP block batches exactly along columns.
+  [[nodiscard]] bool columns_independent() const noexcept override {
+    return true;
+  }
+
   /// The block's output is the down-projection's GEMM, and the block is
   /// shape-preserving by construction — any trailing activation and the
   /// input-residual add fold into that plan's epilogue. (The internal

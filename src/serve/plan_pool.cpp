@@ -1,0 +1,35 @@
+#include "serve/plan_pool.hpp"
+
+#include <algorithm>
+
+namespace biq::serve {
+
+PlanPool::PlanPool(const nn::PlannableModule& module, const ServeConfig& cfg)
+    : module_(&module),
+      max_bucket_(bucket_for(std::max<std::size_t>(1, cfg.max_batch))),
+      in_rows_(module.in_rows()),
+      out_rows_(module.out_shape({module.in_rows(), 1}).rows) {
+  const std::size_t worker_count = std::max<std::size_t>(1, cfg.workers);
+  const std::size_t plan_capacity = bucket_count(max_bucket_);
+  workers_.reserve(worker_count);
+  for (std::size_t w = 0; w < worker_count; ++w) {
+    workers_.push_back(
+        std::make_unique<Worker>(cfg.threads_per_worker, plan_capacity,
+                                 in_rows_, out_rows_, max_bucket_));
+  }
+}
+
+void PlanPool::warm() {
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    workers_[w]->in.set_zero();
+    for (std::size_t bucket = 1; bucket <= max_bucket_; bucket <<= 1) {
+      const nn::ModelPlan& p = plan(w, bucket);
+      const ConstMatrixView x = staging_in(w, bucket);
+      const MatrixView y = staging_out(w, bucket);
+      p.run(x, y);  // grows the engines' scratch arenas
+      p.run(x, y);  // consolidates overflow blocks
+    }
+  }
+}
+
+}  // namespace biq::serve

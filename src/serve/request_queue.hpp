@@ -1,0 +1,106 @@
+// Mutex-sharded MPSC submission queue: many submitter threads push, the
+// single batcher thread pops. Producers round-robin across shards so
+// concurrent submitters contend on different locks; the consumer drains
+// shards in rotation (per-shard FIFO, approximately-FIFO globally —
+// batching makes exact global order irrelevant). Capacity is fixed at
+// construction and every ring is preallocated, so the warm request path
+// touches the heap zero times; a full queue blocks submitters
+// (backpressure), a closed queue drains and then rejects.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "matrix/view.hpp"
+
+namespace biq::serve {
+
+class ServeTicket;
+
+/// One queued inference request: non-owning views of the caller's input
+/// and output buffers plus the caller-owned completion ticket. All three
+/// must stay valid until the ticket completes.
+struct Request {
+  ConstMatrixView x;
+  MatrixView y;
+  ServeTicket* ticket = nullptr;
+};
+
+class RequestQueue {
+ public:
+  /// `capacity` total requests split across `shards` rings (each shard
+  /// holds at least one).
+  RequestQueue(std::size_t capacity, std::size_t shards);
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Enqueues r, blocking while every shard is full. Returns false —
+  /// without enqueueing — once the queue is closed.
+  bool push(const Request& r);
+
+  /// Pops one request, blocking until one arrives. Returns false only
+  /// when the queue is closed AND fully drained.
+  bool pop(Request& out);
+
+  /// pop() with a deadline: false when the deadline passes with the
+  /// queue still empty (or it is closed and drained) — the batcher's
+  /// coalescing wait.
+  bool pop_until(Request& out,
+                 std::chrono::steady_clock::time_point deadline);
+
+  /// Non-blocking pop.
+  bool try_pop(Request& out);
+
+  /// Stops accepting pushes and wakes every waiter. Already-queued
+  /// requests remain poppable (the drain contract).
+  void close();
+
+  [[nodiscard]] bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  /// Requests currently queued (approximate under concurrency).
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return pending_.load(std::memory_order_acquire);
+  }
+
+ private:
+  /// One lock's worth of queue: a fixed-capacity ring. Producers that
+  /// find it full first try the other shards, then sleep on not_full.
+  struct Shard {
+    explicit Shard(std::size_t capacity) : ring(capacity) {}
+    std::mutex m;
+    std::condition_variable not_full;
+    std::vector<Request> ring;  // fixed size; head/count index into it
+    std::size_t head = 0;
+    std::size_t count = 0;
+  };
+
+  /// True when r was enqueued without blocking.
+  bool try_push_shard(Shard& shard, const Request& r);
+  /// Wakes the batcher iff it advertised it was about to sleep.
+  void wake_consumer();
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> rr_push_{0};  // producer round-robin cursor
+  std::size_t rr_pop_ = 0;               // consumer-only rotation cursor
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<bool> closed_{false};
+
+  // Consumer sleep/wake handshake: the consumer advertises
+  // consumer_sleeping_ under wake_m_ and re-checks pending_ before
+  // actually sleeping; producers increment pending_ (inside the shard
+  // lock) before reading the flag — so either the producer sees the
+  // flag and notifies, or the consumer's re-check sees the increment.
+  std::mutex wake_m_;
+  std::condition_variable wake_cv_;
+  std::atomic<bool> consumer_sleeping_{false};
+};
+
+}  // namespace biq::serve

@@ -1,0 +1,152 @@
+// InferenceServer — concurrent request batching over pooled ModelPlans:
+// the first subsystem above the model layer, and the serving shape of
+// the paper's own motivating workloads (ASR / translation traffic of
+// many small concurrent requests, Sec. I): build-once-amortize-
+// everywhere lifted from LUTs and plans to whole-server lifetime.
+//
+//   submitters --> RequestQueue (mutex-sharded MPSC, bounded)
+//                      |
+//                  batcher thread: coalesces pending requests into one
+//                      batch (<= max_batch columns) under a max_wait
+//                      deadline, picks the next idle worker
+//                      |
+//                  worker threads (one ExecContext each): scatter
+//                      request columns into staging padded to the next
+//                      power-of-two bucket, run the bucket's frozen
+//                      ModelPlan from the PlanPool, gather columns back
+//                      to each request's output, complete the tickets
+//
+// Guarantees:
+//   * zero replans and ZERO heap allocations anywhere on the warm
+//     request path (submit / batcher / worker) — every bucket's plan is
+//     compiled and warm-run up front, every queue/batch/staging buffer
+//     is preallocated, and completion uses caller-owned tickets rather
+//     than allocating futures,
+//   * results are deterministic and bitwise identical to executing the
+//     same bucket serially on one context: at a fixed bucket width the
+//     engines compute each column with per-column accumulators, so
+//     neither the pad columns' values, the neighboring requests, nor
+//     which worker ran the bucket changes a single bit. (Bucket width
+//     itself is part of the plan: some quantized kernels pick different
+//     accumulation orders at different widths, so a request's bits can
+//     legitimately differ from a standalone run at its exact width.
+//     Column independence is required of the module and validated at
+//     construction.)
+//   * destruction drains: every accepted request completes (its ticket
+//     fires) before the destructor returns — plans die before their
+//     contexts (the ExecContext teardown guard enforces the order).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "matrix/view.hpp"
+#include "nn/module.hpp"
+#include "serve/plan_pool.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/serve_config.hpp"
+#include "serve/ticket.hpp"
+
+namespace biq::serve {
+
+class InferenceServer {
+ public:
+  /// Starts the batcher and worker threads and (by default) prewarms
+  /// every (worker, bucket) plan. The module must outlive the server
+  /// and must be columns_independent() — dynamic batching concatenates
+  /// requests along the column axis, which is only exact when columns
+  /// never mix (throws std::invalid_argument otherwise).
+  explicit InferenceServer(const nn::PlannableModule& module,
+                           ServeConfig cfg = {});
+
+  /// Drains: closes the queue, lets the batcher dispatch everything
+  /// already accepted, waits for the workers to finish, then joins all
+  /// threads. Every accepted request's ticket completes.
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Enqueues one request: x (in_rows x c) is read and y (out_rows x c,
+  /// 1 <= c <= max_batch) overwritten by a worker thread; both views
+  /// and the ticket must stay valid until the ticket completes. Blocks
+  /// only when the submission queue is full (backpressure). Throws
+  /// std::invalid_argument on a shape mismatch and std::runtime_error
+  /// once the server is stopping.
+  void submit(ConstMatrixView x, MatrixView y, ServeTicket& ticket);
+
+  /// Synchronous convenience: submit + wait on a stack ticket.
+  void infer(ConstMatrixView x, MatrixView y);
+
+  struct Stats {
+    std::uint64_t requests = 0;        // completed requests
+    std::uint64_t batches = 0;         // dispatched bucket runs
+    std::uint64_t columns = 0;         // real request columns executed
+    std::uint64_t padded_columns = 0;  // pad columns executed (waste)
+  };
+  [[nodiscard]] Stats stats() const noexcept;
+
+  [[nodiscard]] const ServeConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::size_t in_rows() const noexcept {
+    return pool_.in_rows();
+  }
+  [[nodiscard]] std::size_t out_rows() const noexcept {
+    return pool_.out_rows();
+  }
+  /// Largest accepted request width == largest compiled bucket.
+  [[nodiscard]] std::size_t max_batch() const noexcept {
+    return pool_.max_bucket();
+  }
+
+ private:
+  /// One worker's mailbox: the batcher builds a batch directly into an
+  /// idle slot (no copy, no allocation), marks it busy and signals; the
+  /// worker runs it and signals idle. busy is the batcher-visible
+  /// ownership bit; m/cv hand the job over.
+  struct WorkerSlot {
+    std::mutex m;
+    std::condition_variable cv;
+    std::vector<Request> batch;  // reserved to max bucket, reused
+    std::size_t cols = 0;        // real columns in `batch`
+    std::size_t bucket = 0;
+    bool has_job = false;
+    bool stop = false;
+    std::atomic<bool> busy{false};
+    std::thread thread;  // joined by the server destructor
+  };
+
+  void batcher_loop();
+  void worker_loop(std::size_t w);
+  /// Runs slot's batch on worker w's context: scatter, plan, gather,
+  /// complete every ticket (with the batch's error, if any).
+  void run_batch(std::size_t w, WorkerSlot& slot);
+  /// Blocks until some worker is idle and returns it marked busy.
+  WorkerSlot& acquire_idle_slot();
+
+  ServeConfig cfg_;
+  const nn::PlannableModule* module_;
+  PlanPool pool_;
+  RequestQueue queue_;
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+
+  std::mutex idle_m_;
+  std::condition_variable idle_cv_;  // a worker went idle
+
+  // Batcher-only: a popped request that did not fit the open batch.
+  Request carry_;
+  bool carry_valid_ = false;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> columns_{0};
+  std::atomic<std::uint64_t> padded_{0};
+
+  std::thread batcher_;  // started last, joined first
+};
+
+}  // namespace biq::serve

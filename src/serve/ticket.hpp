@@ -1,0 +1,119 @@
+// ServeTicket — the caller-owned future of one inference request.
+//
+// The server's zero-allocation contract extends to the submission path:
+// a std::promise/std::future pair heap-allocates its shared state per
+// request, so the server uses caller-owned completion handles instead.
+// The submitter keeps the ticket alive (stack or pooled) until wait()
+// returns; submit() arms it, the worker that ran the request's batch
+// completes it. One ticket tracks one in-flight request at a time and
+// is reusable: the next submit() re-arms it.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+
+namespace biq::serve {
+
+class InferenceServer;
+
+class ServeTicket {
+ public:
+  ServeTicket() = default;
+  ServeTicket(const ServeTicket&) = delete;
+  ServeTicket& operator=(const ServeTicket&) = delete;
+
+  /// Blocks until the request completes, then returns (success) or
+  /// rethrows the error that failed the batch. Returns immediately on a
+  /// ticket that was never armed. After wait() the ticket may be
+  /// submitted again.
+  void wait() {
+    std::unique_lock<std::mutex> lock(m_);
+    cv_.wait(lock, [&] { return state_ != State::kPending; });
+    if (state_ == State::kFailed) {
+      const std::exception_ptr err = err_;
+      lock.unlock();
+      std::rethrow_exception(err);
+    }
+  }
+
+  /// True once the request completed (or failed); false while pending
+  /// or before any submit.
+  [[nodiscard]] bool ready() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return state_ == State::kDone || state_ == State::kFailed;
+  }
+
+  /// When the worker completed the request (valid after wait() /
+  /// ready()); the serving-latency clock the load benches read.
+  [[nodiscard]] std::chrono::steady_clock::time_point completed_at() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return done_at_;
+  }
+
+  /// The power-of-two bucket width the request's batch executed at
+  /// (valid after wait() / ready()). Results are a pure function of
+  /// (input columns, bucket width), so this is what a caller needs to
+  /// reproduce a served result exactly with a serial ModelPlan run.
+  [[nodiscard]] std::size_t served_bucket() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return bucket_;
+  }
+
+ private:
+  friend class InferenceServer;
+
+  enum class State { kIdle, kPending, kDone, kFailed };
+
+  /// Called by submit() before enqueueing. A ticket already in flight
+  /// cannot track a second request.
+  void arm() {
+    std::lock_guard<std::mutex> lock(m_);
+    if (state_ == State::kPending) {
+      throw std::logic_error(
+          "ServeTicket: already tracking an in-flight request");
+    }
+    state_ = State::kPending;
+    err_ = nullptr;
+  }
+
+  /// Rolls back arm() when the enqueue itself failed (server stopped).
+  void disarm() {
+    std::lock_guard<std::mutex> lock(m_);
+    state_ = State::kIdle;
+  }
+
+  // complete/fail notify UNDER the lock: the moment wait() returns the
+  // caller may destroy the ticket (it lives on the submitter's stack),
+  // so the completing worker must be completely done with cv_ before a
+  // waiter can observe the new state — a waiter cannot return from
+  // wait() until the lock is released, which happens after notify_all.
+  void complete(std::chrono::steady_clock::time_point t, std::size_t bucket) {
+    std::lock_guard<std::mutex> lock(m_);
+    state_ = State::kDone;
+    done_at_ = t;
+    bucket_ = bucket;
+    cv_.notify_all();
+  }
+
+  void fail(std::exception_ptr err, std::chrono::steady_clock::time_point t,
+            std::size_t bucket) {
+    std::lock_guard<std::mutex> lock(m_);
+    state_ = State::kFailed;
+    err_ = err;
+    done_at_ = t;
+    bucket_ = bucket;
+    cv_.notify_all();
+  }
+
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  State state_ = State::kIdle;
+  std::exception_ptr err_;
+  std::chrono::steady_clock::time_point done_at_{};
+  std::size_t bucket_ = 0;
+};
+
+}  // namespace biq::serve

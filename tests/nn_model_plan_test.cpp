@@ -449,16 +449,64 @@ TEST(ModelPlan, DestroyedPlansReturnTheirArenaBlocks) {
   }
   EXPECT_EQ(ctx.model_block_bytes(), 0u);
 
-  ModelPlanCache<TransformerEncoder> cache;
+  // LRU cache, capacity 1: every batch flip evicts (and frees) the
+  // previous plan, so the flip sequence ends with exactly one live
+  // block — the old single-plan cache behavior as the degenerate case.
+  ModelPlanCache<TransformerEncoder> cache(1);
   Rng rng(15);
   for (const std::size_t tokens : {4u, 9u, 4u, 9u, 4u}) {
     const Matrix x = Matrix::random_normal(32, tokens, rng);
     Matrix y(32, tokens);
     cache.run(enc, x, y, ctx);
   }
-  // Each replan returns the superseded block: the footprint at the end
-  // of the flip sequence equals one live plan, not five.
+  EXPECT_EQ(cache.size(), 1u);
   EXPECT_EQ(ctx.model_block_bytes(), cache.plan()->arena_bytes());
+}
+
+TEST(ModelPlanCache, KeepsAPlanPerBatchWidthUpToCapacity) {
+  // The default capacity retains every width seen so far: batch flips
+  // stop replanning once each width's plan exists, and the context's
+  // footprint is the sum of the cached plans — bounded by capacity.
+  ExecContext ctx;
+  const TransformerEncoder enc = make_encoder(tiny(), 5, {}, &ctx);
+  ModelPlanCache<TransformerEncoder> cache;
+  Rng rng(16);
+  for (const std::size_t tokens : {4u, 9u, 4u, 9u, 4u}) {
+    const Matrix x = Matrix::random_normal(32, tokens, rng);
+    Matrix y(32, tokens);
+    cache.run(enc, x, y, ctx);
+  }
+  EXPECT_EQ(cache.size(), 2u);
+  const ModelPlan* plan4 = cache.plan();  // MRU: last run was batch 4
+  ASSERT_NE(plan4, nullptr);
+  EXPECT_EQ(plan4->batch(), 4u);
+  const ModelPlan& plan9 = cache.plan_for(enc, 9, ctx);
+  EXPECT_EQ(cache.size(), 2u);  // a hit, not a third plan
+  EXPECT_EQ(ctx.model_block_bytes(),
+            plan4->arena_bytes() + plan9.arena_bytes());
+  // Re-requesting a cached width serves the identical plan object.
+  EXPECT_EQ(&cache.plan_for(enc, 4, ctx), plan4);
+}
+
+TEST(ModelPlanCache, EvictsTheLeastRecentlyUsedPlanAtCapacity) {
+  ExecContext ctx;
+  const TransformerEncoder enc = make_encoder(tiny(), 5, {}, &ctx);
+  ModelPlanCache<TransformerEncoder> cache(2);
+  EXPECT_EQ(cache.capacity(), 2u);
+
+  const ModelPlan* plan3 = &cache.plan_for(enc, 3, ctx);
+  const ModelPlan* plan5 = &cache.plan_for(enc, 5, ctx);
+  // Touch batch 3 so batch 5 becomes the LRU victim.
+  EXPECT_EQ(&cache.plan_for(enc, 3, ctx), plan3);
+  const ModelPlan* plan7 = &cache.plan_for(enc, 7, ctx);
+  EXPECT_EQ(cache.size(), 2u);
+  // Batch 3 must have survived (identical object); batch 5 was evicted,
+  // its arena block freed — the footprint is exactly the two survivors.
+  EXPECT_EQ(&cache.plan_for(enc, 3, ctx), plan3);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(ctx.model_block_bytes(),
+            plan3->arena_bytes() + plan7->arena_bytes());
+  (void)plan5;  // dangling after eviction; only its identity mattered
 }
 
 // ------------------------------------------- zero-alloc warm forward
