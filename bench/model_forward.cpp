@@ -73,10 +73,11 @@ biq::nn::Sequential make_hybrid(const biq::nn::TransformerConfig& cfg,
   return hybrid;
 }
 
-/// Times one model three ways (eager, planned fused, planned unfused)
-/// and emits one table row plus two JSON records — identical schema,
-/// distinguished by the "fused" field. `shape_fields` carries the
-/// model name and its size parameters.
+/// Times one model four ways — eager, planned fused (share_prep on, the
+/// default), planned unfused, planned fused with share_prep off — and
+/// emits one table row plus three JSON records of identical schema,
+/// distinguished by the "fused" and "share_prep" fields. `shape_fields`
+/// carries the model name and its size parameters.
 void bench_one(biq::bench::BenchJson& json, biq::TablePrinter& table,
                const char* name, const char* weights,
                const biq::nn::PlannableModule& model, biq::ExecContext& ctx,
@@ -88,35 +89,53 @@ void bench_one(biq::bench::BenchJson& json, biq::TablePrinter& table,
   const double eager =
       biq::bench::bench_seconds([&] { model.forward(input, out); }, repeats);
 
-  // The fused/unfused gap is a few percent — smaller than the slow
-  // drift of back-to-back timed blocks — so the two plans run
-  // interleaved, rep by rep, and each side reports its own median.
+  // Both A/B gaps (fused vs unfused, shared vs rebuilt prep) are a few
+  // percent — smaller than the slow drift of back-to-back timed blocks —
+  // so each pair of plans runs interleaved, rep by rep, and each side
+  // reports its own median.
   const biq::nn::ModelPlan fused(model, tokens, ctx, /*fuse=*/true);
   const biq::nn::ModelPlan unfused(model, tokens, ctx, /*fuse=*/false);
+  const biq::nn::ModelPlan noshare(model, tokens, ctx, /*fuse=*/true,
+                                   /*share_prep=*/false);
   fused.run(input, out);  // warm the arenas before timing
   unfused.run(input, out);
+  noshare.run(input, out);
   const auto [planned_fused, planned_unfused] =
       biq::bench::interleaved_ab_seconds([&] { fused.run(input, out); },
                                          [&] { unfused.run(input, out); },
                                          repeats);
+  const auto [planned_shared, planned_noshare] =
+      biq::bench::interleaved_ab_seconds([&] { fused.run(input, out); },
+                                         [&] { noshare.run(input, out); },
+                                         repeats);
 
   table.add_row({name, weights, biq::bench::ms(eager),
                  biq::bench::ms(planned_fused), biq::bench::ms(planned_unfused),
+                 biq::bench::ms(planned_noshare),
                  biq::TablePrinter::fmt(eager / planned_fused, 2) + "x",
                  arena_cell(fused)});
 
   struct Variant {
     const char* fused;
+    const char* share;
     double planned;
     const biq::nn::ModelPlan* plan;
   };
-  for (const Variant& v : {Variant{"on", planned_fused, &fused},
-                           Variant{"off", planned_unfused, &unfused}}) {
+  // The share on/off pair comes from ITS interleave (planned_shared,
+  // not planned_fused), so the two sides saw identical drift.
+  for (const Variant& v : {Variant{"on", "on", planned_fused, &fused},
+                           Variant{"off", "on", planned_unfused, &unfused},
+                           Variant{"on", "off", planned_noshare, &noshare}}) {
     std::vector<biq::bench::JsonField> rec = shape_fields;
     rec.push_back(biq::bench::jstr("weights", weights));
     rec.push_back(biq::bench::jstr("fused", v.fused));
+    rec.push_back(biq::bench::jstr("share_prep", v.share));
     rec.push_back(biq::bench::jnum("eager_ms", eager * 1e3));
     rec.push_back(biq::bench::jnum("planned_ms", v.planned * 1e3));
+    if (v.plan == &noshare) {
+      // The shared side of the same interleave, for a drift-free ratio.
+      rec.push_back(biq::bench::jnum("shared_ms", planned_shared * 1e3));
+    }
     rec.push_back(biq::bench::jint(
         "arena_bytes", static_cast<long long>(v.plan->arena_bytes())));
     rec.push_back(biq::bench::jint("threads", threads));
@@ -160,7 +179,7 @@ int main(int argc, char** argv) {
   if (threads > 1) std::printf("threads: %u\n\n", threads);
 
   biq::TablePrinter table({"model", "weights", "eager ms", "fused ms",
-                           "unfused ms", "fused speedup",
+                           "unfused ms", "share-off ms", "fused speedup",
                            "arena KB (packed/unpacked)"});
   constexpr std::uint64_t kSeed = 2020;
   biq::Rng rng(7);
@@ -233,6 +252,9 @@ int main(int argc, char** argv) {
               "(small models, GEMV-heavy LSTM steps). \"fused\" folds bias,\n"
               "activation and residual adds into the GEMM epilogues;\n"
               "\"unfused\" runs the same plans with separate seam passes.\n"
+              "\"share-off\" rebuilds each input's LUT/quantization per\n"
+              "consumer where the default builds it once per fan-out seat\n"
+              "(QKV, BiLSTM dual scans) — fp32 rows have no prep to share.\n"
               "Timings are single-core (container) — see the JSON caveat.\n");
   return 0;
 }

@@ -17,12 +17,17 @@ namespace {
 /// Per-worker scratch for one batch tile, carved from the worker's
 /// ExecContext arena — pointers are valid until that arena's next
 /// reset(), and a warm arena serves them without touching the heap.
+/// `build` false (the shared-prep consume path) skips the stage/build
+/// buffers: the LUTs arrive prebuilt, only the ytile accumulator is
+/// needed.
 struct Scratch {
   Scratch(ScratchArena& arena, const TilePlan& plan, std::size_t m,
-          unsigned mu)
-      : xt(arena.alloc<float>(plan.tables_per_tile * mu * plan.lanes)),
-        lut(arena.alloc<float>(plan.tables_per_tile *
-                               (std::size_t{1} << mu) * plan.lanes)),
+          unsigned mu, bool build)
+      : xt(build ? arena.alloc<float>(plan.tables_per_tile * mu * plan.lanes)
+                 : nullptr),
+        lut(build ? arena.alloc<float>(plan.tables_per_tile *
+                                       (std::size_t{1} << mu) * plan.lanes)
+                  : nullptr),
         ytile(arena.alloc<float>(m * plan.lanes)) {}
 
   float* xt;
@@ -56,13 +61,18 @@ struct KernelArgs {
   const std::vector<std::vector<float>>* alphas;
   ConstMatrixView x;
   MatrixView y;
-  std::size_t m, n, ntables;
+  std::size_t m, n, b, ntables;
   unsigned mu;
   bool use_dp;
   TilePlan plan;
   const engine::BiqKernels* kernels;  // ISA plane resolved at construction
   BiqGemmProfile* profile;  // non-null only in single-thread runs
   const EpilogueOp* ep;     // fused output transform (may be empty)
+  /// Non-null = shared-prep consume: the full LUT artifact, batch tile t
+  /// at prep + t * ntables * 2^mu * plan.lanes, table g of a chunk at
+  /// chunk_base + g * 2^mu * lanes (the layout build_tile emits). x is
+  /// then unused and the stage/build phases are skipped.
+  const float* prep = nullptr;
 };
 
 void build_tile(const engine::BiqKernels& kernels, const float* xt, float* lut,
@@ -103,19 +113,32 @@ void run_one_batch_tile(const KernelArgs& a, std::size_t c0, std::size_t lanes,
   const auto query_fn = sizeof(KeyT) == 1 ? a.kernels->query_tile_u8
                                           : a.kernels->query_tile_u16;
 
+  const std::size_t entries = std::size_t{1} << a.mu;
+  const float* prep_block =
+      a.prep == nullptr
+          ? nullptr
+          : a.prep + (c0 / a.plan.lanes) * a.ntables * entries * a.plan.lanes;
+
   for (std::size_t t0 = 0; t0 < a.ntables; t0 += a.plan.tables_per_tile) {
     const std::size_t tcount = std::min(a.plan.tables_per_tile, a.ntables - t0);
 
-    {
-      Stopwatch w;
-      stage_x_tile(a.x, c0, lanes, t0, tcount, a.mu, scratch.xt);
-      if (a.profile) a.profile->replace_seconds += w.elapsed_seconds();
-    }
-    {
-      Stopwatch w;
-      build_tile(*a.kernels, scratch.xt, scratch.lut, tcount, a.mu, lanes,
-                 a.use_dp);
-      if (a.profile) a.profile->build_seconds += w.elapsed_seconds();
+    if (a.prep == nullptr) {
+      {
+        Stopwatch w;
+        stage_x_tile(a.x, c0, lanes, t0, tcount, a.mu, scratch.xt);
+        if (a.profile) a.profile->replace_seconds += w.elapsed_seconds();
+      }
+      {
+        Stopwatch w;
+        build_tile(*a.kernels, scratch.xt, scratch.lut, tcount, a.mu, lanes,
+                   a.use_dp);
+        if (a.profile) a.profile->build_seconds += w.elapsed_seconds();
+      }
+    } else {
+      // Prebuilt chunk: same table layout build_tile would have written,
+      // so the query kernel is untouched and the accumulation replays
+      // the fused path bit for bit.
+      q.lut = prep_block + t0 * entries * lanes;
     }
     {
       Stopwatch w;
@@ -161,7 +184,7 @@ void run_one_batch_tile(const KernelArgs& a, std::size_t c0, std::size_t lanes,
 
 template <typename KeyT>
 void run_kernel(const KernelArgs& args, ExecContext& ctx) {
-  const std::size_t b = args.x.cols();
+  const std::size_t b = args.b;
   const std::size_t lanes_max = args.plan.lanes;
   const std::size_t ntiles = (b + lanes_max - 1) / lanes_max;
 
@@ -171,12 +194,47 @@ void run_kernel(const KernelArgs& args, ExecContext& ctx) {
   engine::drive_batch_tiles(
       ctx, ntiles,
       [&](ScratchArena& arena) {
-        return Scratch(arena, args.plan, args.m, args.mu);
+        return Scratch(arena, args.plan, args.m, args.mu,
+                       /*build=*/args.prep == nullptr);
       },
       [&](Scratch& scratch, std::size_t t, ExecContext* row_ctx) {
         const std::size_t c0 = t * lanes_max;
         run_one_batch_tile<KeyT>(args, c0, std::min(lanes_max, b - c0),
                                  scratch, row_ctx);
+      });
+}
+
+/// Builds the full batched LUT artifact (every batch tile's interleaved
+/// tables) into `prep`, layout as documented on KernelArgs::prep. Uses
+/// the same stage_x_tile/build_tile bodies as the fused path, so table
+/// contents are bitwise what execute would stream chunk by chunk.
+void run_prepare_kernel(ConstMatrixView x, float* prep, std::size_t ntables,
+                        unsigned mu, bool use_dp, const TilePlan& plan,
+                        const engine::BiqKernels& kernels, ExecContext& ctx) {
+  const std::size_t b = x.cols();
+  const std::size_t lanes_max = plan.lanes;
+  const std::size_t ntiles = (b + lanes_max - 1) / lanes_max;
+  const std::size_t entries = std::size_t{1} << mu;
+  struct PrepScratch {
+    float* xt;
+  };
+  engine::drive_batch_tiles(
+      ctx, ntiles,
+      [&](ScratchArena& arena) {
+        return PrepScratch{
+            arena.alloc<float>(plan.tables_per_tile * mu * plan.lanes)};
+      },
+      [&](PrepScratch& s, std::size_t t, ExecContext* /*row_ctx*/) {
+        const std::size_t c0 = t * lanes_max;
+        const std::size_t lanes = std::min(lanes_max, b - c0);
+        float* block = prep + t * ntables * entries * lanes_max;
+        for (std::size_t t0 = 0; t0 < ntables; t0 += plan.tables_per_tile) {
+          const std::size_t tcount = std::min(plan.tables_per_tile,
+                                              ntables - t0);
+          stage_x_tile(x, c0, lanes, t0, tcount, mu, s.xt);
+          build_tile(kernels, s.xt, block + t0 * entries * lanes, tcount, mu,
+                     lanes, use_dp);
+        }
       });
 }
 
@@ -208,6 +266,59 @@ class BiqGemmPlan final : public GemmPlan {
       if (!ep.empty()) ep.apply(y, 0, rows(), 0, 1);
       return;
     }
+    run_batched(x, nullptr, y, ep);
+  }
+
+  [[nodiscard]] PrepKey do_prep_key() const noexcept override {
+    PrepKey key;
+    key.kind = "biq-lut";
+    key.cols = cols();
+    key.batch = batch();
+    key.p0 = opt_->mu;
+    if (batch() == 1) {
+      // GEMV builds flat tables with the scalar builders — layout equals
+      // the interleaved one at a single lane, but the builder code path
+      // differs, so the key does too.
+      key.p1 = 1;
+      key.p2 = opt_->use_dp_builder ? 0u : 1u;
+    } else {
+      key.p1 = static_cast<std::uint32_t>(tile_plan_.lanes);
+      key.p2 = opt_->use_dp_builder ? 2u : 3u;
+      key.plane = kernels_;  // interleaved builders are ISA-dispatched
+    }
+    return key;
+  }
+
+  [[nodiscard]] std::size_t do_prep_floats() const noexcept override {
+    // Batch tiles of lanes_max columns each store ntables tables of
+    // 2^mu * lanes entries; only the last tile can be partial, so the
+    // total is exactly tables * entries * batch (batch 1: the flat GEMV
+    // LUT, same formula).
+    return ntables_ * (std::size_t{1} << opt_->mu) * batch();
+  }
+
+  void do_prepare(ConstMatrixView x, float* prep) const override {
+    if (batch() == 1) {
+      biqgemv_prepare_packed(x.col(0), cols(), *opt_, prep);
+      return;
+    }
+    run_prepare_kernel(x, prep, ntables_, opt_->mu, opt_->use_dp_builder,
+                       tile_plan_, *kernels_, context());
+  }
+
+  void do_consume(const float* prep, MatrixView y,
+                  const EpilogueOp& ep) const override {
+    if (batch() == 1) {
+      biqgemv_consume_packed(*keys_, *alphas_, prep, y.col(0), rows(), cols(),
+                             *opt_, context(), kernels_);
+      if (!ep.empty()) ep.apply(y, 0, rows(), 0, 1);
+      return;
+    }
+    run_batched(ConstMatrixView(), prep, y, ep);
+  }
+
+  void run_batched(ConstMatrixView x, const float* prep, MatrixView y,
+                   const EpilogueOp& ep) const {
     KernelArgs args;
     args.keys = keys_;
     args.alphas = alphas_;
@@ -215,6 +326,7 @@ class BiqGemmPlan final : public GemmPlan {
     args.y = y;
     args.m = rows();
     args.n = cols();
+    args.b = batch();
     args.ntables = ntables_;
     args.mu = opt_->mu;
     args.use_dp = opt_->use_dp_builder;
@@ -222,6 +334,7 @@ class BiqGemmPlan final : public GemmPlan {
     args.kernels = kernels_;
     args.profile = context().worker_count() == 1 ? opt_->profile : nullptr;
     args.ep = &ep;
+    args.prep = prep;
     if (opt_->mu > 8) {
       run_kernel<std::uint16_t>(args, context());
     } else {

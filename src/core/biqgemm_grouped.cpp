@@ -95,6 +95,68 @@ class GroupedPlan final : public GemmPlan {
 
   void execute(ConstMatrixView x, MatrixView y,
                const EpilogueOp& ep) const override {
+    run_body(x, nullptr, y, ep);
+  }
+
+  [[nodiscard]] PrepKey do_prep_key() const noexcept override {
+    // Same "biq-lut" artifact family (and tile/table layout) as the
+    // plain engine's batched path: interleaved build_dp tables over
+    // lanes_max_-column batch tiles. A plain dp-builder plan with equal
+    // mu/lanes/plane therefore shares preps with a grouped plan — the
+    // group structure only changes how tables are CHUNKED at query
+    // time, never their contents or placement.
+    PrepKey key;
+    key.kind = "biq-lut";
+    key.cols = cols();
+    key.batch = batch();
+    key.p0 = mu_;
+    key.p1 = static_cast<std::uint32_t>(lanes_max_);
+    key.p2 = 2u;  // interleaved kernel build_dp
+    key.plane = kernels_;
+    return key;
+  }
+
+  [[nodiscard]] std::size_t do_prep_floats() const noexcept override {
+    return ntables_ * entries_ * batch();
+  }
+
+  void do_prepare(ConstMatrixView x, float* prep) const override {
+    const std::size_t b = batch();
+    const std::size_t ntiles = (b + lanes_max_ - 1) / lanes_max_;
+    struct PrepScratch {
+      float* xt;
+    };
+    engine::drive_batch_tiles(
+        context(), ntiles,
+        [&](ScratchArena& arena) {
+          return PrepScratch{
+              arena.alloc<float>(tables_per_group_ * mu_ * lanes_max_)};
+        },
+        [&](PrepScratch& s, std::size_t t, ExecContext* /*row_ctx*/) {
+          const std::size_t c0 = t * lanes_max_;
+          const std::size_t lanes = std::min(lanes_max_, b - c0);
+          float* block = prep + t * ntables_ * entries_ * lanes_max_;
+          for (std::size_t group = 0; group < num_groups_; ++group) {
+            const std::size_t t0 = group * tables_per_group_;
+            if (t0 >= ntables_) break;
+            const std::size_t tcount = std::min(tables_per_group_,
+                                                ntables_ - t0);
+            stage_x(x, c0, lanes, t0, tcount, mu_, s.xt);
+            for (std::size_t g = 0; g < tcount; ++g) {
+              kernels_->build_dp(s.xt + g * mu_ * lanes, mu_, lanes,
+                                 block + (t0 + g) * entries_ * lanes);
+            }
+          }
+        });
+  }
+
+  void do_consume(const float* prep, MatrixView y,
+                  const EpilogueOp& ep) const override {
+    run_body(ConstMatrixView(), prep, y, ep);
+  }
+
+  void run_body(ConstMatrixView x, const float* prep, MatrixView y,
+                const EpilogueOp& ep) const {
     const std::size_t b = batch();
     const std::size_t m = rows();
     const std::size_t ntiles = (b + lanes_max_ - 1) / lanes_max_;
@@ -105,13 +167,22 @@ class GroupedPlan final : public GemmPlan {
         context(), ntiles,
         [&](ScratchArena& arena) {
           return Scratch{
-              arena.alloc<float>(tables_per_group_ * mu_ * lanes_max_),
-              arena.alloc<float>(tables_per_group_ * entries_ * lanes_max_),
+              prep == nullptr
+                  ? arena.alloc<float>(tables_per_group_ * mu_ * lanes_max_)
+                  : nullptr,
+              prep == nullptr
+                  ? arena.alloc<float>(tables_per_group_ * entries_ *
+                                       lanes_max_)
+                  : nullptr,
               arena.alloc<float>(m * lanes_max_)};
         },
         [&](Scratch& s, std::size_t t, ExecContext* row_ctx) {
           const std::size_t c0 = t * lanes_max_;
           const std::size_t lanes = std::min(lanes_max_, b - c0);
+          const float* block =
+              prep == nullptr
+                  ? nullptr
+                  : prep + t * ntables_ * entries_ * lanes_max_;
           std::fill(s.ytile, s.ytile + m * lanes, 0.0f);
 
           engine::QueryTileArgs q;
@@ -130,10 +201,14 @@ class GroupedPlan final : public GemmPlan {
             const std::size_t tcount = std::min(tables_per_group_,
                                                 ntables_ - t0);
 
-            stage_x(x, c0, lanes, t0, tcount, mu_, s.xt);
-            for (std::size_t g = 0; g < tcount; ++g) {
-              kernels_->build_dp(s.xt + g * mu_ * lanes, mu_, lanes,
-                                 s.lut + g * entries_ * lanes);
+            if (prep == nullptr) {
+              stage_x(x, c0, lanes, t0, tcount, mu_, s.xt);
+              for (std::size_t g = 0; g < tcount; ++g) {
+                kernels_->build_dp(s.xt + g * mu_ * lanes, mu_, lanes,
+                                   s.lut + g * entries_ * lanes);
+              }
+            } else {
+              q.lut = block + t0 * entries_ * lanes;
             }
 
             q.t0 = t0;

@@ -20,11 +20,17 @@ const KeyT* key_row(const KeyMatrix& k, std::size_t i) noexcept {
   }
 }
 
+// When `prep` is non-null it points at the FULL flat LUT (table t at
+// t << mu) and the per-chunk builds are skipped; the chunked query loop
+// — and with it the float accumulation grouping `y[i] += total` per
+// chunk — is replayed unchanged, which is what keeps the consume path
+// bitwise identical to the fused build+query path.
 template <typename KeyT>
 void run(const std::vector<KeyMatrix>& keys,
          const std::vector<std::vector<float>>& alphas, const float* x,
          float* y, std::size_t m, std::size_t n, const BiqGemmOptions& opt,
-         ExecContext& ctx, const engine::BiqKernels& kernels) {
+         ExecContext& ctx, const engine::BiqKernels& kernels,
+         const float* prep) {
   const unsigned mu = opt.mu;
   const std::size_t ntables = table_count(n, mu);
   const std::size_t entries = std::size_t{1} << mu;
@@ -48,9 +54,12 @@ void run(const std::vector<KeyMatrix>& keys,
   // The flat LUT tile is shared read-only by every query worker, so it
   // comes out of the calling thread's arena, allocated before the
   // parallel region.
-  ScratchArena& arena = ctx.scratch(0);
-  arena.reset();
-  float* lut = arena.alloc<float>(tile_tables * entries);
+  float* lut = nullptr;
+  if (prep == nullptr) {
+    ScratchArena& arena = ctx.scratch(0);
+    arena.reset();
+    lut = arena.alloc<float>(tile_tables * entries);
+  }
   {
     Stopwatch w;
     std::fill(y, y + m, 0.0f);
@@ -60,7 +69,8 @@ void run(const std::vector<KeyMatrix>& keys,
   const bool scaled = !alphas.empty();
   for (std::size_t t0 = 0; t0 < ntables; t0 += tile_tables) {
     const std::size_t tcount = std::min(tile_tables, ntables - t0);
-    {
+    const float* tile_lut;
+    if (prep == nullptr) {
       Stopwatch w;
       for (std::size_t g = 0; g < tcount; ++g) {
         const std::size_t base = (t0 + g) * mu;
@@ -72,6 +82,9 @@ void run(const std::vector<KeyMatrix>& keys,
         }
       }
       if (profile) profile->build_seconds += w.elapsed_seconds();
+      tile_lut = lut;
+    } else {
+      tile_lut = prep + (static_cast<std::size_t>(t0) << mu);
     }
     {
       Stopwatch w;
@@ -81,8 +94,8 @@ void run(const std::vector<KeyMatrix>& keys,
             for (std::size_t i = i0; i < i1; ++i) {
               float total = 0.0f;
               for (std::size_t q = 0; q < keys.size(); ++q) {
-                const float acc =
-                    row_fn(key_row<KeyT>(keys[q], i) + t0, tcount, mu, lut);
+                const float acc = row_fn(key_row<KeyT>(keys[q], i) + t0,
+                                         tcount, mu, tile_lut);
                 total += scaled ? alphas[q][i] * acc : acc;
               }
               y[i] += total;
@@ -111,9 +124,9 @@ void biqgemv_packed(const std::vector<KeyMatrix>& keys,
           : engine::select_kernels(
                 ctx.isa() != KernelIsa::kAuto ? ctx.isa() : opt.isa);
   if (opt.mu > 8) {
-    run<std::uint16_t>(keys, alphas, x, y, m, n, opt, ctx, k);
+    run<std::uint16_t>(keys, alphas, x, y, m, n, opt, ctx, k, nullptr);
   } else {
-    run<std::uint8_t>(keys, alphas, x, y, m, n, opt, ctx, k);
+    run<std::uint8_t>(keys, alphas, x, y, m, n, opt, ctx, k, nullptr);
   }
 }
 
@@ -123,6 +136,44 @@ void biqgemv_packed(const std::vector<KeyMatrix>& keys,
                     const BiqGemmOptions& opt) {
   biqgemv_packed(keys, alphas, x, y, m, n, opt,
                  ExecContext::thread_default());
+}
+
+void biqgemv_prepare_packed(const float* x, std::size_t n,
+                            const BiqGemmOptions& opt, float* lut) {
+  const unsigned mu = opt.mu;
+  const std::size_t ntables = table_count(n, mu);
+  // Same scalar builders as the fused path's chunk builds: table t's
+  // contents depend only on x[t*mu .. t*mu+len), never on the chunk it
+  // was built inside, so the flat artifact is bitwise what the fused
+  // path would have streamed.
+  for (std::size_t t = 0; t < ntables; ++t) {
+    const std::size_t base = t * mu;
+    const std::size_t len = std::min<std::size_t>(mu, n - base);
+    if (opt.use_dp_builder) {
+      build_lut_dp(x + base, len, mu, lut + (t << mu));
+    } else {
+      build_lut_mm(x + base, len, mu, lut + (t << mu));
+    }
+  }
+}
+
+void biqgemv_consume_packed(const std::vector<KeyMatrix>& keys,
+                            const std::vector<std::vector<float>>& alphas,
+                            const float* lut, float* y, std::size_t m,
+                            std::size_t n, const BiqGemmOptions& opt,
+                            ExecContext& ctx,
+                            const engine::BiqKernels* kernels) {
+  if (keys.empty()) return;
+  const engine::BiqKernels& k =
+      kernels != nullptr
+          ? *kernels
+          : engine::select_kernels(
+                ctx.isa() != KernelIsa::kAuto ? ctx.isa() : opt.isa);
+  if (opt.mu > 8) {
+    run<std::uint16_t>(keys, alphas, nullptr, y, m, n, opt, ctx, k, lut);
+  } else {
+    run<std::uint8_t>(keys, alphas, nullptr, y, m, n, opt, ctx, k, lut);
+  }
 }
 
 }  // namespace biq

@@ -39,4 +39,20 @@ void biqgemv_packed(const std::vector<KeyMatrix>& keys,
                     const float* x, float* y, std::size_t m, std::size_t n,
                     const BiqGemmOptions& opt);
 
+/// Shared-prep split of biqgemv_packed. prepare builds the FULL flat
+/// LUT from x (table_count(n, opt.mu) << opt.mu floats, table t at
+/// t << mu) with the same scalar builders the fused path uses per
+/// chunk; consume replays biqgemv_packed's chunked query loop against
+/// it — same chunk sizes, same per-chunk `y[i] += total` accumulation —
+/// so one prepare feeds any number of consumes, each bitwise identical
+/// to the fused call. Neither touches ctx's arenas beyond reads.
+void biqgemv_prepare_packed(const float* x, std::size_t n,
+                            const BiqGemmOptions& opt, float* lut);
+void biqgemv_consume_packed(const std::vector<KeyMatrix>& keys,
+                            const std::vector<std::vector<float>>& alphas,
+                            const float* lut, float* y, std::size_t m,
+                            std::size_t n, const BiqGemmOptions& opt,
+                            ExecContext& ctx,
+                            const engine::BiqKernels* kernels = nullptr);
+
 }  // namespace biq

@@ -65,6 +65,69 @@ void GemmPlan::validate_residual(ConstMatrixView residual,
   throw std::invalid_argument(msg);
 }
 
+void GemmPlan::prepare(ConstMatrixView x, PrepHandle& prep) const {
+  const PrepKey key = do_prep_key();
+  if (!key.valid()) no_prep();
+  if (x.rows() != cols_ || x.cols() != batch_ || x.ld() < x.rows()) {
+    std::string msg(name_);
+    msg += " plan: bad x for prepare: x is " + dims(x) + "; planned for " +
+           std::to_string(cols_) + "x" + std::to_string(batch_) +
+           " (ld >= rows)";
+    throw std::invalid_argument(msg);
+  }
+  const std::size_t need = do_prep_floats();
+  if (prep.data() == nullptr || prep.floats() < need) {
+    std::string msg(name_);
+    msg += " plan: prep handle holds " + std::to_string(prep.floats()) +
+           " floats; prepare needs " + std::to_string(need);
+    throw std::invalid_argument(msg);
+  }
+  if (batch_ != 0 && cols_ != 0) do_prepare(x, prep.data());
+  prep.key_ = key;
+  prep.ready_ = true;
+}
+
+void GemmPlan::validate_y(MatrixView y) const {
+  if (y.rows() == rows_ && y.cols() == batch_ && y.ld() >= y.rows()) return;
+  std::string msg(name_);
+  msg += " plan: bad y: y is " + dims(y) + "; planned for " +
+         std::to_string(rows_) + "x" + std::to_string(batch_) +
+         " (ld >= rows)";
+  throw std::invalid_argument(msg);
+}
+
+void GemmPlan::validate_prep(const PrepHandle& prep) const {
+  const PrepKey key = do_prep_key();
+  if (!key.valid()) no_prep();
+  if (!prep.ready()) {
+    std::string msg(name_);
+    msg += " plan: prep handle is not ready — call prepare() first (and "
+           "re-prepare after bind())";
+    throw std::invalid_argument(msg);
+  }
+  if (prep.key() != key) {
+    std::string msg(name_);
+    msg += " plan: prep artifact '";
+    msg += prep.key().kind != nullptr ? prep.key().kind : "(none)";
+    msg += "' was built by an incompatible plan (this plan freezes '";
+    msg += key.kind;
+    msg += "' with different parameters)";
+    throw std::invalid_argument(msg);
+  }
+}
+
+void GemmPlan::do_prepare(ConstMatrixView, float*) const { no_prep(); }
+
+void GemmPlan::do_consume(const float*, MatrixView, const EpilogueOp&) const {
+  no_prep();
+}
+
+void GemmPlan::no_prep() const {
+  std::string msg(name_);
+  msg += " plan carries no activation prep (has_prep() is false)";
+  throw std::invalid_argument(msg);
+}
+
 void GemmPlan::residual_mismatch(bool provided) const {
   std::string msg(name_);
   msg += provided

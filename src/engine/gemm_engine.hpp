@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string_view>
 
@@ -40,6 +41,78 @@
 #include "matrix/view.hpp"
 
 namespace biq {
+
+/// Identity of a plan's frozen activation-side artifact (the LUTs,
+/// quantized grids or bit-planes a prepare() call materializes from one
+/// input X). Weights never enter the artifact, so two plans over
+/// DIFFERENT weight matrices share one prepared X whenever their keys
+/// compare equal: equal keys promise the same artifact layout AND the
+/// same build arithmetic, bit for bit. That is what lets MHA's Q/K/V
+/// projections or BiLSTM's two scans consume a single prepare.
+struct PrepKey {
+  /// Static artifact-family tag ("biq-lut", "int8-grid", "tmac-lut",
+  /// "xnor-planes"); nullptr = the plan carries no activation prep.
+  const char* kind = nullptr;
+  std::size_t cols = 0;   // input features n the artifact covers
+  std::size_t batch = 0;  // activation columns it was built for
+  /// Resolved kernel plane when the builder is ISA-dispatched (different
+  /// planes may interleave tables differently); nullptr for scalar
+  /// builders, which are plane-independent.
+  const void* plane = nullptr;
+  /// Family parameters (mu / lanes / bits / builder variant). Two keys
+  /// with different parameters freeze incompatible artifacts even when
+  /// the family matches.
+  std::uint32_t p0 = 0;
+  std::uint32_t p1 = 0;
+  std::uint32_t p2 = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return kind != nullptr; }
+
+  friend bool operator==(const PrepKey& a, const PrepKey& b) noexcept {
+    return a.kind != nullptr && b.kind != nullptr &&
+           std::string_view(a.kind) == std::string_view(b.kind) &&
+           a.cols == b.cols && a.batch == b.batch && a.plane == b.plane &&
+           a.p0 == b.p0 && a.p1 == b.p1 && a.p2 == b.p2;
+  }
+  friend bool operator!=(const PrepKey& a, const PrepKey& b) noexcept {
+    return !(a == b);
+  }
+};
+
+/// A caller-owned slot for one frozen activation artifact. The caller
+/// provides storage (>= prep_floats() floats, kDefaultAlignment-aligned
+/// — a liveness-planner slot in nn, a plain buffer in tests);
+/// plan->prepare(x, handle) fills it and stamps the producing plan's
+/// key, and any plan whose prep_key() matches may consume it via
+/// plan->run(handle, y). Rebinding or touching the storage invalidates
+/// readiness until the next prepare().
+class PrepHandle {
+ public:
+  PrepHandle() = default;
+  PrepHandle(float* storage, std::size_t floats) noexcept
+      : data_(storage), floats_(floats) {}
+
+  /// (Re)points the handle at caller storage; clears readiness.
+  void bind(float* storage, std::size_t floats) noexcept {
+    data_ = storage;
+    floats_ = floats;
+    ready_ = false;
+  }
+
+  [[nodiscard]] float* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t floats() const noexcept { return floats_; }
+  /// True once a prepare() has materialized an artifact here.
+  [[nodiscard]] bool ready() const noexcept { return ready_; }
+  /// Key of the held artifact (meaningful only while ready()).
+  [[nodiscard]] const PrepKey& key() const noexcept { return key_; }
+
+ private:
+  friend class GemmPlan;  // prepare() stamps key_/ready_
+  float* data_ = nullptr;
+  std::size_t floats_ = 0;
+  PrepKey key_{};
+  bool ready_ = false;
+};
 
 /// One frozen (engine, batch, ExecContext) execution recipe. Produced by
 /// GemmEngine::plan; run() it any number of times against activations of
@@ -97,6 +170,56 @@ class GemmPlan {
   /// The fused epilogue the plan was frozen with (may be empty).
   [[nodiscard]] const Epilogue& epilogue() const noexcept { return epilogue_; }
 
+  // ------------------------------------------ shared activation prep
+  // Engines whose hot path derives a weight-independent artifact from X
+  // (BiQGEMM LUTs, int8 quantized grids, tmac byte-plane tables, xnor
+  // bit-planes) expose it through prepare/consume: prepare(x, handle)
+  // materializes the artifact once into caller storage, and run(handle,
+  // y) multiplies against it. When several plans report equal
+  // prep_key()s, one prepare feeds them all — the fan-out amortization
+  // behind shared QKV / dual-scan prep. run(x, y) remains the fused
+  // single-consumer path; both paths produce bitwise-identical outputs
+  // (consume replays execute's accumulation structure exactly).
+
+  /// True when this plan carries an activation-side artifact at all.
+  [[nodiscard]] bool has_prep() const noexcept { return prep_key().valid(); }
+  /// Identity of the artifact this plan builds/consumes (invalid key =
+  /// no prep; e.g. the dense engines, which read X directly).
+  [[nodiscard]] PrepKey prep_key() const noexcept { return do_prep_key(); }
+  /// Floats of caller storage one artifact needs (0 when !has_prep()).
+  [[nodiscard]] std::size_t prep_floats() const noexcept {
+    return do_prep_floats();
+  }
+
+  /// Builds this plan's activation artifact from x into `prep`'s
+  /// storage and marks the handle ready under this plan's key. x obeys
+  /// the same shape contract as run(x, y). Throws std::invalid_argument
+  /// when the plan has no prep or the handle's storage is too small.
+  /// Warm calls on a warm context perform zero heap allocations.
+  void prepare(ConstMatrixView x, PrepHandle& prep) const;
+
+  /// Consume path: Y = epilogue(W . prep) against a ready artifact
+  /// whose key matches this plan's prep_key(). Same epilogue/overload
+  /// rules as run(x, y); bitwise identical to it for the same X.
+  void run(const PrepHandle& prep, MatrixView y) const {
+    validate_y(y);
+    if (epilogue_.residual) residual_mismatch(/*provided=*/false);
+    validate_prep(prep);
+    if (batch_ == 0 || rows_ == 0) return;
+    do_consume(prep.data(), y, EpilogueOp(epilogue_, ConstMatrixView()));
+  }
+
+  /// Residual-fused consume path, mirroring run(x, y, residual).
+  void run(const PrepHandle& prep, MatrixView y,
+           ConstMatrixView residual) const {
+    validate_y(y);
+    if (!epilogue_.residual) residual_mismatch(/*provided=*/true);
+    validate_residual(residual, y);
+    validate_prep(prep);
+    if (batch_ == 0 || rows_ == 0) return;
+    do_consume(prep.data(), y, EpilogueOp(epilogue_, residual));
+  }
+
  protected:
   GemmPlan(std::string_view engine_name, std::size_t rows, std::size_t cols,
            std::size_t batch, ExecContext& ctx,
@@ -112,10 +235,27 @@ class GemmPlan {
   virtual void execute(ConstMatrixView x, MatrixView y,
                        const EpilogueOp& ep) const = 0;
 
+  // Prep hooks. The defaults declare "no activation prep" (dense
+  // engines read X directly); prep-bearing engines override all four
+  // together. do_prepare/do_consume receive pre-validated arguments and
+  // must be bitwise consistent with execute: consume replays the exact
+  // accumulation structure (chunking, tile order, float summation
+  // grouping) of execute minus the build.
+  [[nodiscard]] virtual PrepKey do_prep_key() const noexcept { return {}; }
+  [[nodiscard]] virtual std::size_t do_prep_floats() const noexcept {
+    return 0;
+  }
+  virtual void do_prepare(ConstMatrixView x, float* prep) const;
+  virtual void do_consume(const float* prep, MatrixView y,
+                          const EpilogueOp& ep) const;
+
  private:
   void validate(ConstMatrixView x, MatrixView y) const;
+  void validate_y(MatrixView y) const;
+  void validate_prep(const PrepHandle& prep) const;
   void validate_residual(ConstMatrixView residual, MatrixView y) const;
   [[noreturn]] void residual_mismatch(bool provided) const;
+  [[noreturn]] void no_prep() const;
 
   std::string_view name_;  // points at the engine's static name
   std::size_t rows_;

@@ -59,33 +59,30 @@ float Int8Gemm::quantize_column(const float* src, std::size_t n,
   return scale;
 }
 
-void Int8Gemm::run_profiled(ConstMatrixView x, MatrixView y, Phases& phases,
-                            ExecContext& ctx, const EpilogueOp* ep) const {
-  if (x.rows() != n_ || y.rows() != m_ || y.cols() != x.cols()) {
-    throw std::invalid_argument("Int8Gemm: shape mismatch");
-  }
+void Int8Gemm::quantize_grid(ConstMatrixView x, std::int8_t* xq,
+                             float* xscales, ExecContext& ctx,
+                             Phases* phases) const {
   const std::size_t b = x.cols();
-
-  // Transient buffers are shared read-only across the phase workers, so
-  // they come out of the calling thread's arena, allocated up front.
-  const Int8Frame frame = stage_int8_frame(ctx.scratch(0), m_, n_, b);
-  std::int8_t* xq = frame.xq;
-  float* xscales = frame.xscales;
-  std::int32_t* acc = frame.acc;
-
   // Phase 1: dynamic activation quantization (fp32 -> int8 per column).
-  {
-    Stopwatch watch;
-    engine::for_each_tile(ctx, b, 1,
-                          [&](unsigned /*worker*/, std::size_t c0,
-                              std::size_t c1) {
-                            for (std::size_t c = c0; c < c1; ++c) {
-                              xscales[c] =
-                                  quantize_column(x.col(c), n_, xq + c * n_);
-                            }
-                          });
-    phases.quantize_seconds += watch.elapsed_seconds();
-  }
+  // Column c's grid/scale depend only on x's column c, so the artifact
+  // is identical at any worker count and can be built once and consumed
+  // by every engine sharing this input.
+  Stopwatch watch;
+  engine::for_each_tile(ctx, b, 1,
+                        [&](unsigned /*worker*/, std::size_t c0,
+                            std::size_t c1) {
+                          for (std::size_t c = c0; c < c1; ++c) {
+                            xscales[c] =
+                                quantize_column(x.col(c), n_, xq + c * n_);
+                          }
+                        });
+  if (phases != nullptr) phases->quantize_seconds += watch.elapsed_seconds();
+}
+
+void Int8Gemm::consume_grid(const std::int8_t* xq, const float* xscales,
+                            MatrixView y, std::int32_t* acc, ExecContext& ctx,
+                            const EpilogueOp* ep, Phases* phases) const {
+  const std::size_t b = y.cols();
 
   // Phase 2: integer GEMM with int32 accumulation, split over output
   // rows so b == 1 (GEMV) parallelizes too; each (row, column) dot
@@ -106,7 +103,7 @@ void Int8Gemm::run_profiled(ConstMatrixView x, MatrixView y, Phases& phases,
             }
           }
         });
-    phases.multiply_seconds += watch.elapsed_seconds();
+    if (phases != nullptr) phases->multiply_seconds += watch.elapsed_seconds();
   }
 
   // Phase 3: dequantize back to fp32 for the float operators downstream.
@@ -129,8 +126,24 @@ void Int8Gemm::run_profiled(ConstMatrixView x, MatrixView y, Phases& phases,
             if (fused) ep->apply(y, 0, m_, c, c + 1);
           }
         });
-    phases.dequantize_seconds += watch.elapsed_seconds();
+    if (phases != nullptr) {
+      phases->dequantize_seconds += watch.elapsed_seconds();
+    }
   }
+}
+
+void Int8Gemm::run_profiled(ConstMatrixView x, MatrixView y, Phases& phases,
+                            ExecContext& ctx, const EpilogueOp* ep) const {
+  if (x.rows() != n_ || y.rows() != m_ || y.cols() != x.cols()) {
+    throw std::invalid_argument("Int8Gemm: shape mismatch");
+  }
+  const std::size_t b = x.cols();
+
+  // Transient buffers are shared read-only across the phase workers, so
+  // they come out of the calling thread's arena, allocated up front.
+  const Int8Frame frame = stage_int8_frame(ctx.scratch(0), m_, n_, b);
+  quantize_grid(x, frame.xq, frame.xscales, ctx, &phases);
+  consume_grid(frame.xq, frame.xscales, y, frame.acc, ctx, ep, &phases);
 }
 
 void Int8Gemm::run_profiled(ConstMatrixView x, MatrixView y,
@@ -164,6 +177,39 @@ class Int8Plan final : public GemmPlan {
                const EpilogueOp& ep) const override {
     Int8Gemm::Phases phases;
     engine_->run_profiled(x, y, phases, context(), &ep);
+  }
+
+  [[nodiscard]] PrepKey do_prep_key() const noexcept override {
+    // Scalar per-column quantization — no kernel plane in the identity.
+    PrepKey key;
+    key.kind = "int8-grid";
+    key.cols = cols();
+    key.batch = batch();
+    return key;
+  }
+
+  [[nodiscard]] std::size_t do_prep_floats() const noexcept override {
+    // [xscales: b floats][xq: n*b int8, rounded up to whole floats].
+    return batch() + (cols() * batch() + sizeof(float) - 1) / sizeof(float);
+  }
+
+  void do_prepare(ConstMatrixView x, float* prep) const override {
+    float* xscales = prep;
+    auto* xq = reinterpret_cast<std::int8_t*>(prep + batch());
+    engine_->quantize_grid(x, xq, xscales, context());
+  }
+
+  void do_consume(const float* prep, MatrixView y,
+                  const EpilogueOp& ep) const override {
+    const float* xscales = prep;
+    const auto* xq = reinterpret_cast<const std::int8_t*>(prep + batch());
+    // Only the int32 accumulator is transient now — a sub-frame of the
+    // fused path's, so the plan-time prewarm covers it too.
+    ScratchArena& arena = context().scratch(0);
+    arena.reset();
+    std::int32_t* acc = arena.alloc<std::int32_t>(rows() * batch());
+    Int8Gemm::Phases phases;
+    engine_->consume_grid(xq, xscales, y, acc, context(), &ep, &phases);
   }
 
   const Int8Gemm* engine_;

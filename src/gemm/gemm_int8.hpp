@@ -48,6 +48,19 @@ class Int8Gemm final : public GemmEngine {
   void run_profiled(ConstMatrixView x, MatrixView y, Phases& phases,
                     ExecContext& ctx, const EpilogueOp* ep = nullptr) const;
 
+  /// Phase 1 alone: per-column symmetric quantization of x into caller
+  /// storage (xq: n*b int8, column c at xq + c*n; xscales: b floats) —
+  /// the reusable activation artifact behind the plan's shared prep.
+  void quantize_grid(ConstMatrixView x, std::int8_t* xq, float* xscales,
+                     ExecContext& ctx, Phases* phases = nullptr) const;
+  /// Phases 2+3 against a pre-quantized grid (acc: m*b int32 transient,
+  /// typically arena-backed). run_profiled IS quantize_grid followed by
+  /// consume_grid, so split and fused paths agree bitwise.
+  void consume_grid(const std::int8_t* xq, const float* xscales, MatrixView y,
+                    std::int32_t* acc, ExecContext& ctx,
+                    const EpilogueOp* ep = nullptr,
+                    Phases* phases = nullptr) const;
+
   [[nodiscard]] std::size_t rows() const noexcept override { return m_; }
   [[nodiscard]] std::size_t cols() const noexcept override { return n_; }
   [[nodiscard]] float weight_scale() const noexcept { return wscale_; }

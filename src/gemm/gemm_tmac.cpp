@@ -45,6 +45,33 @@ bool columns_parallel(const ExecContext& ctx, std::size_t b) noexcept {
   return ctx.worker_count() > 1 && b >= ctx.worker_count();
 }
 
+/// One column's lookup-accumulate sweep over row tiles [t0, t1) — the
+/// single body behind both the fused path and the shared-prep consume
+/// path, so the two cannot drift apart arithmetically.
+void tmac_run_column(const TmacPacked& packed,
+                     const engine::TmacKernels& kernels, MatrixView y,
+                     std::size_t c, float xs, const std::uint8_t* lut,
+                     std::size_t t0, std::size_t t1, const EpilogueOp& ep) {
+  const bool fused = !ep.empty();
+  float* out = y.col(c);
+  const float* sc = packed.scales.data();
+  for (std::size_t t = t0; t < t1; ++t) {
+    alignas(32) std::int32_t acc[kTmacTileRows];
+    engine::TmacTileArgs args;
+    args.wtile = packed.tile(t);
+    args.lut = lut;
+    args.ngroups = packed.ngroups;
+    args.acc = acc;
+    kernels.accumulate_tile(args);
+    const std::size_t i0 = t * kTmacTileRows;
+    const std::size_t i1 = std::min(packed.rows, i0 + kTmacTileRows);
+    for (std::size_t i = i0; i < i1; ++i) {
+      out[i] = sc[i] * xs * static_cast<float>(acc[i - i0]);
+    }
+    if (fused) ep.apply(y, i0, i1, c, c + 1);
+  }
+}
+
 }  // namespace
 
 int TmacPacked::code_at(std::size_t row, std::size_t col) const noexcept {
@@ -169,27 +196,9 @@ void TmacLutGemm::execute_batch(ConstMatrixView x, MatrixView y,
   // Phase 2: per column, build the tables once, then amortize them over
   // every output-row tile; dequantize and the fused epilogue ride the
   // tile write-back so each fp32 value is touched exactly once.
-  const bool fused = !ep.empty();
   const auto run_column = [&](std::size_t c, const std::uint8_t* lut,
                               std::size_t t0, std::size_t t1) {
-    const float xs = frame.xscales[c];
-    float* out = y.col(c);
-    const float* sc = packed_.scales.data();
-    for (std::size_t t = t0; t < t1; ++t) {
-      alignas(32) std::int32_t acc[kTmacTileRows];
-      engine::TmacTileArgs args;
-      args.wtile = packed_.tile(t);
-      args.lut = lut;
-      args.ngroups = packed_.ngroups;
-      args.acc = acc;
-      kernels.accumulate_tile(args);
-      const std::size_t i0 = t * kTmacTileRows;
-      const std::size_t i1 = std::min(packed_.rows, i0 + kTmacTileRows);
-      for (std::size_t i = i0; i < i1; ++i) {
-        out[i] = sc[i] * xs * static_cast<float>(acc[i - i0]);
-      }
-      if (fused) ep.apply(y, i0, i1, c, c + 1);
-    }
+    tmac_run_column(packed_, kernels, y, c, frame.xscales[c], lut, t0, t1, ep);
   };
 
   if (columns_parallel(ctx, b)) {
@@ -224,6 +233,58 @@ void TmacLutGemm::execute_batch(ConstMatrixView x, MatrixView y,
                           [&](unsigned /*worker*/, std::size_t t0,
                               std::size_t t1) {
                             run_column(c, frame.lut0, t0, t1);
+                          });
+  }
+}
+
+void TmacLutGemm::prepare_tables(ConstMatrixView x, float* xscales,
+                                 std::uint8_t* luts, ExecContext& ctx) const {
+  const std::size_t n = packed_.cols;
+  const std::size_t b = x.cols();
+  const std::size_t lut_bytes = packed_.ngroups * 32;
+  // Transient int8 grid only — the artifact itself goes to the caller's
+  // buffers. Quantize + build are per-column independent (and scalar),
+  // so the artifact is identical at any worker count.
+  ScratchArena& arena = ctx.scratch(0);
+  arena.reset();
+  std::int8_t* xq = arena.alloc<std::int8_t>(n * b);
+  engine::for_each_tile(
+      ctx, b, 1, [&](unsigned /*worker*/, std::size_t c0, std::size_t c1) {
+        for (std::size_t c = c0; c < c1; ++c) {
+          xscales[c] = quantize_column_int8(x.col(c), n, xq + c * n);
+          tmac_build_column_lut(xq + c * n, n, packed_.storage_bits,
+                                packed_.ngroups, luts + c * lut_bytes);
+        }
+      });
+}
+
+void TmacLutGemm::consume_tables(const float* xscales,
+                                 const std::uint8_t* luts, MatrixView y,
+                                 ExecContext& ctx,
+                                 const engine::TmacKernels& kernels,
+                                 const EpilogueOp& ep) const {
+  const std::size_t b = y.cols();
+  const std::size_t lut_bytes = packed_.ngroups * 32;
+  // Mirrors execute_batch's phase 2 in both threading regimes, minus
+  // the builds; tmac_run_column is the shared body, so consume output
+  // is bitwise the fused path's.
+  if (columns_parallel(ctx, b)) {
+    engine::for_each_tile(
+        ctx, b, 1, [&](unsigned /*worker*/, std::size_t c0, std::size_t c1) {
+          for (std::size_t c = c0; c < c1; ++c) {
+            tmac_run_column(packed_, kernels, y, c, xscales[c],
+                            luts + c * lut_bytes, 0, packed_.ntiles, ep);
+          }
+        });
+    return;
+  }
+  for (std::size_t c = 0; c < b; ++c) {
+    engine::for_each_tile(ctx, packed_.ntiles, 1,
+                          [&](unsigned /*worker*/, std::size_t t0,
+                              std::size_t t1) {
+                            tmac_run_column(packed_, kernels, y, c,
+                                            xscales[c], luts + c * lut_bytes,
+                                            t0, t1, ep);
                           });
   }
 }
@@ -268,6 +329,43 @@ class TmacPlanImpl final : public GemmPlan {
   void execute(ConstMatrixView x, MatrixView y,
                const EpilogueOp& ep) const override {
     engine_->execute_batch(x, y, context(), *kernels_, ep);
+  }
+
+  [[nodiscard]] PrepKey do_prep_key() const noexcept override {
+    // Scalar quantize + scalar table build: the artifact is
+    // plane-independent (the ISA plane only affects the consume-side
+    // lookups), so no kernel plane in the identity.
+    PrepKey key;
+    key.kind = "tmac-lut";
+    key.cols = cols();
+    key.batch = batch();
+    key.p0 = engine_->packed().storage_bits;
+    return key;
+  }
+
+  // Artifact layout: [xscales: b floats][pad to 64B][per-column split
+  // byte-plane tables: b * ngroups * 32 bytes, column c at c * lut_bytes].
+  [[nodiscard]] std::size_t lut_offset_floats() const noexcept {
+    constexpr std::size_t kAlignFloats = kDefaultAlignment / sizeof(float);
+    return (batch() + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+  }
+
+  [[nodiscard]] std::size_t do_prep_floats() const noexcept override {
+    const std::size_t lut_bytes = engine_->packed().ngroups * 32;
+    return lut_offset_floats() +
+           (batch() * lut_bytes + sizeof(float) - 1) / sizeof(float);
+  }
+
+  void do_prepare(ConstMatrixView x, float* prep) const override {
+    auto* luts = reinterpret_cast<std::uint8_t*>(prep + lut_offset_floats());
+    engine_->prepare_tables(x, prep, luts, context());
+  }
+
+  void do_consume(const float* prep, MatrixView y,
+                  const EpilogueOp& ep) const override {
+    const auto* luts =
+        reinterpret_cast<const std::uint8_t*>(prep + lut_offset_floats());
+    engine_->consume_tables(prep, luts, y, context(), *kernels_, ep);
   }
 
   const TmacLutGemm* engine_;

@@ -23,8 +23,6 @@ class AttentionStep final : public ModuleStep {
     sq_ = mpc.acquire(attn.hidden(), tokens);
     sk_ = mpc.acquire(attn.hidden(), tokens);
     sv_ = mpc.acquire(attn.hidden(), tokens);
-    sscores_ = mpc.acquire(tokens, tokens);
-    scontext_ = mpc.acquire(attn.hidden(), tokens);
     // fuse=off plans every projection as a bare GEMM — the biases run as
     // separate seam passes in run_step, so the A/B isolates the whole
     // epilogue mechanism, bias included.
@@ -32,6 +30,21 @@ class AttentionStep final : public ModuleStep {
     q_ = LinearPlan(attn.wq(), tokens, mpc.exec(), plain);
     k_ = LinearPlan(attn.wk(), tokens, mpc.exec(), plain);
     v_ = LinearPlan(attn.wv(), tokens, mpc.exec(), plain);
+    // Shared QKV activation prep: the three projections read the SAME
+    // x, so when they freeze identical activation artifacts (equal prep
+    // keys — same engine family, mu/bits, kernel plane), x's LUT /
+    // quantization is built once and consumed three times. The prep
+    // slot is acquired here and released BEFORE the score/context
+    // slots: its last reader is v_'s consume, which precedes every
+    // score write, so the planner may back the score matrix with the
+    // prep's storage.
+    share_ = mpc.share_prep() && shareable_prep({&q_, &k_, &v_});
+    if (share_) {
+      sprep_ = mpc.acquire(q_.prep_floats(), 1);
+      mpc.release(sprep_);
+    }
+    sscores_ = mpc.acquire(tokens, tokens);
+    scontext_ = mpc.acquire(attn.hidden(), tokens);
     // The requested fusion rides the output projection's epilogue: the
     // block's input x is bound as the residual operand at run time.
     o_ = LinearPlan(
@@ -46,9 +59,17 @@ class AttentionStep final : public ModuleStep {
     const MatrixView q = sq_.view(base);
     const MatrixView k = sk_.view(base);
     const MatrixView v = sv_.view(base);
-    q_.run(x, q);
-    k_.run(x, k);
-    v_.run(x, v);
+    if (share_) {
+      xprep_.bind(base + sprep_.offset(), sprep_.extent());
+      q_.prepare(x, xprep_);
+      q_.run(xprep_, q);
+      k_.run(xprep_, k);
+      v_.run(xprep_, v);
+    } else {
+      q_.run(x, q);
+      k_.run(x, k);
+      v_.run(x, v);
+    }
     if (!fuse_) {
       seam_bias(q, attn_->wq());
       seam_bias(k, attn_->wk());
@@ -72,8 +93,12 @@ class AttentionStep final : public ModuleStep {
   const MultiHeadAttention* attn_;
   bool fuse_;
   bool input_residual_;
+  bool share_ = false;
   LinearPlan q_, k_, v_, o_;
-  ModelSlot sq_, sk_, sv_, sscores_, scontext_;
+  ModelSlot sq_, sk_, sv_, sprep_, sscores_, scontext_;
+  // Rebound to sprep_'s arena window each run_step (one caller at a
+  // time owns a running plan, so the mutable handle is private state).
+  mutable PrepHandle xprep_;
 };
 
 }  // namespace

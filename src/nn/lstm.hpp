@@ -31,9 +31,17 @@ class LstmCell {
     void release(ModulePlanContext& mpc) const;
 
     /// x: in x T -> y: h x T, through the frozen GEMV plans and the
-    /// same apply_gates() tail as the eager step.
-    void run(float* base, ConstMatrixView x, MatrixView y,
-             bool reverse) const;
+    /// same apply_gates() tail as the eager step. When `xpreps` is
+    /// non-null it points at T ready PrepHandles (one per frame, keyed
+    /// like wx_plan()'s prep) and the input projection consumes
+    /// xpreps[t] instead of rebuilding frame t's artifact — how BiLstm
+    /// feeds both directional scans from one prepare per frame.
+    void run(float* base, ConstMatrixView x, MatrixView y, bool reverse,
+             const PrepHandle* xpreps = nullptr) const;
+
+    /// The frozen input-projection plan (batch 1), exposed so owning
+    /// steps can probe prep compatibility and drive the shared prepare.
+    [[nodiscard]] const LinearPlan& wx_plan() const noexcept { return wx_; }
 
    private:
     friend class LstmCell;

@@ -49,10 +49,15 @@ class ModelPlan {
   /// batch, y is module.out_shape(...).rows x batch. `fuse` enables
   /// epilogue fusion (bias/activation/residual folded into producer
   /// GEMM plans — the default); fuse = false compiles every seam as a
-  /// separate pass, for A/B comparisons. Outputs are bitwise identical
-  /// either way (the fused arithmetic order is the contract).
+  /// separate pass, for A/B comparisons. `share_prep` (default on) lets
+  /// fan-out steps — attention's Q/K/V, BiLstm's two scans — build each
+  /// shared input's activation artifact (LUT / quantized grid /
+  /// bit-planes) once and consume it from every reader; off rebuilds
+  /// per consumer, for the sharing A/B. Outputs are bitwise identical
+  /// across all four toggle combinations (the fused arithmetic order is
+  /// the contract, and consume replays it exactly).
   ModelPlan(const PlannableModule& module, std::size_t batch,
-            ExecContext& ctx, bool fuse = true);
+            ExecContext& ctx, bool fuse = true, bool share_prep = true);
 
   ~ModelPlan();
   ModelPlan(ModelPlan&&) noexcept;

@@ -128,16 +128,24 @@ struct StepFusion {
 /// width (tokens / frames) the whole model is compiled for, and whether
 /// the walk may fold epilogues into producer plans (`fuse`, default on —
 /// off compiles the unfused program, for parity tests and benches).
+/// `share_prep` (default on) lets step builders with structural fan-out
+/// — several projections reading the SAME activation — build that
+/// input's LUT/quantization artifact once and consume it from every
+/// reader (the GemmPlan prepare/consume contract); off compiles every
+/// projection's fused build-and-multiply path, for the sharing A/B.
 class ModulePlanContext {
  public:
   ModulePlanContext(ModelPlanner& planner, ExecContext& ctx,
-                    std::size_t batch, bool fuse = true) noexcept
-      : planner_(&planner), ctx_(&ctx), batch_(batch), fuse_(fuse) {}
+                    std::size_t batch, bool fuse = true,
+                    bool share_prep = true) noexcept
+      : planner_(&planner), ctx_(&ctx), batch_(batch), fuse_(fuse),
+        share_prep_(share_prep) {}
 
   [[nodiscard]] ModelPlanner& planner() noexcept { return *planner_; }
   [[nodiscard]] ExecContext& exec() const noexcept { return *ctx_; }
   [[nodiscard]] std::size_t batch() const noexcept { return batch_; }
   [[nodiscard]] bool fuse() const noexcept { return fuse_; }
+  [[nodiscard]] bool share_prep() const noexcept { return share_prep_; }
 
   [[nodiscard]] ModelSlot acquire(std::size_t rows, std::size_t cols) {
     return planner_->acquire(rows, cols);
@@ -149,6 +157,7 @@ class ModulePlanContext {
   ExecContext* ctx_;
   std::size_t batch_;
   bool fuse_;
+  bool share_prep_;
 };
 
 /// One module's frozen forward: held GemmPlans plus arena slots, replayed
@@ -246,6 +255,13 @@ class PlannableModule {
 /// supports_fusion() for is folded into ONE fused step — the activation
 /// runs inside the producer's GEMM epilogue, the Activation's step and
 /// the intermediate slot between them are never materialized.
+///
+/// Activation-prep sharing (mpc.share_prep()) does NOT act at this
+/// level: a chain seam has exactly one consumer per activation, so there
+/// is nothing to amortize. The sharing seats are the step builders with
+/// structural fan-out — MultiHeadAttention (Q/K/V read one x) and
+/// BiLstm (two directional scans read each frame) — which detect
+/// matching prep keys themselves.
 [[nodiscard]] std::unique_ptr<ModuleStep> plan_chain(
     const PlannableModule* const* modules, std::size_t count,
     ModulePlanContext& mpc);
