@@ -5,9 +5,11 @@
 // 4-deep stacked BiLSTM pyramid and an encoder+BiLSTM+head hybrid —
 // the last two composed with nn::Sequential and compiled through the
 // same generic module walker as the single models. Each model is
-// planned twice — with epilogue fusion (the default) and without — so
-// the fused-vs-unfused gap is its own reported dimension. Run with
-// --json to emit BENCH_model_forward.json for the perf trajectory.
+// planned with and without epilogue fusion, so the fused-vs-unfused
+// gap is its own reported dimension; models with residual→LayerNorm
+// seams (encoder, hybrid) add an ln_fused=on|off arm isolating the
+// column-granular LN stage. Run with --json to emit
+// BENCH_model_forward.json for the perf trajectory.
 //
 //   $ ./model_forward [tokens] [layers] [hidden] [--json] [--repeats N]
 //                     [--threads N]
@@ -73,16 +75,18 @@ biq::nn::Sequential make_hybrid(const biq::nn::TransformerConfig& cfg,
   return hybrid;
 }
 
-/// Times one model four ways — eager, planned fused (share_prep on, the
-/// default), planned unfused, planned fused with share_prep off — and
-/// emits one table row plus three JSON records of identical schema,
-/// distinguished by the "fused" and "share_prep" fields. `shape_fields`
-/// carries the model name and its size parameters.
+/// Times one model — eager, planned fused (share_prep on, the default),
+/// planned unfused, planned fused with share_prep off, and (for models
+/// with LayerNorm seams, `ln_arm`) planned fused with fuse_ln off — and
+/// emits one table row plus one JSON record per plan variant, identical
+/// schema, distinguished by the "fused", "share_prep" and "ln_fused"
+/// fields. `shape_fields` carries the model name and size parameters.
 void bench_one(biq::bench::BenchJson& json, biq::TablePrinter& table,
                const char* name, const char* weights,
                const biq::nn::PlannableModule& model, biq::ExecContext& ctx,
                const biq::Matrix& input, std::size_t repeats, unsigned threads,
-               std::vector<biq::bench::JsonField> shape_fields) {
+               std::vector<biq::bench::JsonField> shape_fields,
+               bool ln_arm = false) {
   const std::size_t tokens = input.cols();
   biq::Matrix out(model.out_shape({input.rows(), tokens}).rows, tokens);
 
@@ -109,32 +113,63 @@ void bench_one(biq::bench::BenchJson& json, biq::TablePrinter& table,
                                          [&] { noshare.run(input, out); },
                                          repeats);
 
+  // The LN arm (models with residual→LayerNorm seams only): fused with
+  // the column-granular LN stage (the default) vs fused with LN as its
+  // own seam pass, interleaved like the other A/Bs.
+  std::unique_ptr<biq::nn::ModelPlan> lnoff;
+  double planned_lnon = 0.0, planned_lnoff = 0.0;
+  if (ln_arm) {
+    lnoff = std::make_unique<biq::nn::ModelPlan>(
+        model, tokens, ctx, /*fuse=*/true, /*share_prep=*/true,
+        /*fuse_ln=*/false);
+    lnoff->run(input, out);
+    const auto [lnon_s, lnoff_s] =
+        biq::bench::interleaved_ab_seconds([&] { fused.run(input, out); },
+                                           [&] { lnoff->run(input, out); },
+                                           repeats);
+    planned_lnon = lnon_s;
+    planned_lnoff = lnoff_s;
+  }
+
   table.add_row({name, weights, biq::bench::ms(eager),
                  biq::bench::ms(planned_fused), biq::bench::ms(planned_unfused),
                  biq::bench::ms(planned_noshare),
+                 ln_arm ? biq::bench::ms(planned_lnoff) : std::string("-"),
                  biq::TablePrinter::fmt(eager / planned_fused, 2) + "x",
                  arena_cell(fused)});
 
   struct Variant {
     const char* fused;
     const char* share;
+    const char* ln;
     double planned;
     const biq::nn::ModelPlan* plan;
   };
   // The share on/off pair comes from ITS interleave (planned_shared,
-  // not planned_fused), so the two sides saw identical drift.
-  for (const Variant& v : {Variant{"on", "on", planned_fused, &fused},
-                           Variant{"off", "on", planned_unfused, &unfused},
-                           Variant{"on", "off", planned_noshare, &noshare}}) {
+  // not planned_fused), so the two sides saw identical drift — and the
+  // same holds for the LN on/off pair.
+  std::vector<Variant> variants = {
+      Variant{"on", "on", "on", planned_fused, &fused},
+      Variant{"off", "on", "off", planned_unfused, &unfused},
+      Variant{"on", "off", "on", planned_noshare, &noshare}};
+  if (ln_arm) {
+    variants.push_back(Variant{"on", "on", "off", planned_lnoff, lnoff.get()});
+  }
+  for (const Variant& v : variants) {
     std::vector<biq::bench::JsonField> rec = shape_fields;
     rec.push_back(biq::bench::jstr("weights", weights));
     rec.push_back(biq::bench::jstr("fused", v.fused));
     rec.push_back(biq::bench::jstr("share_prep", v.share));
+    rec.push_back(biq::bench::jstr("ln_fused", v.ln));
     rec.push_back(biq::bench::jnum("eager_ms", eager * 1e3));
     rec.push_back(biq::bench::jnum("planned_ms", v.planned * 1e3));
     if (v.plan == &noshare) {
       // The shared side of the same interleave, for a drift-free ratio.
       rec.push_back(biq::bench::jnum("shared_ms", planned_shared * 1e3));
+    }
+    if (ln_arm && v.plan == lnoff.get()) {
+      // The LN-fused side of the same interleave, likewise drift-free.
+      rec.push_back(biq::bench::jnum("ln_fused_ms", planned_lnon * 1e3));
     }
     rec.push_back(biq::bench::jint(
         "arena_bytes", static_cast<long long>(v.plan->arena_bytes())));
@@ -179,8 +214,8 @@ int main(int argc, char** argv) {
   if (threads > 1) std::printf("threads: %u\n\n", threads);
 
   biq::TablePrinter table({"model", "weights", "eager ms", "fused ms",
-                           "unfused ms", "share-off ms", "fused speedup",
-                           "arena KB (packed/unpacked)"});
+                           "unfused ms", "share-off ms", "ln-off ms",
+                           "fused speedup", "arena KB (packed/unpacked)"});
   constexpr std::uint64_t kSeed = 2020;
   biq::Rng rng(7);
 
@@ -199,7 +234,8 @@ int main(int argc, char** argv) {
                 {biq::bench::jstr("model", "encoder"),
                  biq::bench::jint("tokens", static_cast<long long>(tokens)),
                  biq::bench::jint("layers", layers),
-                 biq::bench::jint("hidden", static_cast<long long>(hidden))});
+                 biq::bench::jint("hidden", static_cast<long long>(hidden))},
+                /*ln_arm=*/true);
     }
 
     {
@@ -241,7 +277,8 @@ int main(int argc, char** argv) {
                 {biq::bench::jstr("model", "encoder_bilstm_hybrid"),
                  biq::bench::jint("tokens", static_cast<long long>(tokens)),
                  biq::bench::jint("layers", layers),
-                 biq::bench::jint("hidden", static_cast<long long>(hidden))});
+                 biq::bench::jint("hidden", static_cast<long long>(hidden))},
+                /*ln_arm=*/true);
     }
   }
 
@@ -255,6 +292,10 @@ int main(int argc, char** argv) {
               "\"share-off\" rebuilds each input's LUT/quantization per\n"
               "consumer where the default builds it once per fan-out seat\n"
               "(QKV, BiLSTM dual scans) — fp32 rows have no prep to share.\n"
+              "\"ln-off\" keeps LayerNorm as its own seam pass where the\n"
+              "default folds it into the producer GEMM's column-granular\n"
+              "epilogue (encoder and hybrid rows only — the BiLSTMs have\n"
+              "no LN seams).\n"
               "Timings are single-core (container) — see the JSON caveat.\n");
   return 0;
 }

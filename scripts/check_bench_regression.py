@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Gate bench JSON against a checked-in baseline.
+
+Usage: check_bench_regression.py BASELINE.json FRESH.json [--threshold 0.20]
+
+Both files are BenchJson emissions ({"bench", "machine", "records": [...]}).
+Records are matched by their identity fields (strings and integers, minus
+capacity metrics like *_bytes and advisory fields like "caveat"); every
+timing field (*_us / *_ms / *_seconds) of a matched pair contributes the
+ratio fresh/baseline. The gate is the MEDIAN ratio per timing field across
+all matched records — robust to one noisy row — and the check fails when
+any field's median exceeds 1 + threshold (default: >20% slowdown).
+
+Absolute timings are only comparable on the machine that produced the
+baseline: when the two files' "machine" strings differ, the comparison
+still prints, but regressions only warn (exit 0).
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+TIMING_SUFFIXES = ("_us", "_ms", "_seconds")
+IGNORED_KEYS = ("caveat",)
+
+
+def is_timing(key):
+    return key.endswith(TIMING_SUFFIXES)
+
+
+def identity(record):
+    """Hashable key from the fields that name a record, not measure it."""
+    parts = []
+    for key, value in sorted(record.items()):
+        if is_timing(key) or key.endswith("_bytes") or key in IGNORED_KEYS:
+            continue
+        if isinstance(value, (str, int)) and not isinstance(value, bool):
+            parts.append((key, value))
+    return tuple(parts)
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    by_key = {}
+    for record in doc.get("records", []):
+        # Duplicate keys would make the match ambiguous; keep the first
+        # and let the unmatched-count warning surface the rest.
+        by_key.setdefault(identity(record), record)
+    return doc.get("machine", ""), by_key
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="median slowdown that fails the check "
+                             "(default 0.20 = 20%%)")
+    args = parser.parse_args()
+
+    base_machine, base = load(args.baseline)
+    fresh_machine, fresh = load(args.fresh)
+
+    same_machine = base_machine == fresh_machine
+    if not same_machine:
+        print("WARNING: machine mismatch — baseline %r vs fresh %r; "
+              "regressions will only warn" % (base_machine, fresh_machine))
+
+    ratios = {}  # timing field -> [fresh/baseline ...]
+    matched = 0
+    for key, fresh_rec in fresh.items():
+        base_rec = base.get(key)
+        if base_rec is None:
+            continue
+        matched += 1
+        for field, value in fresh_rec.items():
+            if not is_timing(field):
+                continue
+            base_value = base_rec.get(field)
+            if not isinstance(base_value, (int, float)) or base_value <= 0:
+                continue
+            ratios.setdefault(field, []).append(value / base_value)
+
+    if matched == 0:
+        print("ERROR: no fresh record matched the baseline — identity "
+              "fields changed? Regenerate %s" % args.baseline)
+        return 1
+    unmatched = len(fresh) - matched
+    if unmatched:
+        print("note: %d fresh record(s) have no baseline counterpart "
+              "(new arms are fine; regenerate the baseline to gate them)"
+              % unmatched)
+
+    failed = []
+    print("%-28s %8s  (%d matched records, gate at >%.0f%% median slowdown)"
+          % ("timing field", "median", matched, args.threshold * 100))
+    for field in sorted(ratios):
+        median = statistics.median(ratios[field])
+        verdict = "ok"
+        if median > 1.0 + args.threshold:
+            verdict = "REGRESSION"
+            failed.append(field)
+        print("%-28s %7.3fx  %s" % (field, median, verdict))
+
+    if failed:
+        if same_machine:
+            print("FAIL: median slowdown above %.0f%% in: %s"
+                  % (args.threshold * 100, ", ".join(failed)))
+            return 1
+        print("WARNING: slowdown above threshold in: %s (machine mismatch "
+              "— not failing)" % ", ".join(failed))
+    else:
+        print("PASS: no timing field regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

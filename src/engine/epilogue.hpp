@@ -22,8 +22,19 @@
 // each GemmPlan::run(x, y, residual) call. It must not overlap y —
 // engines that accumulate in place would read partially-transformed
 // values otherwise; GemmPlan::run enforces this.
+//
+// Column-granular stage (col_post): LayerNorm needs a FULL output column
+// before it can normalize, so it cannot ride a row tile. A plan frozen
+// with ln_gamma/ln_beta owns a per-column atomic row count; every
+// apply()/apply_interleaved() call reports the rows it finished per
+// column, and whichever worker retires a column's last row runs the
+// normalization for that column — exactly once, with a fixed sequential
+// reduction order over the column, so the result is bitwise identical
+// at any thread count and tile schedule. All seven engines get this
+// through the shared apply paths; no engine carries barrier code.
 #pragma once
 
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 
@@ -70,6 +81,32 @@ namespace epilogue {
   return v;
 }
 
+/// Normalize one column of length d: the single source of truth for
+/// LayerNorm arithmetic. nn::LayerNorm::forward and the col_post
+/// epilogue stage both call this, so eager and fused execution are
+/// bitwise identical by construction. The reduction order is the fixed
+/// sequential i = 0..d-1 sweep (mean, then variance, then the scaled
+/// write), independent of who executes it — that is what makes the
+/// column barrier's "whichever worker finishes last normalizes"
+/// scheduling invisible in the output. src == dst (in-place) is fine.
+inline void layernorm_col(const float* src, float* dst, std::size_t d,
+                          const float* gamma, const float* beta,
+                          float eps) noexcept {
+  double mean = 0.0;
+  for (std::size_t i = 0; i < d; ++i) mean += src[i];
+  mean /= static_cast<double>(d);
+  double var = 0.0;
+  for (std::size_t i = 0; i < d; ++i) {
+    const double dv = src[i] - mean;
+    var += dv * dv;
+  }
+  var /= static_cast<double>(d);
+  const float inv = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+  for (std::size_t i = 0; i < d; ++i) {
+    dst[i] = gamma[i] * (static_cast<float>(src[i] - mean) * inv) + beta[i];
+  }
+}
+
 }  // namespace epilogue
 
 /// Plan-time epilogue description, frozen into a GemmPlan. `bias` is
@@ -82,8 +119,24 @@ struct Epilogue {
   EpilogueAct act = EpilogueAct::kNone;
   bool residual = false;
 
+  // Column-granular stage: when ln_gamma/ln_beta are set, every output
+  // column is LayerNorm-normalized (after bias/act/residual) the moment
+  // its last row tile retires. Both pointers are borrowed, length
+  // ln_dim; ln_dim must equal the plan's rows() (validated at plan
+  // time, since raw pointers carry no size). ln_split_dst plans write
+  // the normalized column to a separate destination handed to the
+  // 4-arg run() — the run's y becomes a pre-norm staging block — which
+  // is what lets a residual operand alias the final output (see
+  // GemmPlan::run). ln_split_dst requires residual = true.
+  const float* ln_gamma = nullptr;
+  const float* ln_beta = nullptr;
+  float ln_eps = 1e-5f;
+  std::size_t ln_dim = 0;
+  bool ln_split_dst = false;
+
   [[nodiscard]] bool empty() const noexcept {
-    return bias == nullptr && act == EpilogueAct::kNone && !residual;
+    return bias == nullptr && act == EpilogueAct::kNone && !residual &&
+           ln_gamma == nullptr;
   }
 };
 
@@ -100,8 +153,22 @@ class EpilogueOp {
       : bias_(ep.bias), residual_(residual), act_(ep.act),
         has_residual_(ep.residual) {}
 
+  /// Binding for a plan with a column-granular LN stage: `col_counts`
+  /// points at the plan-owned per-column barrier (one atomic per output
+  /// column, all zero between runs), `total_rows` is the full column
+  /// height, and `ln_dst` is where normalized columns land (empty view
+  /// = normalize y in place).
+  EpilogueOp(const Epilogue& ep, ConstMatrixView residual,
+             std::atomic<std::uint32_t>* col_counts, std::size_t total_rows,
+             MatrixView ln_dst) noexcept
+      : bias_(ep.bias), residual_(residual), ln_gamma_(ep.ln_gamma),
+        ln_beta_(ep.ln_beta), col_counts_(col_counts), ln_dst_(ln_dst),
+        total_rows_(total_rows), ln_eps_(ep.ln_eps), act_(ep.act),
+        has_residual_(ep.residual) {}
+
   [[nodiscard]] bool empty() const noexcept {
-    return bias_ == nullptr && act_ == EpilogueAct::kNone && !has_residual_;
+    return bias_ == nullptr && act_ == EpilogueAct::kNone && !has_residual_ &&
+           ln_gamma_ == nullptr;
   }
 
   /// y(row, col) = act(v + bias[row]) + residual(row, col).
@@ -149,6 +216,7 @@ class EpilogueOp {
         for (std::size_t i = i0; i < i1; ++i) yc[i] += rc[i];
       }
     }
+    notify_cols(y, i0, i1, c0, c1);
   }
 
   /// De-interleaving write-back with the epilogue merged into the copy:
@@ -189,9 +257,35 @@ class EpilogueOp {
         for (std::size_t i = 0; i < m; ++i) yc[i] += rc[i];
       }
     }
+    notify_cols(y, 0, m, c0, c0 + lanes);
   }
 
  private:
+  /// Column-completion barrier tick: credit [i0, i1) rows to each of
+  /// columns [c0, c1); the call that brings a column to total_rows_
+  /// resets its counter and runs the LN stage over the now-complete
+  /// column. The acq_rel RMW chain on each column's atomic means every
+  /// writer of that column happens-before the completing worker's
+  /// normalize (TSan-clean), and the relaxed reset is safe across runs
+  /// because plan->run joins its worker pool before returning. No-op
+  /// unless the plan carries an LN stage.
+  void notify_cols(MatrixView y, std::size_t i0, std::size_t i1,
+                   std::size_t c0, std::size_t c1) const noexcept {
+    if (ln_gamma_ == nullptr) return;
+    const auto added = static_cast<std::uint32_t>(i1 - i0);
+    const auto total = static_cast<std::uint32_t>(total_rows_);
+    for (std::size_t c = c0; c < c1; ++c) {
+      std::atomic<std::uint32_t>& count = col_counts_[c];
+      if (count.fetch_add(added, std::memory_order_acq_rel) + added == total) {
+        count.store(0, std::memory_order_relaxed);
+        const float* src = y.col(c);
+        float* dst = ln_dst_.data() != nullptr ? ln_dst_.col(c) : y.col(c);
+        epilogue::layernorm_col(src, dst, total_rows_, ln_gamma_, ln_beta_,
+                                ln_eps_);
+      }
+    }
+  }
+
   template <typename ActFn>
   static void act_loop(float* yc, std::size_t i0, std::size_t i1,
                        ActFn act) noexcept {
@@ -215,6 +309,12 @@ class EpilogueOp {
 
   const float* bias_ = nullptr;
   ConstMatrixView residual_;
+  const float* ln_gamma_ = nullptr;
+  const float* ln_beta_ = nullptr;
+  std::atomic<std::uint32_t>* col_counts_ = nullptr;  // plan-owned barrier
+  MatrixView ln_dst_;  // empty = normalize y in place
+  std::size_t total_rows_ = 0;
+  float ln_eps_ = 1e-5f;
   EpilogueAct act_ = EpilogueAct::kNone;
   bool has_residual_ = false;
 };

@@ -65,6 +65,61 @@ void GemmPlan::validate_residual(ConstMatrixView residual,
   throw std::invalid_argument(msg);
 }
 
+void GemmPlan::validate_ln_out(MatrixView ln_out, MatrixView y) const {
+  const char* what = nullptr;
+  if (ln_out.rows() != rows_ || ln_out.cols() != batch_) {
+    what = "ln_out";
+  } else if (ln_out.ld() < ln_out.rows()) {
+    what = "ln_out.ld";
+  } else if (rows_ != 0 && batch_ != 0) {
+    // The staging block y must survive untouched until every column's
+    // normalize has read it, so ln_out may not overlap y. (Aliasing the
+    // residual is fine — the barrier orders all residual reads of a
+    // column before that column's normalized write.)
+    const float* llo = ln_out.data();
+    const float* lhi = ln_out.col(batch_ - 1) + rows_;
+    const float* ylo = y.data();
+    const float* yhi = y.col(batch_ - 1) + rows_;
+    if (llo < yhi && ylo < lhi) what = "ln_out (overlaps y)";
+  }
+  if (what == nullptr) return;
+  std::string msg(name_);
+  msg += " plan: bad ";
+  msg += what;
+  msg += ": ln_out is " + dims(ln_out) + "; planned for " +
+         std::to_string(rows_) + "x" + std::to_string(batch_) +
+         " (ld >= rows, disjoint from y)";
+  throw std::invalid_argument(msg);
+}
+
+void GemmPlan::init_ln() {
+  const Epilogue& ep = epilogue_;
+  if (ep.ln_gamma == nullptr && ep.ln_beta == nullptr && !ep.ln_split_dst) {
+    return;
+  }
+  const char* what = nullptr;
+  if ((ep.ln_gamma == nullptr) != (ep.ln_beta == nullptr)) {
+    what = "LN epilogue needs both ln_gamma and ln_beta (one is null)";
+  } else if (ep.ln_gamma == nullptr) {
+    what = "ln_split_dst set without an LN stage (ln_gamma/ln_beta are null)";
+  } else if (ep.ln_dim != rows_) {
+    what = "ln_dim must equal the plan's output rows";
+  } else if (ep.ln_split_dst && !ep.residual) {
+    what = "ln_split_dst requires a residual epilogue (it exists so the "
+           "residual may alias the normalized destination)";
+  }
+  if (what == nullptr) {
+    col_barrier_ = engine::ColBarrier(batch_);
+    return;
+  }
+  std::string msg(name_);
+  msg += " plan: ";
+  msg += what;
+  msg += " (ln_dim " + std::to_string(ep.ln_dim) + ", rows " +
+         std::to_string(rows_) + ")";
+  throw std::invalid_argument(msg);
+}
+
 void GemmPlan::prepare(ConstMatrixView x, PrepHandle& prep) const {
   const PrepKey key = do_prep_key();
   if (!key.valid()) no_prep();
@@ -135,6 +190,16 @@ void GemmPlan::residual_mismatch(bool provided) const {
                "with a residual epilogue"
              : " plan: frozen with a residual epilogue; use "
                "run(x, y, residual)";
+  throw std::invalid_argument(msg);
+}
+
+void GemmPlan::ln_dst_mismatch(bool provided) const {
+  std::string msg(name_);
+  msg += provided
+             ? " plan: ln_out operand given, but the plan was not frozen "
+               "with a split-destination LN epilogue"
+             : " plan: frozen with a split-destination LN epilogue; use "
+               "run(x, y, residual, ln_out)";
   throw std::invalid_argument(msg);
 }
 

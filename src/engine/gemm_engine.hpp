@@ -38,6 +38,7 @@
 
 #include "engine/epilogue.hpp"
 #include "engine/exec_context.hpp"
+#include "engine/partition.hpp"
 #include "matrix/view.hpp"
 
 namespace biq {
@@ -127,6 +128,17 @@ class PrepHandle {
 /// loop, bitwise identical to separate post-passes in the same order.
 /// Plans frozen with `residual = true` must be run through the 3-arg
 /// run(x, y, residual) overload; plans without, through the 2-arg one.
+///
+/// Plans frozen with an LN stage (ln_gamma/ln_beta set) additionally
+/// own a per-column completion barrier, allocated here at plan time so
+/// warm runs stay heap-free; each output column is normalized by
+/// whichever worker retires its last row tile. In-place LN plans use
+/// the usual overloads (y holds the normalized result); ln_split_dst
+/// plans must be run through the 4-arg run(x, y, residual, ln_out)
+/// overload — y becomes a pre-norm staging block and the normalized
+/// columns land in ln_out, which MAY alias the residual operand (every
+/// residual read of a column is ordered before that column's LN write
+/// by the barrier) but must stay disjoint from y.
 class GemmPlan {
  public:
   virtual ~GemmPlan() = default;
@@ -142,20 +154,39 @@ class GemmPlan {
     validate(x, y);
     if (epilogue_.residual) residual_mismatch(/*provided=*/false);
     if (batch_ == 0 || rows_ == 0) return;
-    execute(x, y, EpilogueOp(epilogue_, ConstMatrixView()));
+    execute(x, y, make_op(ConstMatrixView(), MatrixView()));
   }
 
   /// The residual-fused hot path: Y = act(W . X + bias) + residual.
   /// `residual` must be rows() x batch() and must NOT overlap y (engines
   /// accumulate into y in place, so an aliased operand would be read
   /// half-transformed). Only valid on plans frozen with
-  /// Epilogue::residual = true; throws std::invalid_argument otherwise.
+  /// Epilogue::residual = true; throws std::invalid_argument otherwise
+  /// (as do ln_split_dst plans, which need the 4-arg overload).
   void run(ConstMatrixView x, MatrixView y, ConstMatrixView residual) const {
     validate(x, y);
     if (!epilogue_.residual) residual_mismatch(/*provided=*/true);
+    if (epilogue_.ln_split_dst) ln_dst_mismatch(/*provided=*/false);
     validate_residual(residual, y);
     if (batch_ == 0 || rows_ == 0) return;
-    execute(x, y, EpilogueOp(epilogue_, residual));
+    execute(x, y, make_op(residual, MatrixView()));
+  }
+
+  /// Split-destination LN path: Y_stage = act(W . X + bias) + residual,
+  /// then each completed column of the staging block is normalized into
+  /// ln_out. Only valid on plans frozen with Epilogue::ln_split_dst.
+  /// ln_out must be rows() x batch(), disjoint from y; aliasing the
+  /// residual operand is explicitly allowed (this is how an encoder
+  /// seam writes its final output over the block it read the residual
+  /// from, with no intermediate slot).
+  void run(ConstMatrixView x, MatrixView y, ConstMatrixView residual,
+           MatrixView ln_out) const {
+    validate(x, y);
+    if (!epilogue_.ln_split_dst) ln_dst_mismatch(/*provided=*/true);
+    validate_residual(residual, y);
+    validate_ln_out(ln_out, y);
+    if (batch_ == 0 || rows_ == 0) return;
+    execute(x, y, make_op(residual, ln_out));
   }
 
   /// Output features m / input features n of the engine's weight matrix.
@@ -206,7 +237,7 @@ class GemmPlan {
     if (epilogue_.residual) residual_mismatch(/*provided=*/false);
     validate_prep(prep);
     if (batch_ == 0 || rows_ == 0) return;
-    do_consume(prep.data(), y, EpilogueOp(epilogue_, ConstMatrixView()));
+    do_consume(prep.data(), y, make_op(ConstMatrixView(), MatrixView()));
   }
 
   /// Residual-fused consume path, mirroring run(x, y, residual).
@@ -214,18 +245,36 @@ class GemmPlan {
            ConstMatrixView residual) const {
     validate_y(y);
     if (!epilogue_.residual) residual_mismatch(/*provided=*/true);
+    if (epilogue_.ln_split_dst) ln_dst_mismatch(/*provided=*/false);
     validate_residual(residual, y);
     validate_prep(prep);
     if (batch_ == 0 || rows_ == 0) return;
-    do_consume(prep.data(), y, EpilogueOp(epilogue_, residual));
+    do_consume(prep.data(), y, make_op(residual, MatrixView()));
+  }
+
+  /// Split-destination LN consume path, mirroring the 4-arg run().
+  void run(const PrepHandle& prep, MatrixView y, ConstMatrixView residual,
+           MatrixView ln_out) const {
+    validate_y(y);
+    if (!epilogue_.ln_split_dst) ln_dst_mismatch(/*provided=*/true);
+    validate_residual(residual, y);
+    validate_ln_out(ln_out, y);
+    validate_prep(prep);
+    if (batch_ == 0 || rows_ == 0) return;
+    do_consume(prep.data(), y, make_op(residual, ln_out));
   }
 
  protected:
+  /// Throws std::invalid_argument when the epilogue's LN stage is
+  /// malformed (one of gamma/beta missing, ln_dim != rows,
+  /// ln_split_dst without residual); allocates the per-column barrier
+  /// when an LN stage is present.
   GemmPlan(std::string_view engine_name, std::size_t rows, std::size_t cols,
-           std::size_t batch, ExecContext& ctx,
-           const Epilogue& epilogue = {}) noexcept
+           std::size_t batch, ExecContext& ctx, const Epilogue& epilogue = {})
       : name_(engine_name), rows_(rows), cols_(cols), batch_(batch),
-        ctx_(&ctx), epilogue_(epilogue) {}
+        ctx_(&ctx), epilogue_(epilogue) {
+    init_ln();
+  }
 
   /// Engine-specific body; shapes are already validated and non-empty.
   /// `ep` is the run's bound epilogue (possibly empty); the engine must
@@ -254,8 +303,19 @@ class GemmPlan {
   void validate_y(MatrixView y) const;
   void validate_prep(const PrepHandle& prep) const;
   void validate_residual(ConstMatrixView residual, MatrixView y) const;
+  void validate_ln_out(MatrixView ln_out, MatrixView y) const;
+  void init_ln();
   [[noreturn]] void residual_mismatch(bool provided) const;
+  [[noreturn]] void ln_dst_mismatch(bool provided) const;
   [[noreturn]] void no_prep() const;
+
+  /// Binds the frozen epilogue (plus the plan-owned column barrier for
+  /// LN plans) to one run's residual / ln destination operands.
+  [[nodiscard]] EpilogueOp make_op(ConstMatrixView residual,
+                                   MatrixView ln_dst) const noexcept {
+    if (epilogue_.ln_gamma == nullptr) return EpilogueOp(epilogue_, residual);
+    return EpilogueOp(epilogue_, residual, col_barrier_.data(), rows_, ln_dst);
+  }
 
   std::string_view name_;  // points at the engine's static name
   std::size_t rows_;
@@ -263,6 +323,7 @@ class GemmPlan {
   std::size_t batch_;
   ExecContext* ctx_;
   Epilogue epilogue_;
+  engine::ColBarrier col_barrier_;  // one counter per column; LN plans only
 };
 
 class GemmEngine {

@@ -16,12 +16,44 @@
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <utility>
 
 #include "engine/exec_context.hpp"
 #include "threading/thread_pool.hpp"
 
 namespace biq::engine {
+
+/// Per-column completion barrier for column-granular epilogue stages
+/// (LayerNorm): one atomic row count per output column, allocated once
+/// at plan time and handed to EpilogueOp as a raw pointer, so the warm
+/// run path stays allocation-free. Counters are self-resetting — the
+/// worker that brings a column to its full row count stores 0 before
+/// running the column stage — so the barrier is reusable run after run
+/// with no per-run sweep (plan->run joins its pool before returning,
+/// which orders the reset against the next run's first tick).
+class ColBarrier {
+ public:
+  ColBarrier() = default;
+  explicit ColBarrier(std::size_t cols)
+      : counts_(cols == 0 ? nullptr
+                          : new std::atomic<std::uint32_t>[cols]),
+        cols_(cols) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      counts_[c].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] std::atomic<std::uint32_t>* data() const noexcept {
+    return counts_.get();
+  }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+ private:
+  std::unique_ptr<std::atomic<std::uint32_t>[]> counts_;
+  std::size_t cols_ = 0;
+};
 
 /// Chunks for_each_tile produces for (total, grain).
 [[nodiscard]] constexpr std::size_t tile_count(std::size_t total,

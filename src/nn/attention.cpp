@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "nn/activations.hpp"
+#include "nn/layernorm.hpp"
 #include "nn/tensor.hpp"
 
 namespace biq::nn {
@@ -46,10 +47,12 @@ class AttentionStep final : public ModuleStep {
     sscores_ = mpc.acquire(tokens, tokens);
     scontext_ = mpc.acquire(attn.hidden(), tokens);
     // The requested fusion rides the output projection's epilogue: the
-    // block's input x is bound as the residual operand at run time.
-    o_ = LinearPlan(
-        attn.wo(), tokens, mpc.exec(),
-        LinearFusion{fusion.act, fusion.input_residual, nullptr, fuse_});
+    // block's input x is bound as the residual operand at run time, and
+    // a folded LayerNorm normalizes each of y's columns in place as wo's
+    // GEMM completes them.
+    o_ = LinearPlan(attn.wo(), tokens, mpc.exec(),
+                    LinearFusion{fusion.act, fusion.input_residual, nullptr,
+                                 fuse_, fusion.ln});
     for (const ModelSlot* s : {&sscores_, &sq_, &sk_, &sv_, &scontext_}) {
       mpc.release(*s);
     }
@@ -106,6 +109,12 @@ class AttentionStep final : public ModuleStep {
 Shape MultiHeadAttention::out_shape(Shape in) const {
   check_in_rows(in, "MultiHeadAttention");
   return in;
+}
+
+bool MultiHeadAttention::supports_fusion(
+    const StepFusion& fusion) const noexcept {
+  if (fusion.ln_split_dst) return false;
+  return fusion.ln == nullptr || fusion.ln->dim() == hidden_;
 }
 
 std::unique_ptr<ModuleStep> MultiHeadAttention::plan_into(

@@ -35,12 +35,14 @@ class MultiHeadAttention final : public PlannableModule {
       ModulePlanContext& mpc) const override;
 
   /// The block's output is the wo projection's GEMM, so any trailing
-  /// activation and the input-residual add (projections are square —
-  /// shape-preserving by construction) fold into wo's plan epilogue.
+  /// activation, the input-residual add (projections are square —
+  /// shape-preserving by construction) and an in-place LayerNorm of
+  /// matching dim fold into wo's plan epilogue. The split-destination
+  /// LN form is rejected: the step writes the caller's y directly and
+  /// has no staging block to offer. Defined in attention.cpp (LayerNorm
+  /// is an incomplete type here).
   [[nodiscard]] bool supports_fusion(
-      const StepFusion& /*fusion*/) const noexcept override {
-    return true;
-  }
+      const StepFusion& fusion) const noexcept override;
   [[nodiscard]] std::unique_ptr<ModuleStep> plan_into_fused(
       ModulePlanContext& mpc, const StepFusion& fusion) const override;
 

@@ -1,7 +1,8 @@
 #include "nn/layernorm.hpp"
 
-#include <cmath>
 #include <stdexcept>
+
+#include "engine/epilogue.hpp"
 
 namespace biq::nn {
 namespace {
@@ -38,27 +39,18 @@ void LayerNorm::forward(ConstMatrixView x, MatrixView y) const {
   if (y.rows() != x.rows() || y.cols() != x.cols()) {
     throw std::invalid_argument("LayerNorm: output shape mismatch");
   }
-  // Direct src -> dst: mean/variance come entirely from src before any
-  // write, and the final pass writes each dst element exactly once — so
-  // y aliasing x (the in-place overload) is exact, not approximate, and
-  // the out-of-place form is bitwise identical to copy-then-normalize.
+  // Direct src -> dst through the one shared per-column normalize
+  // (engine/epilogue.hpp's layernorm_col — also what the fused col_post
+  // epilogue stage runs), so eager and fused LayerNorm are bitwise
+  // identical by construction, not by parallel implementations.
+  // mean/variance come entirely from src before any write, and the
+  // final pass writes each dst element exactly once — so y aliasing x
+  // (the in-place overload) is exact, not approximate, and the
+  // out-of-place form is bitwise identical to copy-then-normalize.
   const std::size_t d = x.rows();
   for (std::size_t c = 0; c < x.cols(); ++c) {
-    const float* src = x.col(c);
-    float* dst = y.col(c);
-    double mean = 0.0;
-    for (std::size_t i = 0; i < d; ++i) mean += src[i];
-    mean /= static_cast<double>(d);
-    double var = 0.0;
-    for (std::size_t i = 0; i < d; ++i) {
-      const double dv = src[i] - mean;
-      var += dv * dv;
-    }
-    var /= static_cast<double>(d);
-    const float inv = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
-    for (std::size_t i = 0; i < d; ++i) {
-      dst[i] = gamma_[i] * (static_cast<float>(src[i] - mean) * inv) + beta_[i];
-    }
+    epilogue::layernorm_col(x.col(c), y.col(c), d, gamma_.data(), beta_.data(),
+                            eps_);
   }
 }
 

@@ -21,6 +21,13 @@ class LayerNorm final : public PlannableModule {
 
   [[nodiscard]] std::vector<float>& gamma() noexcept { return gamma_; }
   [[nodiscard]] std::vector<float>& beta() noexcept { return beta_; }
+  [[nodiscard]] const std::vector<float>& gamma() const noexcept {
+    return gamma_;
+  }
+  [[nodiscard]] const std::vector<float>& beta() const noexcept {
+    return beta_;
+  }
+  [[nodiscard]] float eps() const noexcept { return eps_; }
 
   /// Normalizes each column of x in place: per-column mean/variance over
   /// rows, then scale by gamma and shift by beta. Strided view — arena

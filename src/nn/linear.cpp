@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "nn/layernorm.hpp"
 #include "nn/tensor.hpp"
 #include "quant/quantize.hpp"
 
@@ -69,7 +70,7 @@ class LinearStep final : public ModuleStep {
         // the context fuses, so they are already off).
         plan_(layer, mpc.batch(), mpc.exec(),
               LinearFusion{fusion.act, fusion.input_residual, nullptr,
-                           mpc.fuse()}),
+                           mpc.fuse(), fusion.ln}),
         input_residual_(fusion.input_residual) {}
 
   void run_step(float* /*base*/, ConstMatrixView x,
@@ -96,6 +97,17 @@ Shape LinearLayer::out_shape(Shape in) const {
   return {out_features(), in.cols};
 }
 
+bool LinearLayer::supports_fusion(const StepFusion& fusion) const noexcept {
+  if (fusion.input_residual && out_features() != in_features()) return false;
+  // A bare LinearStep writes the caller's y directly; it has no staging
+  // block to offer a split-destination LN, so only the in-place form
+  // folds here (the split form is a composite-step affair — see
+  // FeedForwardStep).
+  if (fusion.ln_split_dst) return false;
+  if (fusion.ln != nullptr && fusion.ln->dim() != out_features()) return false;
+  return true;
+}
+
 std::unique_ptr<ModuleStep> LinearLayer::plan_into(
     ModulePlanContext& mpc) const {
   return std::make_unique<LinearStep>(*this, mpc, StepFusion{});
@@ -114,6 +126,13 @@ LinearPlan::LinearPlan(const LinearLayer& layer, std::size_t batch,
   ep.bias = fusion.fold_bias && !bias.empty() ? bias.data() : nullptr;
   ep.act = fusion.act;
   ep.residual = fusion.residual;
+  if (fusion.ln != nullptr) {
+    ep.ln_gamma = fusion.ln->gamma().data();
+    ep.ln_beta = fusion.ln->beta().data();
+    ep.ln_eps = fusion.ln->eps();
+    ep.ln_dim = fusion.ln->dim();
+    ep.ln_split_dst = fusion.ln_split_dst;
+  }
   plan_ = layer.engine().plan(batch, ctx, ep);
 }
 
@@ -124,6 +143,11 @@ void LinearPlan::run(ConstMatrixView x, MatrixView y) const {
 void LinearPlan::run(ConstMatrixView x, MatrixView y,
                      ConstMatrixView residual) const {
   plan_->run(x, y, residual);
+}
+
+void LinearPlan::run(ConstMatrixView x, MatrixView y, ConstMatrixView residual,
+                     MatrixView ln_out) const {
+  plan_->run(x, y, residual, ln_out);
 }
 
 bool shareable_prep(std::initializer_list<const LinearPlan*> plans) {

@@ -99,11 +99,12 @@ class LinearLayer : public PlannableModule {
 
   /// A linear layer's output IS a GEMM plan's output, so any trailing
   /// activation folds; the input-residual add additionally needs a
-  /// square projection (y and x must be the same shape).
+  /// square projection (y and x must be the same shape); a trailing
+  /// LayerNorm needs dim == out_features (and its split-destination
+  /// form needs the residual seat filled). Defined in linear.cpp —
+  /// LayerNorm is only forward-declared here.
   [[nodiscard]] bool supports_fusion(
-      const StepFusion& fusion) const noexcept override {
-    return !fusion.input_residual || out_features() == in_features();
-  }
+      const StepFusion& fusion) const noexcept override;
   [[nodiscard]] std::unique_ptr<ModuleStep> plan_into_fused(
       ModulePlanContext& mpc, const StepFusion& fusion) const override;
 
@@ -140,6 +141,13 @@ struct LinearFusion {
   bool residual = false;
   const std::vector<float>* bias = nullptr;
   bool fold_bias = true;
+  /// Trailing LayerNorm folded over the plan's output columns (borrowed;
+  /// must outlive the plan; nullptr = none). With ln_split_dst the
+  /// plan's y becomes a pre-norm staging block and runs take a separate
+  /// ln_out destination (requires residual = true — see
+  /// engine/gemm_engine.hpp).
+  const LayerNorm* ln = nullptr;
+  bool ln_split_dst = false;
 };
 
 /// One layer's frozen forward: the engine's GemmPlan for a fixed batch,
@@ -165,6 +173,13 @@ class LinearPlan {
   /// `residual` must not overlap y.
   void run(ConstMatrixView x, MatrixView y, ConstMatrixView residual) const;
 
+  /// Split-destination LN path: the staging y receives
+  /// act(W.x + bias) + residual and each completed column is normalized
+  /// into ln_out. Only for plans frozen with fusion.ln_split_dst;
+  /// ln_out may alias residual but not y.
+  void run(ConstMatrixView x, MatrixView y, ConstMatrixView residual,
+           MatrixView ln_out) const;
+
   /// Shared-activation-prep passthrough (the GemmPlan prepare/consume
   /// contract, see engine/gemm_engine.hpp): when several LinearPlans
   /// report equal prep_key()s, one prepare(x, handle) feeds every
@@ -186,6 +201,10 @@ class LinearPlan {
   void run(const PrepHandle& prep, MatrixView y,
            ConstMatrixView residual) const {
     plan_->run(prep, y, residual);
+  }
+  void run(const PrepHandle& prep, MatrixView y, ConstMatrixView residual,
+           MatrixView ln_out) const {
+    plan_->run(prep, y, residual, ln_out);
   }
 
   [[nodiscard]] std::size_t batch() const noexcept {

@@ -53,11 +53,16 @@ class ModelPlan {
   /// fan-out steps — attention's Q/K/V, BiLstm's two scans — build each
   /// shared input's activation artifact (LUT / quantized grid /
   /// bit-planes) once and consume it from every reader; off rebuilds
-  /// per consumer, for the sharing A/B. Outputs are bitwise identical
-  /// across all four toggle combinations (the fused arithmetic order is
-  /// the contract, and consume replays it exactly).
+  /// per consumer, for the sharing A/B. `fuse_ln` (default on; only
+  /// meaningful while fuse is on) additionally folds LayerNorms into
+  /// the preceding projection's column-granular epilogue — off keeps LN
+  /// as its own seam pass, for the LN-fusion A/B. Outputs are bitwise
+  /// identical across all toggle combinations (the fused arithmetic
+  /// order is the contract, and consume replays it exactly; the LN
+  /// column math is one shared helper on both paths).
   ModelPlan(const PlannableModule& module, std::size_t batch,
-            ExecContext& ctx, bool fuse = true, bool share_prep = true);
+            ExecContext& ctx, bool fuse = true, bool share_prep = true,
+            bool fuse_ln = true);
 
   ~ModelPlan();
   ModelPlan(ModelPlan&&) noexcept;

@@ -7,6 +7,7 @@
 
 #include "matrix/matrix.hpp"
 #include "nn/activations.hpp"
+#include "nn/layernorm.hpp"
 #include "nn/tensor.hpp"
 #include "util/aligned_buffer.hpp"
 
@@ -178,6 +179,24 @@ std::unique_ptr<ModuleStep> plan_chain(const PlannableModule* const* modules,
         }
       }
     }
+    // Second peephole: a trailing LayerNorm (directly after the
+    // producer, or after the Activation just folded) rides the
+    // producer's column-granular epilogue — Linear→LN and
+    // Linear→Act→LN become one step, and the slot between them never
+    // exists. LN is shape-preserving, so the output slot's shape is
+    // the same either way.
+    if (mpc.fuse_ln() && i + consumed < count) {
+      const auto* ln = dynamic_cast<const LayerNorm*>(modules[i + consumed]);
+      if (ln != nullptr) {
+        StepFusion probe = fusion;
+        probe.ln = ln;
+        if (module.supports_fusion(probe)) {
+          shape = modules[i + consumed]->out_shape(shape);  // validates
+          fusion = probe;
+          ++consumed;
+        }
+      }
+    }
     ChainStep::Stage stage;
     stage.to_slot = i + consumed < count;
     // Liveness: the output slot opens before the module's internals are
@@ -285,6 +304,26 @@ std::unique_ptr<ModuleStep> Residual::plan_into(ModulePlanContext& mpc) const {
     return inner_->plan_into_fused(mpc, fusion);
   }
   return std::make_unique<ResidualStep>(*inner_, mpc);
+}
+
+bool Residual::supports_fusion(const StepFusion& fusion) const noexcept {
+  if (fusion.input_residual) return false;  // the wrapper's add sits there
+  StepFusion inner = fusion;
+  inner.input_residual = true;
+  return inner_->supports_fusion(inner);
+}
+
+std::unique_ptr<ModuleStep> Residual::plan_into_fused(
+    ModulePlanContext& mpc, const StepFusion& fusion) const {
+  if (fusion.empty()) return plan_into(mpc);
+  StepFusion inner = fusion;
+  inner.input_residual = true;
+  if (fusion.input_residual || !inner_->supports_fusion(inner)) {
+    throw std::logic_error(
+        "Residual::plan_into_fused: unsupported fusion (probe "
+        "supports_fusion first)");
+  }
+  return inner_->plan_into_fused(mpc, inner);
 }
 
 void Residual::forward(ConstMatrixView x, MatrixView y) const {

@@ -36,6 +36,8 @@ class ExecContext;
 
 namespace biq::nn {
 
+class LayerNorm;  // layernorm.hpp includes this header
+
 /// Activation shape: feature rows x batch columns (tokens / frames).
 struct Shape {
   std::size_t rows = 0;
@@ -117,9 +119,18 @@ using ModelSlot = ModelPlanner::Slot;
 struct StepFusion {
   EpilogueAct act = EpilogueAct::kNone;
   bool input_residual = false;
+  /// Column-granular stage: fold this LayerNorm (borrowed; must outlive
+  /// the plan) over the producer's output — each column is normalized
+  /// inside the GEMM's output pass the moment it completes. With
+  /// ln_split_dst the producer's y becomes a pre-norm staging block and
+  /// the normalized columns land in a separate destination the step
+  /// supplies (this requires input_residual — it exists so the residual
+  /// operand may alias the final output).
+  const LayerNorm* ln = nullptr;
+  bool ln_split_dst = false;
 
   [[nodiscard]] bool empty() const noexcept {
-    return act == EpilogueAct::kNone && !input_residual;
+    return act == EpilogueAct::kNone && !input_residual && ln == nullptr;
   }
 };
 
@@ -133,19 +144,24 @@ struct StepFusion {
 /// input's LUT/quantization artifact once and consume it from every
 /// reader (the GemmPlan prepare/consume contract); off compiles every
 /// projection's fused build-and-multiply path, for the sharing A/B.
+/// `fuse_ln` (default on; only meaningful while `fuse` is on) lets the
+/// walk additionally fold LayerNorms into the preceding projection's
+/// column-granular epilogue; off keeps LN as its own pass, for the
+/// fused-vs-separate-LN A/B.
 class ModulePlanContext {
  public:
   ModulePlanContext(ModelPlanner& planner, ExecContext& ctx,
                     std::size_t batch, bool fuse = true,
-                    bool share_prep = true) noexcept
+                    bool share_prep = true, bool fuse_ln = true) noexcept
       : planner_(&planner), ctx_(&ctx), batch_(batch), fuse_(fuse),
-        share_prep_(share_prep) {}
+        share_prep_(share_prep), fuse_ln_(fuse_ln) {}
 
   [[nodiscard]] ModelPlanner& planner() noexcept { return *planner_; }
   [[nodiscard]] ExecContext& exec() const noexcept { return *ctx_; }
   [[nodiscard]] std::size_t batch() const noexcept { return batch_; }
   [[nodiscard]] bool fuse() const noexcept { return fuse_; }
   [[nodiscard]] bool share_prep() const noexcept { return share_prep_; }
+  [[nodiscard]] bool fuse_ln() const noexcept { return fuse_ && fuse_ln_; }
 
   [[nodiscard]] ModelSlot acquire(std::size_t rows, std::size_t cols) {
     return planner_->acquire(rows, cols);
@@ -158,6 +174,7 @@ class ModulePlanContext {
   std::size_t batch_;
   bool fuse_;
   bool share_prep_;
+  bool fuse_ln_;
 };
 
 /// One module's frozen forward: held GemmPlans plus arena slots, replayed
@@ -254,7 +271,10 @@ class PlannableModule {
 /// Peephole (when mpc.fuse()): a producer followed by an Activation it
 /// supports_fusion() for is folded into ONE fused step — the activation
 /// runs inside the producer's GEMM epilogue, the Activation's step and
-/// the intermediate slot between them are never materialized.
+/// the intermediate slot between them are never materialized. With
+/// mpc.fuse_ln() the same fold extends to a trailing LayerNorm (after
+/// any Activation fold): Linear→LN and Linear→Act→LN compile to one
+/// step whose GEMM normalizes each output column as it completes.
 ///
 /// Activation-prep sharing (mpc.share_prep()) does NOT act at this
 /// level: a chain seam has exactly one consumer per activation, so there
@@ -330,6 +350,15 @@ class Residual final : public PlannableModule {
   [[nodiscard]] Shape out_shape(Shape in) const override;
   [[nodiscard]] std::unique_ptr<ModuleStep> plan_into(
       ModulePlanContext& mpc) const override;
+  /// A Residual can absorb a trailing fusion (an LN, say) by delegating
+  /// to its inner module with input_residual added — so the plan_chain
+  /// peephole folds Residual(m)→LN into m's own epilogue. Requests that
+  /// already carry input_residual are rejected (the wrapper's own add
+  /// claims that seat).
+  [[nodiscard]] bool supports_fusion(
+      const StepFusion& fusion) const noexcept override;
+  [[nodiscard]] std::unique_ptr<ModuleStep> plan_into_fused(
+      ModulePlanContext& mpc, const StepFusion& fusion) const override;
   void forward(ConstMatrixView x, MatrixView y) const override;
 
  private:

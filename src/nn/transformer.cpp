@@ -64,6 +64,7 @@ class FeedForwardStep final : public ModuleStep {
                   const StepFusion& fusion)
       : ffn_(&ffn), fuse_(mpc.fuse()),
         input_residual_(fusion.input_residual),
+        ln_split_(fusion.ln != nullptr && fusion.ln_split_dst),
         smid_(mpc.acquire(ffn.up().out_features(), mpc.batch())),
         // fuse=off plans both projections as bare GEMMs; bias and
         // activation run as separate seam passes in run_step, so the
@@ -73,8 +74,17 @@ class FeedForwardStep final : public ModuleStep {
                                : EpilogueAct::kNone,
                          false, nullptr, fuse_}),
         down_(ffn.down(), mpc.batch(), mpc.exec(),
-              LinearFusion{fusion.act, fusion.input_residual, nullptr,
-                           fuse_}) {
+              LinearFusion{fusion.act, fusion.input_residual, nullptr, fuse_,
+                           fusion.ln, fusion.ln_split_dst}) {
+    // Split-destination LN: the down projection accumulates
+    // down(mid) + bias + residual into a staging slot and normalizes
+    // each completed column into the step's y — which is what lets the
+    // caller pass the SAME buffer as input and output (the residual may
+    // alias the normalized destination; the staging block may not).
+    if (ln_split_) {
+      sstage_ = mpc.acquire(ffn.down().out_features(), mpc.batch());
+      mpc.release(sstage_);
+    }
     mpc.release(smid_);
   }
 
@@ -85,7 +95,9 @@ class FeedForwardStep final : public ModuleStep {
       if (!ffn_->up().bias().empty()) add_bias(mid, ffn_->up().bias());
       apply(mid, ffn_->activation());
     }
-    if (input_residual_) {
+    if (ln_split_) {
+      down_.run(mid, sstage_.view(base), x, y);  // y = LN(down(mid)+bias+x)
+    } else if (input_residual_) {
       down_.run(mid, y, x);  // y = down(mid) + bias + x, one pass
     } else {
       down_.run(mid, y);
@@ -99,17 +111,39 @@ class FeedForwardStep final : public ModuleStep {
   const FeedForward* ffn_;
   bool fuse_;
   bool input_residual_;
-  ModelSlot smid_;
+  bool ln_split_;
+  ModelSlot smid_, sstage_;
   LinearPlan up_, down_;
 };
 
 class EncoderLayerStep final : public ModuleStep {
  public:
   EncoderLayerStep(const EncoderLayer& layer, ModulePlanContext& mpc)
-      : layer_(&layer), ssub_(mpc.acquire(layer.in_rows(), mpc.batch())) {
-    // Both residual adds ride the sub-blocks' output-projection
-    // epilogues when the context allows fusion and the sub-blocks can
-    // take it; otherwise plan the plain steps plus separate add passes.
+      : layer_(&layer) {
+    // With LN fusion both residual→LN seams ride the sub-blocks'
+    // output projections: the attention step computes
+    // y = LN1(attn(x) + x) in place (column-granular epilogue) and the
+    // FFN step stages ffn(y) + bias + y in its own slot, normalizing
+    // each completed column back into y (split destination — the
+    // residual y aliases the final output). The layer-wide residual
+    // slot ssub_ is never acquired, so the planner arena shrinks by
+    // one hidden x T block relative to the unfused program.
+    const StepFusion attn_f{EpilogueAct::kNone, /*input_residual=*/true,
+                            &layer.ln1(), /*ln_split_dst=*/false};
+    const StepFusion ffn_f{EpilogueAct::kNone, /*input_residual=*/true,
+                           &layer.ln2(), /*ln_split_dst=*/true};
+    ln_fused_ = mpc.fuse_ln() && layer.attention().supports_fusion(attn_f) &&
+                layer.ffn().supports_fusion(ffn_f);
+    if (ln_fused_) {
+      attn_ = layer.attention().plan_into_fused(mpc, attn_f);
+      ffn_ = layer.ffn().plan_into_fused(mpc, ffn_f);
+      return;
+    }
+    // Without LN fusion, both residual adds still ride the sub-blocks'
+    // output-projection epilogues when the context allows fusion and
+    // the sub-blocks can take it; otherwise plan the plain steps plus
+    // separate add passes. Either way LN1/LN2 run as seam passes.
+    ssub_ = mpc.acquire(layer.in_rows(), mpc.batch());
     const StepFusion residual{EpilogueAct::kNone, /*input_residual=*/true};
     fused_ = mpc.fuse() && layer.attention().supports_fusion(residual) &&
              layer.ffn().supports_fusion(residual);
@@ -127,6 +161,11 @@ class EncoderLayerStep final : public ModuleStep {
   }
 
   void run_step(float* base, ConstMatrixView x, MatrixView y) const override {
+    if (ln_fused_) {
+      attn_->run_step(base, x, y);  // y = LN1(attn(x) + x), one pass
+      ffn_->run_step(base, y, y);   // y = LN2(ffn(y) + y), staged split-dst
+      return;
+    }
     const MatrixView sub = ssub_.view(base);
     if (fused_) {
       attn_->run_step(base, x, y);  // y = attn(x) + x, fused epilogue
@@ -148,6 +187,7 @@ class EncoderLayerStep final : public ModuleStep {
  private:
   const EncoderLayer* layer_;
   bool fused_ = false;
+  bool ln_fused_ = false;
   ModelSlot ssub_;
   std::unique_ptr<ModuleStep> attn_, ffn_;
 };
@@ -157,6 +197,17 @@ class EncoderLayerStep final : public ModuleStep {
 Shape FeedForward::out_shape(Shape in) const {
   check_in_rows(in, "FeedForward");
   return {down_->out_features(), in.cols};
+}
+
+bool FeedForward::supports_fusion(const StepFusion& fusion) const noexcept {
+  if (fusion.ln != nullptr && fusion.ln->dim() != down_->out_features()) {
+    return false;
+  }
+  if (fusion.ln_split_dst &&
+      (fusion.ln == nullptr || !fusion.input_residual)) {
+    return false;
+  }
+  return true;
 }
 
 std::unique_ptr<ModuleStep> FeedForward::plan_into(

@@ -51,14 +51,17 @@ class FeedForward final : public PlannableModule {
   }
 
   /// The block's output is the down-projection's GEMM, and the block is
-  /// shape-preserving by construction — any trailing activation and the
-  /// input-residual add fold into that plan's epilogue. (The internal
-  /// activation between up and down folds into the UP projection's
-  /// epilogue regardless — see FeedForwardStep.)
+  /// shape-preserving by construction — any trailing activation, the
+  /// input-residual add and a trailing LayerNorm of matching dim fold
+  /// into that plan's epilogue. (The internal activation between up and
+  /// down folds into the UP projection's epilogue regardless — see
+  /// FeedForwardStep.) Unlike a bare Linear, the split-destination LN
+  /// form IS supported: the step stages the pre-norm sublayer output in
+  /// its own planner slot, which is what lets the residual operand
+  /// alias the step's final output (the encoder's second seam). Defined
+  /// in transformer.cpp.
   [[nodiscard]] bool supports_fusion(
-      const StepFusion& /*fusion*/) const noexcept override {
-    return true;
-  }
+      const StepFusion& fusion) const noexcept override;
   [[nodiscard]] std::unique_ptr<ModuleStep> plan_into_fused(
       ModulePlanContext& mpc, const StepFusion& fusion) const override;
 
@@ -94,9 +97,16 @@ class EncoderLayer final : public PlannableModule {
   /// GEMM epilogue, keeping eager and planned paths bitwise identical.
   void forward(MatrixView x) const;
 
-  /// PlannableModule: composes the attention and FFN sub-steps around
-  /// one internal residual-branch slot; the FFN intermediate reuses the
-  /// attention scratch (released first) — the big liveness win.
+  /// PlannableModule: with LN fusion (mpc.fuse_ln(), the default) both
+  /// residual→LN seams ride the sub-blocks' output projections — the
+  /// attention step writes LN1(attn(x) + x) straight into y and the FFN
+  /// step stages its pre-norm output in a planner slot and normalizes
+  /// into y — so the layer-wide residual-branch slot of the unfused
+  /// program is never acquired and the planner arena shrinks. Without
+  /// it, composes the attention and FFN sub-steps around that one
+  /// internal residual-branch slot; either way the FFN intermediate
+  /// reuses the attention scratch (released first) — the big liveness
+  /// win.
   [[nodiscard]] std::size_t in_rows() const noexcept override {
     return ln1_.dim();
   }

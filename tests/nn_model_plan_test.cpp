@@ -288,6 +288,52 @@ TEST(ModelPlan, FusedAndUnfusedBiLstmMatchEagerBitwise) {
   }
 }
 
+TEST(ModelPlan, EncoderBitwiseAcrossFuseShareAndLnToggles) {
+  // The full toggle matrix: eager must equal the planned forward for
+  // every fuse x share_prep x fuse_ln combination, fp32 and quantized,
+  // serial and pooled — the LN column math is one shared helper on
+  // every path, so equality is bitwise, not approximate.
+  Rng rng(41);
+  const Matrix input = Matrix::random_normal(32, 6, rng);
+  ThreadPool pool(3);
+  for (const bool quantized : {false, true}) {
+    for (const bool pooled : {false, true}) {
+      ExecContext ctx(pooled ? &pool : nullptr);
+      const TransformerEncoder enc =
+          make_encoder(tiny(), 42, quantized ? quant2() : QuantSpec{}, &ctx);
+      Matrix eager = input;
+      enc.forward(eager);
+      for (const bool fuse : {false, true}) {
+        for (const bool share : {false, true}) {
+          for (const bool fuse_ln : {false, true}) {
+            const ModelPlan plan(enc, input.cols(), ctx, fuse, share, fuse_ln);
+            Matrix y(32, 6);
+            plan.run(input, y);
+            EXPECT_EQ(max_abs_diff(y, eager), 0.0f)
+                << (quantized ? "quantized" : "fp32")
+                << (pooled ? " pooled" : " serial") << " fuse=" << fuse
+                << " share_prep=" << share << " fuse_ln=" << fuse_ln;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ModelPlan, LnFusionShrinksTheEncoderArena) {
+  // With both residual→LN seams folded into the sub-blocks' output
+  // projections, the layer-wide residual-branch slot is never acquired:
+  // the LN-fused program's packed arena must be strictly smaller than
+  // the fused-but-LN-separate program's.
+  ExecContext ctx;
+  const TransformerEncoder enc = make_encoder(tiny(), 42, quant2(), &ctx);
+  const ModelPlan ln_fused(enc, 8, ctx, /*fuse=*/true, /*share_prep=*/true,
+                           /*fuse_ln=*/true);
+  const ModelPlan ln_separate(enc, 8, ctx, /*fuse=*/true, /*share_prep=*/true,
+                              /*fuse_ln=*/false);
+  EXPECT_LT(ln_fused.arena_floats(), ln_separate.arena_floats());
+}
+
 TEST(ModelPlan, FusionNeverGrowsTheArena) {
   // Fusion only removes seam passes and (in chains) intermediate slots
   // — it must never cost activation memory.
@@ -528,6 +574,31 @@ TEST(ModelPlan, WarmEncoderForwardPerformsZeroHeapAllocations) {
       << "warm ModelPlan::run grew a scratch arena";
   EXPECT_EQ(g_new_calls.load(), new_warm)
       << "warm ModelPlan::run allocated on the heap";
+}
+
+TEST(ModelPlan, WarmLnFusedColumnBarrierPathPerformsZeroHeapAllocations) {
+  // The column-granular LN stage specifically: barrier counters live in
+  // the frozen plan and the normalize runs in whichever worker retires
+  // a column's last row tile — none of it may touch the heap once warm,
+  // serial or tile-parallel.
+  ThreadPool pool(3);
+  ExecContext ctx(&pool);
+  const TransformerEncoder enc = make_encoder(tiny(), 42, quant2(), &ctx);
+  Rng rng(43);
+  const Matrix x = Matrix::random_normal(32, 48, rng);
+  Matrix y(32, 48);
+
+  const ModelPlan plan(enc, 48, ctx, /*fuse=*/true, /*share_prep=*/true,
+                       /*fuse_ln=*/true);
+  plan.run(x, y);  // first run grows the engines' scratch arenas
+  plan.run(x, y);  // second consolidates overflow blocks
+  const std::size_t arena_warm = ctx.scratch_heap_allocations();
+  const std::size_t new_warm = g_new_calls.load();
+  for (int rep = 0; rep < 8; ++rep) plan.run(x, y);
+  EXPECT_EQ(ctx.scratch_heap_allocations(), arena_warm)
+      << "warm LN-fused ModelPlan::run grew a scratch arena";
+  EXPECT_EQ(g_new_calls.load(), new_warm)
+      << "warm LN-fused column-barrier path allocated on the heap";
 }
 
 TEST(ModelPlan, WarmBiLstmForwardPerformsZeroHeapAllocations) {
